@@ -1,0 +1,250 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the index):
+//
+//	experiments table1   — Table I: LINPACK GFLOPS across tools
+//	experiments table2   — Table II: triple-loop matmul overhead
+//	experiments table3   — Table III: MKL dgemm overhead (LiMiT n/a)
+//	experiments fig4     — LINPACK phase time series via K-LEB
+//	experiments fig5     — Docker image MPKI on both machines
+//	experiments fig6     — Meltdown vs non-Meltdown counts
+//	experiments fig7     — Meltdown 100µs time series
+//	experiments fig8     — normalized execution-time box plots
+//	experiments fig9     — cross-tool count accuracy
+//	experiments timers   — user-timer vs HRTimer granularity (§II-C/§III)
+//	experiments sweep    — overhead vs sampling rate (§V/§VI)
+//	experiments buffers  — ring-size ablation of the safety mechanism
+//	experiments drains   — controller drain-cadence ablation
+//	experiments colocate — shared-LLC co-location interference matrix
+//	experiments suite    — characterization fingerprints of the synthetic suite
+//	experiments placement — 4-container placement study (§IV-B's rule, measured)
+//	experiments contention — online cross-core contention detection
+//	experiments all      — everything above
+//
+// With -md FILE, the paper-facing tables and figures are additionally
+// rendered as a Markdown report (the regenerable EXPERIMENTS record); the
+// pseudo-command "md-only" writes the report and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kleb/internal/experiments"
+	"kleb/internal/report"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 0, "override trial count (0 = per-experiment default)")
+		rounds = flag.Int("rounds", 25, "meltdown averaging rounds")
+		seed   = flag.Uint64("seed", 1, "base simulation seed")
+		mdPath = flag.String("md", "", "also write a Markdown report of the paper-facing results to this file")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|all|md-only>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	if *mdPath != "" {
+		if err := writeMarkdownReport(*mdPath, *trials, *rounds, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: markdown report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Markdown report to %s\n", *mdPath)
+		if cmd == "md-only" {
+			return
+		}
+	}
+	run := func(name string) {
+		if err := dispatch(name, *trials, *rounds, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if cmd == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "timers", "sweep", "buffers", "drains", "colocate", "suite", "placement", "contention"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(cmd)
+}
+
+func dispatch(name string, trials, rounds int, seed uint64) error {
+	w := os.Stdout
+	switch name {
+	case "table1", "fig4":
+		res, err := experiments.RunLinpack(experiments.LinpackConfig{Trials: trials, Seed: seed})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "table2":
+		res, err := experiments.RunOverhead(experiments.OverheadConfig{
+			Workload: experiments.WorkloadTriple, Trials: trials, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "table3":
+		res, err := experiments.RunOverhead(experiments.OverheadConfig{
+			Workload: experiments.WorkloadDgemm, Trials: trials, Seed: seed,
+			StockKernelOnly: true,
+		})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "fig5":
+		res, err := experiments.RunDocker(experiments.DockerConfig{Seed: seed, BothMachines: true})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "fig6", "fig7":
+		res, err := experiments.RunMeltdown(experiments.MeltdownConfig{Rounds: rounds, Seed: seed})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "fig8":
+		res, err := experiments.RunOverhead(experiments.OverheadConfig{
+			Workload: experiments.WorkloadTriple, Trials: trials, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		res.RenderBoxes(w)
+	case "fig9":
+		res, err := experiments.RunAccuracy(experiments.AccuracyConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "timers":
+		res, err := experiments.RunTimers(seed)
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "sweep":
+		res, err := experiments.RunSweep(experiments.SweepConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "buffers":
+		res, err := experiments.RunBufferAblation(experiments.BufferAblationConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "drains":
+		res, err := experiments.RunDrainAblation(experiments.DrainAblationConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "colocate":
+		res, err := experiments.RunColocate(experiments.ColocateConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "suite":
+		res, err := experiments.RunCharacterize(experiments.CharacterizeConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "placement":
+		res, err := experiments.RunPlacement(seed)
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	case "contention":
+		res, err := experiments.RunContention(seed)
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+// writeMarkdownReport runs the paper-facing experiments and renders them as
+// one Markdown document.
+func writeMarkdownReport(path string, trials, rounds int, seed uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := report.New(f)
+
+	lp, err := experiments.RunLinpack(experiments.LinpackConfig{Trials: trials, Seed: seed})
+	if err != nil {
+		return err
+	}
+	r.TableI(lp)
+	r.Fig4(lp)
+
+	t2, err := experiments.RunOverhead(experiments.OverheadConfig{
+		Workload: experiments.WorkloadTriple, Trials: trials, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	r.TableII(t2)
+	r.Fig8(t2)
+
+	t3, err := experiments.RunOverhead(experiments.OverheadConfig{
+		Workload: experiments.WorkloadDgemm, Trials: trials, Seed: seed, StockKernelOnly: true,
+	})
+	if err != nil {
+		return err
+	}
+	r.TableIII(t3)
+
+	dk, err := experiments.RunDocker(experiments.DockerConfig{Seed: seed, BothMachines: true})
+	if err != nil {
+		return err
+	}
+	r.Fig5(dk)
+
+	md, err := experiments.RunMeltdown(experiments.MeltdownConfig{Rounds: rounds, Seed: seed})
+	if err != nil {
+		return err
+	}
+	r.Fig6and7(md)
+
+	ac, err := experiments.RunAccuracy(experiments.AccuracyConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	r.Fig9(ac)
+
+	tm, err := experiments.RunTimers(seed)
+	if err != nil {
+		return err
+	}
+	r.Timers(tm)
+
+	sw, err := experiments.RunSweep(experiments.SweepConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	r.Sweep(sw)
+	return r.Err()
+}

@@ -1,0 +1,13 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDispatchRejectsUnknownExperiment(t *testing.T) {
+	err := dispatch("fig99", 0, 0, 1)
+	if err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("got %v", err)
+	}
+}

@@ -1,0 +1,140 @@
+// Command kleb is the user-facing controller CLI: run a workload on a
+// simulated machine under a monitoring tool and write the collected
+// hardware event time series as CSV.
+//
+// Examples:
+//
+//	kleb -workload linpack -events ARITH.MUL,MEM_INST_RETIRED.LOADS,MEM_INST_RETIRED.STORES -period 10ms
+//	kleb -workload meltdown-attack -period 100us -events LLC_REFERENCES,LLC_MISSES,INST_RETIRED
+//	kleb -workload docker:nginx -events LLC_MISSES,INST_RETIRED -baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kleb"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "quickstart", "workload: linpack[:N] | matmul | dgemm | docker:IMAGE | meltdown-victim | meltdown-attack | quickstart")
+		eventsFlag   = flag.String("events", "INST_RETIRED,LLC_MISSES,MEM_INST_RETIRED.LOADS,MEM_INST_RETIRED.STORES", "comma-separated event list")
+		periodFlag   = flag.Duration("period", 10*time.Millisecond, "sampling period (K-LEB sustains 100µs)")
+		toolFlag     = flag.String("tool", "kleb", "tool: kleb | perf-stat | perf-record | papi | limit")
+		machineFlag  = flag.String("machine", "nehalem", "machine: nehalem | cascadelake | limit-legacy")
+		seedFlag     = flag.Uint64("seed", 1, "simulation seed (equal seeds replay identically)")
+		baseline     = flag.Bool("baseline", false, "also run unmonitored and report overhead")
+		kernelToo    = flag.Bool("kernel", false, "count kernel-mode execution too")
+		outFlag      = flag.String("o", "", "write sample CSV to this file (default: summary only)")
+		straceFlag   = flag.Bool("strace", false, "trace every simulated syscall to stderr")
+		psFlag       = flag.Bool("ps", false, "dump the simulated kernel's final state to stderr")
+	)
+	flag.Parse()
+
+	w, err := resolveWorkload(*workloadName)
+	if err != nil {
+		fatal(err)
+	}
+	var events []kleb.Event
+	for _, name := range strings.Split(*eventsFlag, ",") {
+		ev, ok := kleb.EventByName(strings.TrimSpace(name))
+		if !ok {
+			fatal(fmt.Errorf("unknown event %q", name))
+		}
+		events = append(events, ev)
+	}
+
+	opts := kleb.CollectOptions{
+		Machine:       kleb.MachineKind(*machineFlag),
+		Seed:          *seedFlag,
+		Workload:      w,
+		Events:        events,
+		Period:        kleb.Duration(periodFlag.Nanoseconds()),
+		Tool:          kleb.ToolKind(*toolFlag),
+		Baseline:      *baseline,
+		IncludeKernel: *kernelToo,
+	}
+	if *straceFlag {
+		opts.Strace = os.Stderr
+	}
+	if *psFlag {
+		opts.DumpState = os.Stderr
+	}
+	report, err := kleb.Collect(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload  %s on %s under %s\n", w.Name(), *machineFlag, *toolFlag)
+	fmt.Printf("elapsed   %v (%d samples at %v)\n", report.Elapsed, len(report.Samples), *periodFlag)
+	if report.GFLOPS > 0 {
+		fmt.Printf("rate      %.2f GFLOPS\n", report.GFLOPS)
+	}
+	if *baseline {
+		fmt.Printf("baseline  %v  -> overhead %.2f%%\n", report.BaselineElapsed, report.OverheadPct)
+	}
+	if report.DroppedSamples > 0 {
+		fmt.Printf("dropped   %d sampling periods (buffer-full safety stop)\n", report.DroppedSamples)
+	}
+	fmt.Println("totals:")
+	for _, ev := range report.Events {
+		suffix := ""
+		if report.Estimated {
+			suffix = " (estimated)"
+		}
+		fmt.Printf("  %-28s %15d%s\n", ev, report.Totals[ev], suffix)
+	}
+	if len(report.Samples) > 1 {
+		fmt.Println("series:")
+		for _, ev := range report.Events {
+			fmt.Printf("  %-28s |%s|\n", ev, report.Sparkline(ev, 64))
+		}
+	}
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := report.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d samples to %s\n", len(report.Samples), *outFlag)
+	}
+}
+
+func resolveWorkload(name string) (kleb.Workload, error) {
+	switch {
+	case name == "quickstart":
+		return kleb.Synthetic(500_000_000, 1<<20, 0.02), nil
+	case name == "linpack":
+		return kleb.Linpack(0), nil
+	case strings.HasPrefix(name, "linpack:"):
+		var n uint64
+		if _, err := fmt.Sscanf(name, "linpack:%d", &n); err != nil {
+			return kleb.Workload{}, fmt.Errorf("bad linpack size in %q", name)
+		}
+		return kleb.Linpack(n), nil
+	case name == "matmul":
+		return kleb.TripleLoopMatmul(), nil
+	case name == "dgemm":
+		return kleb.DgemmMatmul(), nil
+	case strings.HasPrefix(name, "docker:"):
+		return kleb.Container(strings.TrimPrefix(name, "docker:"))
+	case name == "meltdown-victim":
+		return kleb.Meltdown().Victim(), nil
+	case name == "meltdown-attack":
+		return kleb.Meltdown().Attack(), nil
+	}
+	return kleb.Workload{}, fmt.Errorf("unknown workload %q (images: %s)",
+		name, strings.Join(kleb.ContainerImages(), ", "))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kleb:", err)
+	os.Exit(1)
+}

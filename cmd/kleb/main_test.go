@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveWorkload(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"quickstart", "synthetic"},
+		{"linpack", "linpack"},
+		{"linpack:2000", "linpack"},
+		{"matmul", "matmul-triple"},
+		{"dgemm", "matmul-dgemm"},
+		{"docker:nginx", "docker-nginx"},
+		{"meltdown-victim", "victim"},
+		{"meltdown-attack", "victim+meltdown"},
+	}
+	for _, c := range cases {
+		w, err := resolveWorkload(c.in)
+		if err != nil {
+			t.Errorf("%s: %v", c.in, err)
+			continue
+		}
+		if w.Name() != c.want {
+			t.Errorf("%s resolved to %q, want %q", c.in, w.Name(), c.want)
+		}
+	}
+}
+
+func TestResolveWorkloadErrors(t *testing.T) {
+	for _, in := range []string{"nope", "docker:nope", "linpack:abc"} {
+		if _, err := resolveWorkload(in); err == nil {
+			t.Errorf("%s should not resolve", in)
+		}
+	}
+	// Unknown workload errors list the available container images.
+	_, err := resolveWorkload("nope")
+	if err == nil || !strings.Contains(err.Error(), "nginx") {
+		t.Errorf("error should enumerate images: %v", err)
+	}
+}

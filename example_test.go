@@ -1,0 +1,69 @@
+package kleb_test
+
+import (
+	"fmt"
+	"log"
+
+	"kleb"
+)
+
+// The basic flow: pick a workload, pick events, collect a time series.
+func ExampleCollect() {
+	report, err := kleb.Collect(kleb.CollectOptions{
+		Workload: kleb.Synthetic(100_000_000, 64<<10, 0),
+		Events:   []kleb.Event{kleb.Instructions, kleb.Loads},
+		Period:   kleb.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instructions:", report.Totals[kleb.Instructions])
+	fmt.Println("loads:", report.Totals[kleb.Loads])
+	// Output:
+	// instructions: 100000000
+	// loads: 25000000
+}
+
+// Comparing K-LEB against a baseline tool on the same workload and seed.
+func ExampleCollect_baselineTool() {
+	run := func(tool kleb.ToolKind) uint64 {
+		report, err := kleb.Collect(kleb.CollectOptions{
+			Workload: kleb.Synthetic(50_000_000, 64<<10, 0),
+			Events:   []kleb.Event{kleb.Instructions},
+			Period:   10 * kleb.Millisecond,
+			Tool:     tool,
+			Seed:     2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return report.Totals[kleb.Instructions]
+	}
+	fmt.Println("counts agree:", run(kleb.ToolKLEB) == run(kleb.ToolPerfStat))
+	// Output:
+	// counts agree: true
+}
+
+// Online anomaly detection over a collected stream (the paper's §IV-C
+// future work).
+func ExampleReport_Detect() {
+	events := []kleb.Event{kleb.LLCReferences, kleb.LLCMisses, kleb.Instructions}
+	report, err := kleb.Collect(kleb.CollectOptions{
+		Workload: kleb.Meltdown().Attack(),
+		Events:   events,
+		Period:   100 * kleb.Microsecond,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	detector, err := kleb.NewLLCRatioDetector(events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	detection := report.Detect(detector)
+	fmt.Println("attack detected:", detection.Flagged > 0)
+	// Output:
+	// attack detected: true
+}

@@ -1,0 +1,41 @@
+// Docker case study (paper §IV-B): profile container workloads natively —
+// K-LEB attaches to the Docker engine process and follows the container
+// child through fork-probe lineage tracking — then classify each image as
+// computation- or memory-intensive by its LLC MPKI (threshold 10, after
+// Muralidhara et al.).
+//
+//	go run ./examples/docker
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kleb"
+)
+
+func main() {
+	fmt.Println("image      elapsed        MPKI   classification")
+	for _, image := range kleb.ContainerImages() {
+		w, err := kleb.Container(image)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := kleb.Collect(kleb.CollectOptions{
+			Workload: w,
+			Events:   []kleb.Event{kleb.LLCMisses, kleb.Instructions},
+			Period:   10 * kleb.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mpki := report.MPKI()
+		class := "computation-intensive"
+		if mpki > 10 {
+			class = "memory-intensive"
+		}
+		fmt.Printf("%-10s %-12v %7.2f   %s\n", image, report.Elapsed, mpki, class)
+	}
+	fmt.Println("\nA scheduler can co-locate computation-intensive containers with")
+	fmt.Println("memory-intensive ones on the same core using exactly these counts.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: collect a high-frequency hardware event time series from a
+// workload with K-LEB and print a summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kleb"
+)
+
+func main() {
+	// A synthetic program: 500M instructions over a 4MB working set with a
+	// little pointer chasing.
+	workload := kleb.Synthetic(500_000_000, 4<<20, 0.05)
+
+	report, err := kleb.Collect(kleb.CollectOptions{
+		Workload: workload,
+		Events: []kleb.Event{
+			kleb.Instructions,
+			kleb.LLCMisses,
+			kleb.Loads,
+			kleb.Branches,
+		},
+		Period:   kleb.Millisecond, // 1ms — 10× faster than perf can go
+		Baseline: true,             // also measure monitoring overhead
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %v, %d samples at 1ms, overhead %.2f%%\n",
+		report.Elapsed, len(report.Samples), report.OverheadPct)
+	fmt.Printf("MPKI (LLC misses per kilo-instruction): %.2f\n", report.MPKI())
+	fmt.Println("\nwhole-run totals:")
+	for _, ev := range report.Events {
+		fmt.Printf("  %-24s %14d\n", ev, report.Totals[ev])
+	}
+	fmt.Println("\ntime series:")
+	for _, ev := range report.Events {
+		fmt.Printf("  %-24s |%s|\n", ev, report.Sparkline(ev, 60))
+	}
+}

@@ -1,0 +1,64 @@
+// Contention-aware placement (paper §IV-B): classify containers online
+// with K-LEB's MPKI counts, then validate the placement rule on a two-core,
+// shared-LLC socket — containers whose classes both stress the LLC
+// interfere when run concurrently; mixing classes is nearly free. This is
+// the scheduling application (Torres et al., Arteaga et al.) that the
+// paper positions K-LEB as the enabler for.
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kleb"
+)
+
+func main() {
+	images := []string{"ruby", "mysql", "apache"}
+
+	// Step 1 — classify each container online with K-LEB (Fig 5's flow).
+	fmt.Println("step 1: online MPKI classification via K-LEB")
+	for _, image := range images {
+		w, err := kleb.Container(image)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := kleb.Collect(kleb.CollectOptions{
+			Workload: w,
+			Events:   []kleb.Event{kleb.LLCMisses, kleb.Instructions},
+			Period:   10 * kleb.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		class := "computation-intensive"
+		if report.MPKI() > 10 {
+			class = "memory-intensive"
+		}
+		fmt.Printf("  %-8s MPKI %6.2f -> %s\n", image, report.MPKI(), class)
+	}
+
+	// Step 2 — measure what those classes mean for co-location.
+	fmt.Println("\nstep 2: pairwise interference on a 2-core shared-LLC socket")
+	cells, err := kleb.Interference(images, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Neighbour == "" {
+			continue
+		}
+		verdict := "fine"
+		if c.Slowdown > 1.25 {
+			verdict = "BAD PAIRING"
+		} else if c.Slowdown > 1.1 {
+			verdict = "costly"
+		}
+		fmt.Printf("  %-8s next to %-8s %5.2fx  %s\n", c.Image, c.Neighbour, c.Slowdown, verdict)
+	}
+
+	fmt.Println("\nplacement rule: keep LLC-hungry containers apart; pair them with")
+	fmt.Println("computation-intensive neighbours — decided from K-LEB's live counts.")
+}

@@ -1,0 +1,3 @@
+module kleb
+
+go 1.22

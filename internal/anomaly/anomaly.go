@@ -1,0 +1,281 @@
+// Package anomaly implements online anomaly detection over hardware event
+// sample streams — the application the paper names as K-LEB's purpose
+// (§IV-C: "this gives K-LEB the potential to be used for hardware event
+// based anomaly detection"; building the detector was "outside the scope"
+// of the paper, so it is implemented here as the repository's future-work
+// extension).
+//
+// Detectors consume per-period samples as they arrive (the K-LEB
+// controller's drain cadence) and flag windows whose cache behaviour
+// departs from a self-calibrated baseline. Three detectors are provided:
+//
+//   - MPKIDetector — misses per kilo-instruction against an EWMA baseline,
+//     the metric the paper uses to separate Meltdown from clean runs;
+//   - RatioDetector — LLC miss/reference ratio, the "abnormally high ...
+//     ratio during the point of attack" signal of Fig 7;
+//   - CUSUMDetector — a cumulative-sum change detector over any single
+//     event rate, for drifts too gentle for threshold rules.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+
+	"kleb/internal/isa"
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+)
+
+// Verdict is a detector's judgement of one sample window.
+type Verdict struct {
+	// Time is the window's sample timestamp.
+	Time ktime.Time
+	// Score is the detector-specific anomaly score (z-score, ratio, or
+	// CUSUM statistic).
+	Score float64
+	// Anomalous is set when the score crosses the detector's threshold
+	// after the warm-up period.
+	Anomalous bool
+}
+
+// Detector consumes samples one at a time and judges each.
+type Detector interface {
+	// Observe ingests the next sample and returns its verdict.
+	Observe(s monitor.Sample) Verdict
+	// Reset clears learned state.
+	Reset()
+}
+
+// indexOf locates an event's column in the sample layout.
+func indexOf(events []isa.Event, ev isa.Event) (int, error) {
+	for i, e := range events {
+		if e == ev {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("anomaly: event %v not in the collected set %v", ev, events)
+}
+
+func delta(s monitor.Sample, idx int) float64 {
+	if idx < len(s.Deltas) {
+		return float64(s.Deltas[idx])
+	}
+	return 0
+}
+
+// --- MPKI detector ---
+
+// MPKIDetector flags windows whose misses-per-kilo-instruction exceed a
+// multiple of a self-learned EWMA baseline. It needs LLC misses and
+// instructions in the collected event set.
+type MPKIDetector struct {
+	missIdx, instrIdx int
+
+	// Threshold is the multiple of the baseline MPKI that flags a window
+	// (default 3).
+	Threshold float64
+	// Warmup is the number of samples used purely for baseline learning
+	// (default 10).
+	Warmup int
+	// Alpha is the EWMA smoothing factor (default 0.05).
+	Alpha float64
+
+	seen     int
+	baseline float64
+}
+
+// NewMPKIDetector builds a detector for the given sample layout.
+func NewMPKIDetector(events []isa.Event) (*MPKIDetector, error) {
+	mi, err := indexOf(events, isa.EvLLCMisses)
+	if err != nil {
+		return nil, err
+	}
+	ii, err := indexOf(events, isa.EvInstructions)
+	if err != nil {
+		return nil, err
+	}
+	return &MPKIDetector{
+		missIdx: mi, instrIdx: ii,
+		Threshold: 3, Warmup: 10, Alpha: 0.05,
+	}, nil
+}
+
+// Observe implements Detector.
+func (d *MPKIDetector) Observe(s monitor.Sample) Verdict {
+	instr := delta(s, d.instrIdx)
+	if instr == 0 {
+		return Verdict{Time: s.Time}
+	}
+	mpki := delta(s, d.missIdx) / (instr / 1000)
+	d.seen++
+	v := Verdict{Time: s.Time}
+	if d.seen <= d.Warmup {
+		// Pure learning: fold everything into the baseline.
+		if d.baseline == 0 {
+			d.baseline = mpki
+		} else {
+			d.baseline += d.Alpha * (mpki - d.baseline)
+		}
+		return v
+	}
+	if d.baseline > 0 {
+		v.Score = mpki / d.baseline
+	}
+	v.Anomalous = v.Score > d.Threshold
+	if !v.Anomalous {
+		// Only clean windows update the baseline, so a sustained attack
+		// cannot teach the detector that attacks are normal.
+		d.baseline += d.Alpha * (mpki - d.baseline)
+	}
+	return v
+}
+
+// Reset implements Detector.
+func (d *MPKIDetector) Reset() { d.seen, d.baseline = 0, 0 }
+
+// --- LLC ratio detector ---
+
+// RatioDetector flags windows whose LLC miss/reference ratio exceeds an
+// absolute threshold — Flush+Reload drives the ratio toward 1 because every
+// probe reference misses by construction.
+type RatioDetector struct {
+	missIdx, refIdx int
+
+	// Threshold is the miss/ref ratio that flags a window (default 0.6 —
+	// a Flush+Reload probe drives most references to misses, while a warm
+	// working set keeps the ratio near zero).
+	Threshold float64
+	// MinRefs skips windows with too few references to judge (default 100).
+	MinRefs float64
+	// Skip is a startup grace period in windows: cold-start compulsory
+	// misses also drive the ratio toward 1, so the first Skip windows are
+	// observed but never flagged (default 20, i.e. 2ms at the 100µs rate).
+	Skip int
+
+	seen int
+}
+
+// NewRatioDetector builds a detector for the given sample layout.
+func NewRatioDetector(events []isa.Event) (*RatioDetector, error) {
+	mi, err := indexOf(events, isa.EvLLCMisses)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := indexOf(events, isa.EvLLCRefs)
+	if err != nil {
+		return nil, err
+	}
+	return &RatioDetector{missIdx: mi, refIdx: ri, Threshold: 0.6, MinRefs: 100, Skip: 20}, nil
+}
+
+// Observe implements Detector.
+func (d *RatioDetector) Observe(s monitor.Sample) Verdict {
+	refs := delta(s, d.refIdx)
+	v := Verdict{Time: s.Time}
+	d.seen++
+	if refs < d.MinRefs {
+		return v
+	}
+	v.Score = delta(s, d.missIdx) / refs
+	v.Anomalous = d.seen > d.Skip && v.Score > d.Threshold
+	return v
+}
+
+// Reset implements Detector.
+func (d *RatioDetector) Reset() { d.seen = 0 }
+
+// --- CUSUM detector ---
+
+// CUSUMDetector runs a one-sided cumulative-sum change detector on a single
+// event's per-window rate: it accumulates standardized exceedances over a
+// drift allowance and flags when the sum crosses a decision threshold. It
+// catches sustained shifts that individual-window thresholds miss.
+type CUSUMDetector struct {
+	idx int
+
+	// Drift is the slack (in baseline standard deviations) tolerated per
+	// window before exceedance accumulates (default 0.5).
+	Drift float64
+	// Decision is the accumulated threshold that flags (default 5).
+	Decision float64
+	// Warmup windows learn the baseline mean/variance (default 10).
+	Warmup int
+
+	seen  int
+	mean  float64
+	m2    float64
+	cusum float64
+}
+
+// NewCUSUMDetector builds a detector for one event in the sample layout.
+func NewCUSUMDetector(events []isa.Event, ev isa.Event) (*CUSUMDetector, error) {
+	idx, err := indexOf(events, ev)
+	if err != nil {
+		return nil, err
+	}
+	return &CUSUMDetector{idx: idx, Drift: 0.5, Decision: 5, Warmup: 10}, nil
+}
+
+// Observe implements Detector.
+func (d *CUSUMDetector) Observe(s monitor.Sample) Verdict {
+	x := delta(s, d.idx)
+	d.seen++
+	v := Verdict{Time: s.Time}
+	if d.seen <= d.Warmup {
+		// Welford online mean/variance.
+		dm := x - d.mean
+		d.mean += dm / float64(d.seen)
+		d.m2 += dm * (x - d.mean)
+		return v
+	}
+	std := math.Sqrt(d.m2 / float64(d.Warmup))
+	if std == 0 {
+		std = math.Max(1, d.mean*0.05)
+	}
+	z := (x - d.mean) / std
+	d.cusum = math.Max(0, d.cusum+z-d.Drift)
+	v.Score = d.cusum
+	v.Anomalous = d.cusum > d.Decision
+	return v
+}
+
+// Reset implements Detector.
+func (d *CUSUMDetector) Reset() { d.seen, d.mean, d.m2, d.cusum = 0, 0, 0, 0 }
+
+// --- stream analysis ---
+
+// Report summarizes a detector's pass over a sample stream.
+type Report struct {
+	// Verdicts holds the per-window judgements in order.
+	Verdicts []Verdict
+	// Flagged counts anomalous windows.
+	Flagged int
+	// FirstFlag is the timestamp of the first anomalous window (zero if
+	// none) — the detection latency measured from program start.
+	FirstFlag ktime.Time
+}
+
+// FlagFraction returns flagged/total.
+func (r Report) FlagFraction() float64 {
+	if len(r.Verdicts) == 0 {
+		return 0
+	}
+	return float64(r.Flagged) / float64(len(r.Verdicts))
+}
+
+// Scan runs a detector over an entire collected stream, as the controller
+// would during live operation (samples arrive in capture order).
+func Scan(d Detector, samples []monitor.Sample) Report {
+	var rep Report
+	for _, s := range samples {
+		v := d.Observe(s)
+		rep.Verdicts = append(rep.Verdicts, v)
+		if v.Anomalous {
+			if rep.Flagged == 0 {
+				rep.FirstFlag = v.Time
+			}
+			rep.Flagged++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,45 @@
+package anomaly
+
+import "kleb/internal/monitor"
+
+// Ensemble combines several detectors by vote: a window is anomalous when
+// at least Quorum members flag it. Diverse detectors (a threshold rule, a
+// ratio rule, a CUSUM) fail in different ways; requiring agreement trades a
+// little detection latency for a much lower false-positive rate — the
+// operating point an online responder needs.
+type Ensemble struct {
+	// Members are the voting detectors.
+	Members []Detector
+	// Quorum is the minimum number of votes to flag (default: majority).
+	Quorum int
+}
+
+var _ Detector = (*Ensemble)(nil)
+
+// NewEnsemble builds a majority-vote ensemble.
+func NewEnsemble(members ...Detector) *Ensemble {
+	return &Ensemble{Members: members, Quorum: len(members)/2 + 1}
+}
+
+// Observe implements Detector: the ensemble's score is the vote count.
+func (e *Ensemble) Observe(s monitor.Sample) Verdict {
+	votes := 0
+	var t = s.Time
+	for _, d := range e.Members {
+		if d.Observe(s).Anomalous {
+			votes++
+		}
+	}
+	q := e.Quorum
+	if q <= 0 {
+		q = len(e.Members)/2 + 1
+	}
+	return Verdict{Time: t, Score: float64(votes), Anomalous: votes >= q}
+}
+
+// Reset implements Detector.
+func (e *Ensemble) Reset() {
+	for _, d := range e.Members {
+		d.Reset()
+	}
+}

@@ -1,0 +1,120 @@
+package anomaly
+
+import (
+	"testing"
+
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+)
+
+// flagAbove is a trivial detector for ensemble tests: flags when the first
+// delta exceeds a threshold.
+type flagAbove struct {
+	limit  uint64
+	resets int
+}
+
+func (f *flagAbove) Observe(s monitor.Sample) Verdict {
+	v := Verdict{Time: s.Time}
+	if len(s.Deltas) > 0 && s.Deltas[0] > f.limit {
+		v.Anomalous = true
+		v.Score = 1
+	}
+	return v
+}
+func (f *flagAbove) Reset() { f.resets++ }
+
+func TestEnsembleMajorityVote(t *testing.T) {
+	e := NewEnsemble(&flagAbove{limit: 10}, &flagAbove{limit: 20}, &flagAbove{limit: 1000})
+	if e.Quorum != 2 {
+		t.Fatalf("majority quorum %d", e.Quorum)
+	}
+	// Value 15: one vote — clean. Value 25: two votes — flagged.
+	if e.Observe(monitor.Sample{Deltas: []uint64{15}}).Anomalous {
+		t.Error("single vote should not flag")
+	}
+	v := e.Observe(monitor.Sample{Deltas: []uint64{25}})
+	if !v.Anomalous || v.Score != 2 {
+		t.Errorf("two votes should flag: %+v", v)
+	}
+}
+
+func TestEnsembleResetPropagates(t *testing.T) {
+	a := &flagAbove{limit: 1}
+	b := &flagAbove{limit: 2}
+	NewEnsemble(a, b).Reset()
+	if a.resets != 1 || b.resets != 1 {
+		t.Error("reset not propagated")
+	}
+}
+
+func TestEnsembleCutsFalsePositives(t *testing.T) {
+	// A controlled stream: 40 clean windows (ratio 0.33, low MPKI) then 20
+	// attack windows (ratio ~1, 20× MPKI). A deliberately twitchy member
+	// would flag half the clean windows on its own; requiring agreement
+	// with real detectors suppresses every one of its false positives
+	// while the true attack windows still carry the quorum.
+	clean := synthSamples(40, 100, 1_000_000)
+	var hot []monitor.Sample
+	for i := 0; i < 20; i++ {
+		hot = append(hot, monitor.Sample{
+			Time:   clean[len(clean)-1].Time + ktimeMs(i+1),
+			Deltas: []uint64{2100, 2000, 1_000_000}, // refs≈misses, 20× MPKI
+		})
+	}
+	stream := append(clean, hot...)
+
+	newReal := func() []Detector {
+		r, err := NewRatioDetector(meltdownEvents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Skip = 5
+		m, err := NewMPKIDetector(meltdownEvents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []Detector{r, m}
+	}
+
+	twitchy := &everyOther{}
+	solo := Scan(twitchy, stream)
+	if solo.Flagged < 20 {
+		t.Fatalf("twitchy member should misfire often alone: %d", solo.Flagged)
+	}
+
+	members := append(newReal(), &everyOther{})
+	ens := NewEnsemble(members...)
+	rep := Scan(ens, stream)
+
+	if rep.Flagged == 0 {
+		t.Fatal("ensemble missed the attack entirely")
+	}
+	// No clean window may carry the quorum.
+	for i, v := range rep.Verdicts[:40] {
+		if v.Anomalous {
+			t.Fatalf("false positive survived the vote at window %d", i)
+		}
+	}
+	// Most attack windows are flagged.
+	flaggedHot := 0
+	for _, v := range rep.Verdicts[40:] {
+		if v.Anomalous {
+			flaggedHot++
+		}
+	}
+	if flaggedHot < 15 {
+		t.Errorf("only %d of 20 attack windows flagged", flaggedHot)
+	}
+}
+
+// everyOther is a noisy detector: flags every second window unconditionally.
+type everyOther struct{ n int }
+
+func (e *everyOther) Observe(s monitor.Sample) Verdict {
+	e.n++
+	return Verdict{Time: s.Time, Anomalous: e.n%2 == 0, Score: 1}
+}
+func (e *everyOther) Reset() { e.n = 0 }
+
+func ktimeMs(i int) ktime.Time { return ktime.Time(i) * ktime.Time(ktime.Millisecond) }

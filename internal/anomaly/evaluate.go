@@ -1,0 +1,103 @@
+package anomaly
+
+import (
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+)
+
+// Evaluation summarizes a detector's quality on a labeled pair of streams:
+// one known-clean, one known-under-attack. This is how the repository's
+// detection experiments quantify the usual trade-off (flag more of the
+// attack vs. stay quiet on clean runs) instead of eyeballing it.
+type Evaluation struct {
+	// FalsePositiveRate is the fraction of clean windows flagged.
+	FalsePositiveRate float64
+	// TruePositiveRate is the fraction of attack-stream windows flagged.
+	// (The whole attack stream is labeled positive; detectors that only
+	// fire inside the true attack window therefore report a conservative
+	// TPR.)
+	TruePositiveRate float64
+	// CleanReport and AttackReport carry the raw scan results.
+	CleanReport, AttackReport Report
+}
+
+// Separation returns TPR − FPR (Youden's J): 0 is a useless detector, 1 a
+// perfect one.
+func (e Evaluation) Separation() float64 {
+	return e.TruePositiveRate - e.FalsePositiveRate
+}
+
+// Evaluate runs the detector over the clean stream, resets it, then runs it
+// over the attack stream, and summarizes both.
+func Evaluate(d Detector, clean, attack []monitor.Sample) Evaluation {
+	d.Reset()
+	cr := Scan(d, clean)
+	d.Reset()
+	ar := Scan(d, attack)
+	ev := Evaluation{CleanReport: cr, AttackReport: ar}
+	if n := len(cr.Verdicts); n > 0 {
+		ev.FalsePositiveRate = float64(cr.Flagged) / float64(n)
+	}
+	if n := len(ar.Verdicts); n > 0 {
+		ev.TruePositiveRate = float64(ar.Flagged) / float64(n)
+	}
+	return ev
+}
+
+// Window is a ground-truth labeled interval of virtual time.
+type Window struct {
+	Start, End ktime.Time
+}
+
+// Contains reports whether t lies in [Start, End).
+func (w Window) Contains(t ktime.Time) bool { return t >= w.Start && t < w.End }
+
+// WindowedEvaluation refines the stream-level rates with a ground-truth
+// attack window: flags inside the window are true positives, flags outside
+// it are false positives — the precise scoring for workloads (like the
+// Heartbleed server) that are benign for most of their run.
+type WindowedEvaluation struct {
+	// InWindowRate is the fraction of ground-truth attack windows flagged.
+	InWindowRate float64
+	// OutWindowRate is the fraction of benign windows (of the same run)
+	// flagged.
+	OutWindowRate float64
+	// DetectionLatency is first in-window flag minus window start (zero if
+	// never detected inside the window).
+	DetectionLatency ktime.Duration
+	// Detected reports whether any in-window flag occurred.
+	Detected bool
+}
+
+// EvaluateWindowed scans the stream and scores verdicts against the
+// labeled attack window.
+func EvaluateWindowed(d Detector, stream []monitor.Sample, attack Window) WindowedEvaluation {
+	d.Reset()
+	rep := Scan(d, stream)
+	var ev WindowedEvaluation
+	var in, out, inFlag, outFlag int
+	for _, v := range rep.Verdicts {
+		if attack.Contains(v.Time) {
+			in++
+			if v.Anomalous {
+				inFlag++
+				if !ev.Detected {
+					ev.Detected = true
+					ev.DetectionLatency = v.Time.Sub(attack.Start)
+				}
+			}
+		} else {
+			out++
+			if v.Anomalous {
+				outFlag++
+			}
+		}
+	}
+	if in > 0 {
+		ev.InWindowRate = float64(inFlag) / float64(in)
+	}
+	if out > 0 {
+		ev.OutWindowRate = float64(outFlag) / float64(out)
+	}
+	return ev
+}

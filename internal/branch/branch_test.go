@@ -1,0 +1,85 @@
+package branch
+
+import "testing"
+
+func TestPredictableLoopConverges(t *testing.T) {
+	p := New(10)
+	// 7-taken / 1-not-taken loop pattern: gshare learns it quickly.
+	for i := 0; i < 8000; i++ {
+		p.Predict(0x400, i%8 != 7)
+	}
+	p.ResetStats()
+	for i := 0; i < 8000; i++ {
+		p.Predict(0x400, i%8 != 7)
+	}
+	if r := p.Stats().MispredictRatio(); r > 0.02 {
+		t.Errorf("trained predictor mispredicts %.3f of a periodic pattern", r)
+	}
+}
+
+func TestRandomOutcomesNearHalf(t *testing.T) {
+	p := New(12)
+	seed := uint64(12345)
+	next := func() bool {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed>>63 == 1
+	}
+	for i := 0; i < 20000; i++ {
+		p.Predict(0x800, next())
+	}
+	if r := p.Stats().MispredictRatio(); r < 0.40 || r > 0.60 {
+		t.Errorf("random stream should mispredict ≈50%%, got %.3f", r)
+	}
+}
+
+func TestFlushHistoryCausesTransient(t *testing.T) {
+	p := New(10)
+	pattern := func(i int) bool { return i%4 != 3 }
+	for i := 0; i < 4000; i++ {
+		p.Predict(0x10, pattern(i))
+	}
+	p.ResetStats()
+	for i := 0; i < 400; i++ {
+		p.Predict(0x10, pattern(i))
+	}
+	warm := p.Stats().Mispredicts
+	p.FlushHistory()
+	p.ResetStats()
+	for i := 0; i < 400; i++ {
+		p.Predict(0x10, pattern(i))
+	}
+	cold := p.Stats().Mispredicts
+	if cold < warm {
+		t.Errorf("history flush should not improve prediction: warm=%d cold=%d", warm, cold)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	p := New(8)
+	for i := 0; i < 10; i++ {
+		p.Predict(uint64(i)*4, true)
+	}
+	if p.Stats().Branches != 10 {
+		t.Errorf("branches %d", p.Stats().Branches)
+	}
+	if (Stats{}).MispredictRatio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+}
+
+func TestDistinctSitesLearnIndependently(t *testing.T) {
+	p := New(12)
+	// Two branches with opposite constant outcomes.
+	for i := 0; i < 2000; i++ {
+		p.Predict(0x1000, true)
+		p.Predict(0x2000, false)
+	}
+	p.ResetStats()
+	for i := 0; i < 1000; i++ {
+		p.Predict(0x1000, true)
+		p.Predict(0x2000, false)
+	}
+	if r := p.Stats().MispredictRatio(); r > 0.05 {
+		t.Errorf("constant branches should be nearly perfect, got %.3f", r)
+	}
+}

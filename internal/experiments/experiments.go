@@ -1,0 +1,123 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (see DESIGN.md §3 for the index). Each runner is a
+// pure function from a configuration to a typed result with a text
+// renderer, shared by the cmd/experiments binary and the root benchmark
+// harness.
+package experiments
+
+import (
+	"fmt"
+
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/kleb"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/tools/limit"
+	"kleb/internal/tools/papi"
+	"kleb/internal/tools/perfrecord"
+	"kleb/internal/tools/perfstat"
+	"kleb/internal/workload"
+)
+
+// ToolKind names one of the five monitoring mechanisms.
+type ToolKind string
+
+// The five tools of the paper's comparison.
+const (
+	KLEB       ToolKind = "kleb"
+	PerfStat   ToolKind = "perf-stat"
+	PerfRecord ToolKind = "perf-record"
+	PAPI       ToolKind = "papi"
+	LiMiT      ToolKind = "limit"
+)
+
+// AllTools lists the tools in the paper's presentation order.
+func AllTools() []ToolKind {
+	return []ToolKind{KLEB, PerfStat, PerfRecord, PAPI, LiMiT}
+}
+
+// NewTool builds a fresh tool instance. points configures the strategic-
+// point count for the source-instrumenting tools (0 = their default); the
+// other tools ignore it.
+func NewTool(kind ToolKind, points int) (monitor.Tool, error) {
+	switch kind {
+	case KLEB:
+		return kleb.New(), nil
+	case PerfStat:
+		return perfstat.New(), nil
+	case PerfRecord:
+		return perfrecord.New(), nil
+	case PAPI:
+		t := papi.New()
+		t.Points = points
+		return t, nil
+	case LiMiT:
+		t := limit.New()
+		t.Points = points
+		return t, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown tool %q", kind)
+}
+
+// ProfileFor returns the machine a tool runs on: LiMiT needs the patched
+// legacy kernel (the paper's Ubuntu 12.04 / 2.6.32 box); everything else
+// runs the stock Nehalem machine.
+func ProfileFor(kind ToolKind) machine.Profile {
+	if kind == LiMiT {
+		return machine.LiMiTKernel()
+	}
+	return machine.Nehalem()
+}
+
+// Workload identifies a monitored program for the overhead studies.
+type Workload string
+
+// The overhead-study workloads.
+const (
+	WorkloadTriple Workload = "matmul-triple"
+	WorkloadDgemm  Workload = "matmul-dgemm"
+)
+
+// scriptFor materializes a workload's script.
+func scriptFor(w Workload) (workload.Script, error) {
+	switch w {
+	case WorkloadTriple:
+		return workload.NewTripleLoopMatmul().Script(), nil
+	case WorkloadDgemm:
+		return workload.NewDgemmMatmul().Script(), nil
+	}
+	return workload.Script{}, fmt.Errorf("experiments: unknown workload %q", w)
+}
+
+// targetFactory wraps a script into a fresh-program factory.
+func targetFactory(s workload.Script) func() kernel.Program {
+	return func() kernel.Program { return s.Program() }
+}
+
+// defaultEvents is the paper's overhead-study event set: the four
+// programmable events of Fig 9 (deterministic architectural events) — the
+// three fixed counters ride along for free on tools that program them.
+func defaultEvents() []isa.Event {
+	return []isa.Event{
+		isa.EvLoads,
+		isa.EvStores,
+		isa.EvBranches,
+		isa.EvLLCMisses,
+		isa.EvInstructions,
+	}
+}
+
+// pointsFor matches the instrumented tools' sample count to what a
+// timer-based tool at period would collect over baseline.
+func pointsFor(baseline, period ktime.Duration) int {
+	if period == 0 {
+		return 0
+	}
+	n := int(baseline / period)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

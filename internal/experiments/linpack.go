@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kleb/internal/isa"
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+	"kleb/internal/trace"
+	"kleb/internal/workload"
+)
+
+// LinpackConfig parameterizes Table I and Fig 4.
+type LinpackConfig struct {
+	// N is the LINPACK problem size (the paper uses 5000).
+	N uint64
+	// Trials averages the runs (the paper uses 10).
+	Trials int
+	// Period is the sampling interval (10ms, to accommodate the long run).
+	Period ktime.Duration
+	// Seed bases the trial seeds.
+	Seed uint64
+}
+
+func (c *LinpackConfig) defaults() {
+	if c.N == 0 {
+		c.N = 5000
+	}
+	if c.Trials == 0 {
+		c.Trials = 10
+	}
+	if c.Period == 0 {
+		c.Period = 10 * ktime.Millisecond
+	}
+}
+
+// LinpackRow is one profiling configuration's Table I entry.
+type LinpackRow struct {
+	Tool    string // "none" for the unprofiled run
+	GFLOPS  float64
+	LossPct float64
+}
+
+// LinpackResult holds Table I plus the Fig 4 time series.
+type LinpackResult struct {
+	N      uint64
+	Trials int
+	Rows   []LinpackRow
+	// Series is the Fig 4 data: per-event sample deltas averaged across
+	// trials (from the K-LEB runs), in sample order.
+	SeriesEvents []isa.Event
+	Series       map[isa.Event][]float64
+}
+
+// RunLinpack regenerates Table I (GFLOPS under {none, K-LEB, perf stat,
+// perf record}) and Fig 4 (the ARITH.MUL / LOAD / STORE phase series
+// collected by K-LEB).
+func RunLinpack(cfg LinpackConfig) (*LinpackResult, error) {
+	cfg.defaults()
+	lp := workload.NewLinpack(cfg.N)
+	script := lp.Script()
+	flops := float64(lp.Flops())
+
+	events := []isa.Event{isa.EvMulOps, isa.EvLoads, isa.EvStores}
+	res := &LinpackResult{
+		N: cfg.N, Trials: cfg.Trials,
+		SeriesEvents: events,
+		Series:       make(map[isa.Event][]float64),
+	}
+
+	gflopsFor := func(kind ToolKind, withTool bool) (float64, error) {
+		var total float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			spec := monitor.RunSpec{
+				Profile:    ProfileFor(KLEB),
+				Seed:       cfg.Seed + uint64(trial)*104729,
+				NewTarget:  targetFactory(script),
+				TargetName: "linpack",
+			}
+			if withTool {
+				tool, err := NewTool(kind, 0)
+				if err != nil {
+					return 0, err
+				}
+				spec.Tool = tool
+				spec.Config = monitor.Config{Events: events, Period: cfg.Period, ExcludeKernel: true}
+			}
+			run, err := monitor.Run(spec)
+			if err != nil {
+				return 0, err
+			}
+			total += flops / 1e9 / run.Elapsed.Seconds()
+			if withTool && kind == KLEB {
+				res.accumulateSeries(run.Result)
+			}
+		}
+		return total / float64(cfg.Trials), nil
+	}
+
+	baseGF, err := gflopsFor("", false)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, LinpackRow{Tool: "none", GFLOPS: baseGF})
+	for _, kind := range []ToolKind{KLEB, PerfStat, PerfRecord} {
+		gf, err := gflopsFor(kind, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, LinpackRow{
+			Tool:    string(kind),
+			GFLOPS:  gf,
+			LossPct: 100 * (baseGF - gf) / baseGF,
+		})
+	}
+	// Average the accumulated series over the K-LEB trials.
+	for _, ev := range events {
+		for i := range res.Series[ev] {
+			res.Series[ev][i] /= float64(cfg.Trials)
+		}
+	}
+	return res, nil
+}
+
+// accumulateSeries folds one K-LEB run's sample series into the average.
+func (r *LinpackResult) accumulateSeries(result monitor.Result) {
+	for _, ev := range r.SeriesEvents {
+		series := result.SeriesFor(ev)
+		acc := r.Series[ev]
+		for len(acc) < len(series) {
+			acc = append(acc, 0)
+		}
+		for i, v := range series {
+			acc[i] += float64(v)
+		}
+		r.Series[ev] = acc
+	}
+}
+
+// Row looks up a Table I row by tool name.
+func (r *LinpackResult) Row(tool string) (LinpackRow, bool) {
+	for _, row := range r.Rows {
+		if row.Tool == tool {
+			return row, true
+		}
+	}
+	return LinpackRow{}, false
+}
+
+// Render writes Table I and a sparkline rendering of Fig 4.
+func (r *LinpackResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table I — LINPACK (N=%d, %d trials) GFLOPS across profiling tools\n", r.N, r.Trials)
+	fmt.Fprintf(w, "%-12s %10s %10s\n", "tool", "GFLOPS", "loss%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %10.2f %10.2f\n", row.Tool, row.GFLOPS, row.LossPct)
+	}
+	fmt.Fprintf(w, "\nFig 4 — LINPACK phase behaviour via K-LEB (one char ≈ %d samples)\n",
+		maxInt(1, seriesLen(r)/72))
+	for _, ev := range r.SeriesEvents {
+		ser := make([]uint64, len(r.Series[ev]))
+		for i, v := range r.Series[ev] {
+			ser[i] = uint64(v)
+		}
+		fmt.Fprintf(w, "%-24s |%s|\n", ev, trace.Sparkline(ser, 72))
+	}
+}
+
+func seriesLen(r *LinpackResult) int {
+	for _, s := range r.Series {
+		return len(s)
+	}
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

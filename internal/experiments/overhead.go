@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/trace"
+)
+
+// OverheadConfig parameterizes the Table II / Table III / Fig 8 study.
+type OverheadConfig struct {
+	// Workload is the monitored program.
+	Workload Workload
+	// Tools are the monitors to compare.
+	Tools []ToolKind
+	// Period is the sampling interval (the paper uses 10ms).
+	Period ktime.Duration
+	// Trials is the number of repetitions per tool (the paper runs 100;
+	// the default regeneration uses fewer for runtime, same statistics).
+	Trials int
+	// Seed bases the per-trial seeds.
+	Seed uint64
+	// Noise adds the background OS-noise daemon to every run.
+	Noise bool
+	// StockKernelOnly forces every tool onto the stock (unpatched) kernel.
+	// Table III requires it: the MKL workload needs the modern OS, so
+	// LiMiT — which only exists as a patch to the legacy kernel — comes
+	// out "n/a" exactly as in the paper.
+	StockKernelOnly bool
+}
+
+func (c *OverheadConfig) defaults() {
+	if c.Period == 0 {
+		c.Period = 10 * ktime.Millisecond
+	}
+	if c.Trials == 0 {
+		c.Trials = 15
+	}
+	if len(c.Tools) == 0 {
+		c.Tools = AllTools()
+	}
+	if c.Workload == "" {
+		c.Workload = WorkloadTriple
+	}
+}
+
+// ToolOverhead is one tool's row in the overhead table.
+type ToolOverhead struct {
+	Tool ToolKind
+	// Unsupported is set (with a reason) when the tool cannot run this
+	// configuration at all — LiMiT on an unpatched kernel (Table III).
+	Unsupported string
+	// OverheadPct are per-trial overhead percentages vs the same-seed
+	// baseline; Mean/Box summarize them.
+	OverheadPct []float64
+	Mean        float64
+	Box         trace.Box
+	// Normalized are per-trial execution times normalized to the baseline
+	// mean — the paper's Fig 8 y-axis.
+	Normalized []float64
+	// Samples is the mean number of samples collected per trial.
+	Samples float64
+}
+
+// OverheadResult is the complete study output.
+type OverheadResult struct {
+	Workload     Workload
+	Period       ktime.Duration
+	Trials       int
+	BaselineMean ktime.Duration
+	BaselineRuns []ktime.Duration
+	Rows         []ToolOverhead
+}
+
+// RunOverhead measures per-tool run-time overhead: for each trial seed it
+// runs an unmonitored baseline and one run per tool on the *same* seed and
+// machine profile, then compares execution times. This regenerates
+// Table II (triple loop), Table III (dgemm) and the Fig 8 distributions.
+func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
+	cfg.defaults()
+	script, err := scriptFor(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	res := &OverheadResult{Workload: cfg.Workload, Period: cfg.Period, Trials: cfg.Trials}
+
+	// Baselines per profile (LiMiT's patched machine has its own timing).
+	baselines := map[string][]ktime.Duration{}
+	profileFor := func(kind ToolKind) machine.Profile {
+		if cfg.StockKernelOnly {
+			return machine.Nehalem()
+		}
+		return ProfileFor(kind)
+	}
+	baselineFor := func(kind ToolKind, trial int) (ktime.Duration, error) {
+		prof := profileFor(kind)
+		runs, ok := baselines[prof.Name]
+		if !ok || len(runs) <= trial {
+			r, err := monitor.Run(monitor.RunSpec{
+				Profile:   prof,
+				Seed:      cfg.Seed + uint64(trial)*7919,
+				NewTarget: targetFactory(script),
+				Noise:     cfg.Noise,
+			})
+			if err != nil {
+				return 0, err
+			}
+			baselines[prof.Name] = append(runs, r.Elapsed)
+		}
+		return baselines[prof.Name][trial], nil
+	}
+
+	for _, kind := range cfg.Tools {
+		row := ToolOverhead{Tool: kind}
+		var sampleSum float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			base, err := baselineFor(kind, trial)
+			if err != nil {
+				return nil, err
+			}
+			tool, err := NewTool(kind, pointsFor(base, cfg.Period))
+			if err != nil {
+				return nil, err
+			}
+			run, err := monitor.Run(monitor.RunSpec{
+				Profile:    profileFor(kind),
+				Seed:       cfg.Seed + uint64(trial)*7919,
+				NewTarget:  targetFactory(script),
+				Tool:       tool,
+				Config:     monitor.Config{Events: defaultEvents(), Period: cfg.Period, ExcludeKernel: true},
+				Noise:      cfg.Noise,
+				TargetName: string(cfg.Workload),
+			})
+			if err != nil {
+				if trial == 0 {
+					row.Unsupported = err.Error()
+					break
+				}
+				return nil, err
+			}
+			row.OverheadPct = append(row.OverheadPct,
+				trace.OverheadPct(base.Seconds(), run.Elapsed.Seconds()))
+			row.Normalized = append(row.Normalized,
+				run.Elapsed.Seconds()/base.Seconds())
+			n := len(run.Result.Samples)
+			if kind == PerfRecord {
+				if rt, ok := tool.(interface{ SampleCount() int }); ok {
+					n = rt.SampleCount()
+				}
+			}
+			sampleSum += float64(n)
+		}
+		if row.Unsupported == "" {
+			row.Mean = trace.Summarize(row.OverheadPct).Mean
+			row.Box = trace.BoxPlot(row.Normalized)
+			row.Samples = sampleSum / float64(len(row.OverheadPct))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// The Nehalem baseline is the headline number.
+	nb := baselines[profileFor(KLEB).Name]
+	if len(nb) == 0 {
+		for _, runs := range baselines {
+			nb = runs
+			break
+		}
+	}
+	res.BaselineRuns = nb
+	var sum float64
+	for _, d := range nb {
+		sum += d.Seconds()
+	}
+	if len(nb) > 0 {
+		res.BaselineMean = ktime.Duration(sum / float64(len(nb)) * float64(ktime.Second))
+	}
+	return res, nil
+}
+
+// SortedByOverhead returns the supported rows ordered best-first.
+func (r *OverheadResult) SortedByOverhead() []ToolOverhead {
+	rows := make([]ToolOverhead, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		if row.Unsupported == "" {
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Mean < rows[j].Mean })
+	return rows
+}
+
+// Row looks up one tool's row.
+func (r *OverheadResult) Row(kind ToolKind) (ToolOverhead, bool) {
+	for _, row := range r.Rows {
+		if row.Tool == kind {
+			return row, true
+		}
+	}
+	return ToolOverhead{}, false
+}
+
+// Render writes the study as a table in the paper's format.
+func (r *OverheadResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Overhead study — workload %s, period %v, %d trials, baseline %v\n",
+		r.Workload, r.Period, r.Trials, r.BaselineMean)
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %9s\n", "tool", "mean%", "median%", "norm-Q1", "norm-Q3", "samples")
+	for _, row := range r.Rows {
+		if row.Unsupported != "" {
+			fmt.Fprintf(w, "%-12s %10s  (%s)\n", row.Tool, "n/a", row.Unsupported)
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %10.2f %10.2f %10.4f %10.4f %9.0f\n",
+			row.Tool, row.Mean, trace.Median(row.OverheadPct), row.Box.Q1, row.Box.Q3, row.Samples)
+	}
+}
+
+// RenderBoxes writes Fig 8's box-and-whisker description per tool.
+func (r *OverheadResult) RenderBoxes(w io.Writer) {
+	fmt.Fprintf(w, "Fig 8 — normalized execution time distribution (%d trials)\n", r.Trials)
+	fmt.Fprintf(w, "%-12s %9s %9s %9s %9s %9s %9s\n", "tool", "whisk-lo", "Q1", "median", "Q3", "whisk-hi", "spread")
+	for _, row := range r.Rows {
+		if row.Unsupported != "" {
+			continue
+		}
+		b := row.Box
+		fmt.Fprintf(w, "%-12s %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f\n",
+			row.Tool, b.WhiskerLow, b.Q1, b.Median, b.Q3, b.WhiskerHigh, b.Spread())
+	}
+}

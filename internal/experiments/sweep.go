@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+	"kleb/internal/trace"
+	"kleb/internal/workload"
+)
+
+// SweepConfig parameterizes the sampling-rate ablation (§V/§VI: overhead
+// grows with rate; the recommended floor is 100µs).
+type SweepConfig struct {
+	// Periods to sweep (defaults: 100µs → 100ms).
+	Periods []ktime.Duration
+	// Trials per point.
+	Trials int
+	// Seed bases the trial seeds.
+	Seed uint64
+}
+
+func (c *SweepConfig) defaults() {
+	if len(c.Periods) == 0 {
+		c.Periods = []ktime.Duration{
+			100 * ktime.Microsecond,
+			250 * ktime.Microsecond,
+			ktime.Millisecond,
+			10 * ktime.Millisecond,
+			100 * ktime.Millisecond,
+		}
+	}
+	if c.Trials == 0 {
+		c.Trials = 5
+	}
+}
+
+// SweepRow is one (tool, period) measurement.
+type SweepRow struct {
+	Tool            ToolKind
+	RequestedPeriod ktime.Duration
+	// EffectivePeriod differs for perf stat below the jiffy.
+	EffectivePeriod ktime.Duration
+	OverheadPct     float64
+	Samples         float64
+}
+
+// SweepResult is the rate-sweep dataset.
+type SweepResult struct {
+	Rows []SweepRow
+}
+
+// RunSweep measures K-LEB and perf stat overhead across sampling periods
+// on a mid-length workload. K-LEB's overhead rises smoothly as the period
+// shrinks (interrupt cost amortization); perf stat silently clamps to the
+// 10ms jiffy, so its sample count stops growing.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	cfg.defaults()
+	script := workload.Synthetic{
+		Name:       "sweep-target",
+		TotalInstr: 1_000_000_000, // ~200ms
+		Footprint:  256 << 10,
+	}.Script()
+	res := &SweepResult{}
+	for _, kind := range []ToolKind{KLEB, PerfStat} {
+		for _, period := range cfg.Periods {
+			var overheads []float64
+			var samples float64
+			var effective ktime.Duration
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := cfg.Seed + uint64(trial)*613
+				base, err := monitor.Run(monitor.RunSpec{
+					Profile:   ProfileFor(kind),
+					Seed:      seed,
+					NewTarget: targetFactory(script),
+				})
+				if err != nil {
+					return nil, err
+				}
+				tool, err := NewTool(kind, 0)
+				if err != nil {
+					return nil, err
+				}
+				run, err := monitor.Run(monitor.RunSpec{
+					Profile:   ProfileFor(kind),
+					Seed:      seed,
+					NewTarget: targetFactory(script),
+					Tool:      tool,
+					Config:    monitor.Config{Events: defaultEvents(), Period: period, ExcludeKernel: true},
+				})
+				if err != nil {
+					return nil, err
+				}
+				overheads = append(overheads,
+					trace.OverheadPct(base.Elapsed.Seconds(), run.Elapsed.Seconds()))
+				samples += float64(len(run.Result.Samples))
+				effective = period
+				if ps, ok := tool.(interface{ EffectivePeriod() ktime.Duration }); ok {
+					effective = ps.EffectivePeriod()
+				}
+			}
+			res.Rows = append(res.Rows, SweepRow{
+				Tool:            kind,
+				RequestedPeriod: period,
+				EffectivePeriod: effective,
+				OverheadPct:     trace.Summarize(overheads).Mean,
+				Samples:         samples / float64(cfg.Trials),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the sweep table.
+func (r *SweepResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Rate sweep — overhead vs sampling period (K-LEB vs perf stat)")
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %10s\n", "tool", "requested", "effective", "overhead%", "samples")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %12v %12v %12.2f %10.0f\n",
+			row.Tool, row.RequestedPeriod, row.EffectivePeriod, row.OverheadPct, row.Samples)
+	}
+}

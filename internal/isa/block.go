@@ -1,0 +1,89 @@
+package isa
+
+// MemPattern describes the memory access behaviour of an instruction block.
+// The cache model synthesizes an address stream from it: a mixture of a
+// strided sequential walk and uniformly random accesses, both confined to a
+// footprint placed at Base. Distinct Base values keep the working sets of
+// different processes (and of phases within one process) from aliasing.
+type MemPattern struct {
+	// Base is the starting virtual address of the region.
+	Base uint64
+	// Footprint is the size of the touched region in bytes. A footprint
+	// larger than the LLC produces memory-intensive behaviour; one that
+	// fits in L1 produces compute-bound behaviour.
+	Footprint uint64
+	// Stride is the byte distance between consecutive sequential accesses.
+	// Zero means the line size (unit-stride streaming).
+	Stride uint64
+	// RandomFrac is the fraction of accesses ([0,1]) drawn uniformly at
+	// random from the footprint instead of following the stride walk.
+	RandomFrac float64
+}
+
+// Block is the unit of work a workload hands to the CPU model: a batch of
+// instructions with a given class mix and memory behaviour. Blocks are kept
+// small (tens of microseconds of execution) so periodic sampling observes
+// phase changes; the engine can additionally split a block proportionally
+// when a timer fires mid-block.
+type Block struct {
+	// Instr is the total number of instructions retired by the block.
+	Instr uint64
+	// Loads and Stores are retired memory operations; they drive the cache
+	// hierarchy simulation. Loads+Stores must not exceed Instr.
+	Loads, Stores uint64
+	// Branches is the number of retired branch instructions, of which
+	// BranchMispredictRate (0..1) mispredict.
+	Branches             uint64
+	BranchMispredictRate float64
+	// MulOps counts arithmetic multiplications (ARITH.MUL); FPOps counts
+	// floating point operations (for GFLOPS computations).
+	MulOps, FPOps uint64
+	// Flushes is the number of explicit CLFLUSH operations the block issues
+	// against its footprint (used by the Meltdown Flush+Reload model).
+	Flushes uint64
+	// Mem is the access pattern for loads, stores and flushes.
+	Mem MemPattern
+	// Priv is the privilege level the block runs at. Workloads emit Kernel
+	// blocks for in-kernel phases (e.g. LINPACK's configuration parsing).
+	Priv Priv
+}
+
+// MemOps returns the number of data memory operations in the block.
+func (b Block) MemOps() uint64 { return b.Loads + b.Stores }
+
+// Split divides the block into a first part containing frac ≈ num/den of
+// the work and the remainder. Counts are scaled proportionally; the memory
+// pattern is preserved. Split(0) returns an empty head.
+func (b Block) Split(num, den uint64) (head, tail Block) {
+	if den == 0 || num >= den {
+		return b, Block{}
+	}
+	head = b
+	head.Instr = scale(b.Instr, num, den)
+	head.Loads = scale(b.Loads, num, den)
+	head.Stores = scale(b.Stores, num, den)
+	head.Branches = scale(b.Branches, num, den)
+	head.MulOps = scale(b.MulOps, num, den)
+	head.FPOps = scale(b.FPOps, num, den)
+	head.Flushes = scale(b.Flushes, num, den)
+	tail = b
+	tail.Instr -= head.Instr
+	tail.Loads -= head.Loads
+	tail.Stores -= head.Stores
+	tail.Branches -= head.Branches
+	tail.MulOps -= head.MulOps
+	tail.FPOps -= head.FPOps
+	tail.Flushes -= head.Flushes
+	return head, tail
+}
+
+func scale(v, num, den uint64) uint64 {
+	hi := v / den
+	lo := v % den
+	return hi*num + (lo*num+den/2)/den
+}
+
+// Empty reports whether the block contains no work at all.
+func (b Block) Empty() bool {
+	return b.Instr == 0 && b.MemOps() == 0 && b.Flushes == 0
+}

@@ -1,0 +1,139 @@
+// Package isa defines the instruction-level vocabulary shared by the CPU
+// model, the PMU and the workloads: hardware event classes, privilege
+// levels, and the instruction blocks in which workloads describe their work.
+package isa
+
+import "fmt"
+
+// Priv is the privilege level at which a stretch of work executes. The PMU
+// filters event counting by privilege exactly as the USR/OS bits of
+// IA32_PERFEVTSELx do on real hardware.
+type Priv uint8
+
+const (
+	// User is ring-3 application code.
+	User Priv = iota
+	// Kernel is ring-0 code: syscall handlers, interrupt handlers, the
+	// scheduler, and module code such as K-LEB itself.
+	Kernel
+)
+
+func (p Priv) String() string {
+	if p == Kernel {
+		return "kernel"
+	}
+	return "user"
+}
+
+// Event identifies a hardware event class produced by the CPU model. These
+// are the ground-truth event streams; the PMU maps architectural event
+// encodings onto them per machine profile.
+type Event uint8
+
+const (
+	// EvInstructions counts all retired instructions.
+	EvInstructions Event = iota
+	// EvCycles counts unhalted core clock cycles.
+	EvCycles
+	// EvRefCycles counts unhalted cycles at the reference (TSC) rate.
+	EvRefCycles
+	// EvLoads counts retired load instructions.
+	EvLoads
+	// EvStores counts retired store instructions.
+	EvStores
+	// EvBranches counts retired branch instructions.
+	EvBranches
+	// EvBranchMisses counts mispredicted retired branches.
+	EvBranchMisses
+	// EvLLCRefs counts last-level cache references (L2 misses reaching LLC).
+	EvLLCRefs
+	// EvLLCMisses counts last-level cache misses (references reaching DRAM).
+	EvLLCMisses
+	// EvL1DMisses counts L1 data cache misses.
+	EvL1DMisses
+	// EvL2Misses counts L2 cache misses.
+	EvL2Misses
+	// EvMulOps counts arithmetic multiply operations (ARITH.MUL on Nehalem).
+	EvMulOps
+	// EvFPOps counts floating-point operations executed.
+	EvFPOps
+	// EvCacheFlushes counts explicit cache line flushes (CLFLUSH).
+	EvCacheFlushes
+	// EvDTLBMisses counts data TLB misses (page walks).
+	EvDTLBMisses
+	// NumEvents is the number of event classes.
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	"INST_RETIRED",
+	"CPU_CLK_UNHALTED.CORE",
+	"CPU_CLK_UNHALTED.REF",
+	"MEM_INST_RETIRED.LOADS",
+	"MEM_INST_RETIRED.STORES",
+	"BR_INST_RETIRED.ALL",
+	"BR_MISP_RETIRED.ALL",
+	"LLC_REFERENCES",
+	"LLC_MISSES",
+	"L1D.REPLACEMENT",
+	"L2_RQSTS.MISS",
+	"ARITH.MUL",
+	"FP_COMP_OPS_EXE",
+	"CLFLUSH.RETIRED",
+	"DTLB_LOAD_MISSES.WALK_COMPLETED",
+}
+
+// String returns the canonical mnemonic for the event.
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("Event(%d)", uint8(e))
+}
+
+// EventByName resolves a mnemonic back to an event class.
+func EventByName(name string) (Event, bool) {
+	for i, n := range eventNames {
+		if n == name {
+			return Event(i), true
+		}
+	}
+	return 0, false
+}
+
+// Counts is a dense vector of per-event occurrence counts.
+type Counts [NumEvents]uint64
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// Sub returns c - o with per-element underflow clamped to zero. Counter
+// reads in the tools use it to form per-interval deltas.
+func (c Counts) Sub(o Counts) Counts {
+	var out Counts
+	for i := range c {
+		if c[i] >= o[i] {
+			out[i] = c[i] - o[i]
+		}
+	}
+	return out
+}
+
+// Scale returns c scaled by num/den (rounding to nearest), used when an
+// instruction block is split at a timer boundary.
+func (c Counts) Scale(num, den uint64) Counts {
+	var out Counts
+	if den == 0 {
+		return out
+	}
+	for i, v := range c {
+		hi := v / den
+		lo := v % den
+		out[i] = hi*num + (lo*num+den/2)/den
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package kernel
+
+import "kleb/internal/ktime"
+
+// CostModel collects every price the simulated kernel charges for
+// monitoring-relevant actions. The *mechanisms* (who pays which cost, how
+// often) are faithful to the tools being modelled; the magnitudes are
+// calibrated so the overhead tables land near the paper's (see DESIGN.md
+// §1, "Calibration honesty"). All values are virtual time.
+type CostModel struct {
+	// SyscallEntry/SyscallExit are the user↔kernel transition costs paid by
+	// every system call. PAPI pays these four-plus times per sample; LiMiT
+	// exists to avoid them.
+	SyscallEntry ktime.Duration
+	SyscallExit  ktime.Duration
+
+	// ContextSwitch is the direct cost of switching between two processes
+	// (saving/restoring architectural state, scheduler bookkeeping).
+	ContextSwitch ktime.Duration
+
+	// InterruptEntry/InterruptExit bracket every hardware interrupt: timer
+	// expirations, PMIs and wakeup ticks.
+	InterruptEntry ktime.Duration
+	InterruptExit  ktime.Duration
+
+	// InterruptLatency is the mean delay between a timer's nominal expiry
+	// and its handler running; TimerJitterRel is the relative standard
+	// deviation of that delay. Together they bound how precise HRTimer
+	// sampling can be (the paper's "do not go below 100µs" guidance).
+	InterruptLatency ktime.Duration
+	TimerJitterRel   float64
+
+	// TimerProgram is the cost of arming or re-arming a hardware timer.
+	TimerProgram ktime.Duration
+
+	// KprobeOverhead is charged per kprobe invocation on the context-switch
+	// path (K-LEB attaches its gating logic this way).
+	KprobeOverhead ktime.Duration
+
+	// MSRAccess is one RDMSR/WRMSR; RDPMC is the user-mode counter read
+	// LiMiT relies on.
+	MSRAccess ktime.Duration
+	RDPMC     ktime.Duration
+
+	// PerfCtxSwitch is the per-event save/restore the perf_events context
+	// adds to every context switch of a monitored process.
+	PerfCtxSwitch ktime.Duration
+
+	// PerfOpen is the kernel-side cost of perf_event_open; PerfRead is the
+	// kernel-side cost of one counting-mode counter read (IRQ-safe context
+	// acquisition, inter-context synchronization, copy-out) — the
+	// "expensive system calls" the paper charges PAPI and perf stat with.
+	PerfOpen ktime.Duration
+	PerfRead ktime.Duration
+
+	// PMICapture is what perf record's overflow handler spends capturing a
+	// sample (registers, callchain, timestamp, mmap-buffer write).
+	PMICapture ktime.Duration
+
+	// IoctlBase is the fixed handler cost of an ioctl; CopyPerSample is the
+	// kernel→user copy cost per monitoring sample drained.
+	IoctlBase     ktime.Duration
+	CopyPerSample ktime.Duration
+
+	// Timeslice is the scheduler's round-robin quantum; Jiffy is the legacy
+	// timer granularity (HZ=100 → 10ms), which is what limits user-space
+	// timers — and therefore perf's sampling interval — to 10ms.
+	Timeslice ktime.Duration
+	Jiffy     ktime.Duration
+
+	// PolluteL1/L2/LLC are the cache fractions lost when the core switches
+	// to a different process. IntPolluteL1 is the smaller L1 pollution an
+	// interrupt handler inflicts.
+	PolluteL1, PolluteL2, PolluteLLC float64
+	IntPolluteL1                     float64
+
+	// NoiseRel is the relative jitter applied to every charged cost.
+	NoiseRel float64
+	// RunNoiseRel is the relative standard deviation of a per-boot global
+	// cost multiplier (frequency scaling, thermal state, background load).
+	// It correlates all of a run's kernel-side costs, so tools that impose
+	// more overhead spread more across runs — the Fig 8 effect.
+	RunNoiseRel float64
+}
+
+// DefaultCosts returns the calibrated cost model (see DESIGN.md).
+func DefaultCosts() CostModel {
+	return CostModel{
+		SyscallEntry:     300 * ktime.Nanosecond,
+		SyscallExit:      250 * ktime.Nanosecond,
+		ContextSwitch:    1500 * ktime.Nanosecond,
+		InterruptEntry:   900 * ktime.Nanosecond,
+		InterruptExit:    500 * ktime.Nanosecond,
+		InterruptLatency: 1200 * ktime.Nanosecond,
+		TimerJitterRel:   0.25,
+		TimerProgram:     200 * ktime.Nanosecond,
+		KprobeOverhead:   250 * ktime.Nanosecond,
+		MSRAccess:        120 * ktime.Nanosecond,
+		RDPMC:            40 * ktime.Nanosecond,
+		PerfCtxSwitch:    600 * ktime.Nanosecond,
+		PerfOpen:         90 * ktime.Microsecond,
+		PerfRead:         45 * ktime.Microsecond,
+		PMICapture:       25 * ktime.Microsecond,
+		IoctlBase:        800 * ktime.Nanosecond,
+		CopyPerSample:    180 * ktime.Nanosecond,
+		Timeslice:        4 * ktime.Millisecond,
+		Jiffy:            10 * ktime.Millisecond,
+		// Pollution fractions are small because the sampled cache model
+		// spreads refill cost across the sampling scale factor; these
+		// values land the per-switch refill near the ~50µs a real switch
+		// costs a cache-resident working set.
+		PolluteL1:    0.06,
+		PolluteL2:    0.012,
+		PolluteLLC:   0.0015,
+		IntPolluteL1: 0.008,
+		NoiseRel:     0.12,
+		RunNoiseRel:  0.06,
+	}
+}

@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"kleb/internal/ktime"
+)
+
+// FS is the kernel's minimal filesystem: named append-only files backed by
+// page-cache-like buffers. It exists because the paper's design point is
+// that "hardware event counts are logged to the file system by the
+// controller process in user space" — the controller's log is a real
+// artifact of a run, not an abstraction, and tests can read it back.
+//
+// Costs: writes pay a fixed VFS entry price plus a per-byte copy price,
+// charged to the calling process's kernel time. Reads are free (post-run
+// inspection, not simulated activity).
+type FS struct {
+	k     *Kernel
+	files map[string][]byte
+}
+
+// Write costs for the VFS path.
+const (
+	fsWriteBase    = 3 * ktime.Microsecond
+	fsWritePerByte = 700 * ktime.Nanosecond / 512 // ~0.7µs per 512B block
+)
+
+func newFS(k *Kernel) *FS {
+	return &FS{k: k, files: make(map[string][]byte)}
+}
+
+// FS returns the kernel's filesystem.
+func (k *Kernel) FS() *FS { return k.fs }
+
+// Append writes data to the end of the named file (creating it), charging
+// the VFS cost. It must be called from syscall context.
+func (f *FS) Append(name string, data []byte) {
+	f.k.ChargeKernel(fsWriteBase + ktime.Duration(len(data))*fsWritePerByte)
+	f.files[name] = append(f.files[name], data...)
+}
+
+// ReadFile returns a file's contents (nil if absent). Free: post-run
+// inspection.
+func (f *FS) ReadFile(name string) ([]byte, bool) {
+	b, ok := f.files[name]
+	return b, ok
+}
+
+// Size returns a file's length in bytes.
+func (f *FS) Size(name string) int { return len(f.files[name]) }
+
+// Names lists all files, sorted.
+func (f *FS) Names() []string {
+	out := make([]string, 0, len(f.files))
+	for name := range f.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a file.
+func (f *FS) Remove(name string) error {
+	if _, ok := f.files[name]; !ok {
+		return fmt.Errorf("fs: no such file %q", name)
+	}
+	delete(f.files, name)
+	return nil
+}

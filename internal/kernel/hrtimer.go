@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"container/heap"
+
+	"kleb/internal/ktime"
+)
+
+// HRTimerFn is a high-resolution timer callback. It runs in interrupt
+// context at (nominal expiry + interrupt latency jitter). Returning true
+// re-arms the timer one period later (HRTIMER_RESTART); returning false
+// lets it die (HRTIMER_NORESTART).
+type HRTimerFn func(k *Kernel, t *HRTimer) bool
+
+// HRTimer is an in-kernel high-resolution timer, the facility that lets
+// K-LEB sample at 100µs when user-space timers bottom out at 10ms.
+type HRTimer struct {
+	id      uint64
+	fn      HRTimerFn
+	period  ktime.Duration
+	nominal ktime.Time // drift-free expiry grid position
+	expires ktime.Time // nominal + sampled latency jitter
+	active  bool
+	index   int // heap position, -1 when not queued
+}
+
+// Period returns the timer's period (0 for one-shot).
+func (t *HRTimer) Period() ktime.Duration { return t.period }
+
+// Expires returns the effective (jittered) expiry instant.
+func (t *HRTimer) Expires() ktime.Time { return t.expires }
+
+// Active reports whether the timer is armed.
+func (t *HRTimer) Active() bool { return t.active }
+
+type timerHeap []*HRTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].expires != h[j].expires {
+		return h[i].expires < h[j].expires
+	}
+	return h[i].id < h[j].id
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*HRTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// StartHRTimer arms a timer firing first at now+delay, then every period if
+// period > 0. The arming itself costs TimerProgram. The effective expiry
+// includes interrupt-latency jitter, which is resampled on every re-arm —
+// this is the jitter the paper warns about for sub-100µs sampling.
+func (k *Kernel) StartHRTimer(delay, period ktime.Duration, fn HRTimerFn) *HRTimer {
+	k.ChargeKernel(k.costs.TimerProgram)
+	k.timerID++
+	t := &HRTimer{
+		id:      k.timerID,
+		fn:      fn,
+		period:  period,
+		nominal: k.clock.Now().Add(delay),
+		index:   -1,
+		active:  true,
+	}
+	t.expires = t.nominal.Add(k.timerJitter())
+	heap.Push(&k.timers, t)
+	return t
+}
+
+// CancelHRTimer disarms a timer. Safe to call on an already-expired one.
+func (k *Kernel) CancelHRTimer(t *HRTimer) {
+	if t == nil || !t.active {
+		return
+	}
+	t.active = false
+	if t.index >= 0 {
+		heap.Remove(&k.timers, t.index)
+	}
+	k.ChargeKernel(k.costs.TimerProgram)
+}
+
+// timerJitter samples one interrupt-latency delay.
+func (k *Kernel) timerJitter() ktime.Duration {
+	return k.rng.Jitter(k.costs.InterruptLatency, k.costs.TimerJitterRel)
+}
+
+// nextTimerExpiry returns the earliest armed timer expiry, or ok=false.
+func (k *Kernel) nextTimerExpiry() (ktime.Time, bool) {
+	if len(k.timers) == 0 {
+		return 0, false
+	}
+	return k.timers[0].expires, true
+}
+
+// fireTimersDue runs every timer whose effective expiry is ≤ now. Each
+// firing is a hardware interrupt: entry/exit costs are charged, the handler
+// runs in kernel context, and a periodic timer is re-armed on its nominal
+// grid so sampling does not drift.
+func (k *Kernel) fireTimersDue() {
+	now := k.clock.Now()
+	for len(k.timers) > 0 && k.timers[0].expires <= now {
+		t := heap.Pop(&k.timers).(*HRTimer)
+		if !t.active {
+			continue
+		}
+		k.ChargeKernel(k.costs.InterruptEntry)
+		k.core.Caches().L1D().EvictFraction(k.costs.IntPolluteL1)
+		restart := t.fn(k, t)
+		k.ChargeKernel(k.costs.InterruptExit)
+		if restart && t.period > 0 {
+			t.nominal = t.nominal.Add(t.period)
+			// A handler that overran its own period fires next period from
+			// now instead of trying to catch up a backlog.
+			if !t.nominal.After(k.clock.Now()) {
+				t.nominal = k.clock.Now().Add(t.period)
+			}
+			t.expires = t.nominal.Add(k.timerJitter())
+			k.ChargeKernel(k.costs.TimerProgram)
+			heap.Push(&k.timers, t)
+		} else {
+			t.active = false
+		}
+	}
+}

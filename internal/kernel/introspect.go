@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file provides the kernel's observability surface: a /proc-style
+// textual dump of scheduler and module state, and an strace-style syscall
+// trace. Both exist for debugging simulations and for the CLI's inspection
+// flags; neither perturbs virtual time.
+
+// DumpProc writes a ps-like table of every process.
+func (k *Kernel) DumpProc(w io.Writer) {
+	fmt.Fprintf(w, "%5s %5s %-18s %-9s %12s %12s %8s\n",
+		"PID", "PPID", "NAME", "STATE", "USER", "KERNEL", "SWITCHES")
+	for _, p := range k.Processes() {
+		fmt.Fprintf(w, "%5d %5d %-18s %-9s %12v %12v %8d\n",
+			p.PID(), p.PPID(), p.Name(), p.State(), p.UserTime(), p.KernelTime(), p.Switches())
+	}
+}
+
+// DumpState writes a one-stop snapshot: clock, run queue, timers, modules,
+// devices and probe counts.
+func (k *Kernel) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "clock   %v (idle %v)\n", k.Now(), k.IdleTime())
+	cur := "idle"
+	if k.current != nil {
+		cur = fmt.Sprintf("%s (pid %d)", k.current.Name(), k.current.PID())
+	}
+	fmt.Fprintf(w, "running %s\n", cur)
+	var rq []string
+	for _, p := range k.runq {
+		rq = append(rq, p.Name())
+	}
+	fmt.Fprintf(w, "runq    [%s]\n", strings.Join(rq, " "))
+	fmt.Fprintf(w, "timers  %d armed\n", len(k.timers))
+	names := make([]string, 0, len(k.modules))
+	for name := range k.modules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "modules [%s]\n", strings.Join(names, " "))
+	devs := make([]string, 0, len(k.devices))
+	for name := range k.devices {
+		devs = append(devs, name)
+	}
+	sort.Strings(devs)
+	fmt.Fprintf(w, "devices [%s]\n", strings.Join(devs, " "))
+	fmt.Fprintf(w, "probes  switch=%d fork=%d exit=%d\n",
+		len(k.switchProbes), len(k.forkProbes), len(k.exitProbes))
+	fmt.Fprintln(w, "processes:")
+	k.DumpProc(w)
+}
+
+// TraceSyscalls mirrors every syscall (name, calling process, entry time)
+// to w until the returned stop function runs — strace for the simulation.
+func (k *Kernel) TraceSyscalls(w io.Writer) (stop func()) {
+	k.straceSinks = append(k.straceSinks, w)
+	return func() {
+		for i, sink := range k.straceSinks {
+			if sink == w {
+				k.straceSinks = append(k.straceSinks[:i], k.straceSinks[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+func (k *Kernel) traceSyscall(p *Process, name string) {
+	for _, w := range k.straceSinks {
+		fmt.Fprintf(w, "%12v %s(%d) %s\n", k.Now(), p.Name(), p.PID(), name)
+	}
+}

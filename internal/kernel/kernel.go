@@ -1,0 +1,588 @@
+// Package kernel implements the simulated operating system kernel the
+// reproduction runs on: processes and a round-robin scheduler with
+// context-switch costs and cache pollution, jiffy-granularity user timers,
+// nanosecond-granularity in-kernel high-resolution timers, kprobes on the
+// context-switch/fork/exit paths, a loadable-module and ioctl facility, a
+// perf_events-like counter subsystem, and a syscall layer with an explicit
+// cost model.
+//
+// The kernel is a discrete-event engine over the shared virtual clock: the
+// current process executes priced instruction blocks until the next event
+// (timer expiry, wakeup, end of timeslice), interrupts charge their costs
+// and run handlers, and everything that executes feeds the PMU — which is
+// how monitoring overhead becomes measurable rather than asserted.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"kleb/internal/cpu"
+	"kleb/internal/isa"
+	"kleb/internal/ktime"
+)
+
+// Options selects kernel build-time features.
+type Options struct {
+	// LiMiTPatch marks the kernel as carrying the LiMiT patch: user-space
+	// RDPMC is allowed and counters are virtualized per process on the
+	// context-switch path. The stock kernels in the paper's Table III do
+	// not have it, which is why LiMiT has no MKL entry there.
+	LiMiTPatch bool
+}
+
+type pmiEvent struct {
+	counter int
+	fixed   bool
+}
+
+// Kernel is one simulated OS instance bound to one core.
+type Kernel struct {
+	clock *ktime.Clock
+	rng   *ktime.Rand
+	core  *cpu.Core
+	costs CostModel
+	opts  Options
+
+	procs   map[PID]*Process
+	nextPID PID
+	live    int
+
+	runq     []*Process
+	current  *Process
+	sliceEnd ktime.Time
+
+	timers  timerHeap
+	timerID uint64
+
+	switchProbes []switchProbe
+	forkProbes   []forkProbe
+	exitProbes   []exitProbe
+	probeID      ProbeID
+
+	modules map[string]Module
+	devices map[string]IoctlFn
+
+	perf *PerfSubsystem
+	fs   *FS
+
+	pmis       []pmiEvent
+	pmiDeliver func(counter int, fixed bool)
+
+	// runScale is this boot's correlated cost multiplier (see
+	// CostModel.RunNoiseRel).
+	runScale float64
+
+	// straceSinks receive syscall trace lines (see TraceSyscalls).
+	straceSinks []io.Writer
+
+	idleTime ktime.Duration
+}
+
+// ErrDeadlock is returned by Run when live processes remain but nothing can
+// ever run again (no runnable process, no sleeper, no timer).
+var ErrDeadlock = errors.New("kernel: deadlock: live processes but no pending events")
+
+// New boots a kernel on core with the given cost model. rng seeds all
+// scheduling/timing noise.
+func New(core *cpu.Core, costs CostModel, rng *ktime.Rand, opts Options) *Kernel {
+	k := &Kernel{
+		clock:   ktime.NewClock(),
+		rng:     rng,
+		core:    core,
+		costs:   costs,
+		opts:    opts,
+		procs:   make(map[PID]*Process),
+		modules: make(map[string]Module),
+		devices: make(map[string]IoctlFn),
+	}
+	k.perf = newPerfSubsystem(k)
+	k.fs = newFS(k)
+	core.PMU().SetPMIHandler(func(counter int, fixed bool) {
+		k.pmis = append(k.pmis, pmiEvent{counter, fixed})
+	})
+	k.runScale = 1
+	if costs.RunNoiseRel > 0 {
+		k.runScale = 1 + costs.RunNoiseRel*k.rng.Norm()
+		if k.runScale < 0.7 {
+			k.runScale = 0.7
+		}
+		if k.runScale > 1.3 {
+			k.runScale = 1.3
+		}
+	}
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() ktime.Time { return k.clock.Now() }
+
+// Core returns the CPU core this kernel runs on.
+func (k *Kernel) Core() *cpu.Core { return k.core }
+
+// Costs returns the kernel's cost model.
+func (k *Kernel) Costs() CostModel { return k.costs }
+
+// Rand returns the kernel's noise source.
+func (k *Kernel) Rand() *ktime.Rand { return k.rng }
+
+// LiMiTPatched reports whether the LiMiT kernel patch is present.
+func (k *Kernel) LiMiTPatched() bool { return k.opts.LiMiTPatch }
+
+// Perf returns the perf_events-like subsystem.
+func (k *Kernel) Perf() *PerfSubsystem { return k.perf }
+
+// IdleTime returns accumulated idle time.
+func (k *Kernel) IdleTime() ktime.Duration { return k.idleTime }
+
+// SetPMIDeliver installs the PMI second-stage handler (the perf subsystem
+// wires itself here; K-LEB does not use PMIs).
+func (k *Kernel) SetPMIDeliver(fn func(counter int, fixed bool)) { k.pmiDeliver = fn }
+
+// Spawn creates a top-level process. It is ready to run immediately.
+func (k *Kernel) Spawn(name string, prog Program) *Process {
+	return k.spawn(name, prog, 0)
+}
+
+// SpawnDaemon creates a background process that does not keep Run alive:
+// the simulation ends when every non-daemon process has exited.
+func (k *Kernel) SpawnDaemon(name string, prog Program) *Process {
+	p := k.spawn(name, prog, 0)
+	p.daemon = true
+	k.live--
+	return p
+}
+
+// SpawnStopped creates a process that will not run until Resume is called.
+// The monitoring harness uses it to arm a tool before its target executes
+// its first instruction (the `tool ./program` launch pattern).
+func (k *Kernel) SpawnStopped(name string, prog Program) *Process {
+	p := k.spawn(name, prog, 0)
+	p.state = StateStopped
+	k.runq = k.runq[:len(k.runq)-1]
+	return p
+}
+
+// Resume makes a stopped process runnable.
+func (k *Kernel) Resume(p *Process) {
+	if p.state != StateStopped {
+		return
+	}
+	p.state = StateReady
+	p.startTime = k.clock.Now()
+	k.runq = append(k.runq, p)
+}
+
+func (k *Kernel) spawn(name string, prog Program, ppid PID) *Process {
+	k.nextPID++
+	p := &Process{
+		pid:       k.nextPID,
+		ppid:      ppid,
+		name:      name,
+		state:     StateReady,
+		prog:      prog,
+		startTime: k.clock.Now(),
+	}
+	k.procs[p.pid] = p
+	k.live++
+	k.runq = append(k.runq, p)
+	return p
+}
+
+// Process looks up a process by PID.
+func (k *Kernel) Process(pid PID) (*Process, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Processes returns all processes ever spawned, in PID order.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for pid := PID(1); pid <= k.nextPID; pid++ {
+		if p, ok := k.procs[pid]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ChargeKernel charges d (with cost noise) of kernel-privilege work at the
+// current instant: the clock advances and synthetic kernel instruction
+// activity feeds the PMU, attributed to the current process's kernel time.
+func (k *Kernel) ChargeKernel(d ktime.Duration) {
+	if d == 0 {
+		return
+	}
+	if k.runScale != 1 {
+		d = ktime.Duration(float64(d) * k.runScale)
+	}
+	if k.costs.NoiseRel > 0 {
+		d = k.rng.Jitter(d, k.costs.NoiseRel)
+	}
+	k.clock.Advance(d)
+	if k.current != nil {
+		k.current.kernTime += d
+	}
+	k.core.PMU().AddCounts(kernelCounts(k.core.Config().Freq, d), isa.Kernel)
+}
+
+// kernelCounts synthesizes the event activity of d worth of kernel-mode
+// housekeeping: IPC ~0.5, a sprinkle of branches. Cache events are not
+// synthesized — pollution is modelled directly on the hierarchy.
+func kernelCounts(f ktime.Freq, d ktime.Duration) isa.Counts {
+	var c isa.Counts
+	cyc := f.Cycles(d)
+	c[isa.EvCycles] = cyc
+	c[isa.EvRefCycles] = cyc
+	c[isa.EvInstructions] = cyc / 2
+	c[isa.EvBranches] = cyc / 16
+	c[isa.EvLoads] = cyc / 8
+	c[isa.EvStores] = cyc / 16
+	return c
+}
+
+// Run drives the simulation until every process has exited, limit virtual
+// time has elapsed (limit 0 = no limit), or a deadlock is detected.
+func (k *Kernel) Run(limit ktime.Duration) error {
+	var deadline ktime.Time
+	if limit > 0 {
+		deadline = k.clock.Now().Add(limit)
+	}
+	return k.runUntil(deadline)
+}
+
+// RunUntil drives the simulation up to the absolute instant t (or until all
+// processes exit). It is the stepping primitive for co-simulating several
+// cores against shared hardware: an outer loop advances each core's kernel
+// in small lockstep windows so their shared-cache accesses interleave.
+func (k *Kernel) RunUntil(t ktime.Time) error {
+	if t <= k.clock.Now() {
+		return nil
+	}
+	return k.runUntil(t)
+}
+
+// Idle reports whether every non-daemon process has exited.
+func (k *Kernel) Idle() bool { return k.live == 0 }
+
+func (k *Kernel) runUntil(deadline ktime.Time) error {
+	for {
+		k.drainPMIs()
+		if k.live == 0 {
+			return nil
+		}
+		if deadline > 0 && !k.clock.Now().Before(deadline) {
+			return nil
+		}
+		now := k.clock.Now()
+		next, hasNext := k.nextEvent()
+
+		// Fire anything already due.
+		if hasNext && next <= now {
+			k.fireDue()
+			continue
+		}
+
+		if k.current == nil {
+			if len(k.runq) > 0 {
+				k.schedule()
+				continue
+			}
+			if !hasNext {
+				return fmt.Errorf("%w (%d live)", ErrDeadlock, k.live)
+			}
+			if deadline > 0 && next > deadline {
+				k.idleTime += deadline.Sub(now)
+				k.clock.AdvanceTo(deadline)
+				return nil
+			}
+			k.idleTime += next.Sub(now)
+			k.clock.AdvanceTo(next)
+			k.fireDue()
+			continue
+		}
+
+		// A process is running: find its budget until the next event.
+		horizon := k.sliceEnd
+		if hasNext && next < horizon {
+			horizon = next
+		}
+		if deadline > 0 && deadline < horizon {
+			horizon = deadline
+		}
+		if horizon <= now {
+			// Timeslice expired.
+			k.tickSlice()
+			continue
+		}
+		k.runCurrent(horizon.Sub(now))
+	}
+}
+
+// nextEvent returns the earliest pending kernel event: a timer expiry or a
+// sleeper wakeup.
+func (k *Kernel) nextEvent() (ktime.Time, bool) {
+	t, ok := k.nextTimerExpiry()
+	for _, p := range k.procs {
+		if p.state == StateSleeping && p.waitingOn == 0 {
+			if !ok || p.wakeAt < t {
+				t, ok = p.wakeAt, true
+			}
+		}
+	}
+	return t, ok
+}
+
+// fireDue processes all events due at the current instant: timer handlers
+// and sleeper wakeups (which preempt the current process).
+func (k *Kernel) fireDue() {
+	k.fireTimersDue()
+	now := k.clock.Now()
+	var woken []*Process
+	for _, p := range k.procs {
+		if p.state == StateSleeping && p.waitingOn == 0 && p.wakeAt <= now {
+			woken = append(woken, p)
+		}
+	}
+	if len(woken) == 0 {
+		return
+	}
+	// One tick interrupt delivers all due wakeups.
+	k.ChargeKernel(k.costs.InterruptEntry)
+	for _, p := range woken {
+		p.state = StateReady
+		k.runq = append([]*Process{p}, k.runq...)
+	}
+	k.ChargeKernel(k.costs.InterruptExit)
+	// Wakeup preemption: a freshly woken (sleep-heavy) task takes the CPU,
+	// as CFS would grant it. This gives interval-based tools their cadence
+	// and charges the monitored process the context switches they cause.
+	if k.current != nil {
+		k.tickSlice()
+	}
+}
+
+// schedule switches to the first runnable process.
+func (k *Kernel) schedule() {
+	next := k.runq[0]
+	k.runq = k.runq[1:]
+	k.switchTo(next)
+}
+
+// tickSlice handles timeslice expiry: round-robin to the next waiter, or
+// extend the slice if the current process is alone.
+func (k *Kernel) tickSlice() {
+	if len(k.runq) == 0 {
+		k.sliceEnd = k.clock.Now().Add(k.costs.Timeslice)
+		return
+	}
+	prev := k.current
+	prev.state = StateReady
+	k.runq = append(k.runq, prev)
+	// k.current stays set so switchTo sees the true prev for its probes.
+	k.schedule()
+}
+
+// switchTo performs a context switch to next, charging its costs, firing
+// switch probes, and polluting the caches.
+func (k *Kernel) switchTo(next *Process) {
+	prev := k.current
+	if prev == next {
+		next.state = StateRunning
+		k.sliceEnd = k.clock.Now().Add(k.costs.Timeslice)
+		return
+	}
+	k.current = nil // costs below are switch overhead, not owned by either side
+	k.ChargeKernel(k.costs.ContextSwitch)
+	k.fireSwitchProbes(prev, next)
+	k.core.OnContextSwitch(k.costs.PolluteL1, k.costs.PolluteL2, k.costs.PolluteLLC)
+	k.current = next
+	next.state = StateRunning
+	next.switches++
+	if !next.ranOnce {
+		next.ranOnce = true
+		next.firstRun = k.clock.Now()
+	}
+	k.sliceEnd = k.clock.Now().Add(k.costs.Timeslice)
+}
+
+// runCurrent advances the current process by at most budget.
+func (k *Kernel) runCurrent(budget ktime.Duration) {
+	p := k.current
+	if len(p.pending) == 0 {
+		op := p.prog.Next(k, p)
+		if op == nil {
+			op = OpExit{}
+		}
+		switch op := op.(type) {
+		case OpExec:
+			if op.Block.Empty() {
+				return
+			}
+			p.pending = append(p.pending, pendingWork{work: k.core.Execute(op.Block)})
+		case OpSleep:
+			k.doSleep(p, op)
+			return
+		case OpSyscall:
+			k.startSyscall(p, op.Name, op.Fn)
+		case OpSpawn:
+			k.startSyscall(p, "clone", func(k *Kernel, p *Process) any {
+				child := k.spawn(op.Name, op.Prog, p.pid)
+				k.fireForkProbes(p, child)
+				return child.pid
+			})
+		case OpWait:
+			k.doWait(p, op.PID)
+			return
+		case OpExit:
+			k.doExit(p, op.Code)
+			return
+		default:
+			panic(fmt.Sprintf("kernel: unknown op %T", op))
+		}
+		if len(p.pending) == 0 {
+			return
+		}
+	}
+	w := &p.pending[0]
+	head, tail := w.work.Split(budget)
+	k.applyWork(p, head)
+	if tail.Empty() {
+		done := w.onDone
+		p.pending = p.pending[1:]
+		if done != nil {
+			done(k, p)
+		}
+	} else {
+		w.work = tail
+	}
+}
+
+// applyWork advances the clock over priced work and feeds the PMU.
+func (k *Kernel) applyWork(p *Process, w cpu.Costed) {
+	if w.Time == 0 {
+		return
+	}
+	k.clock.Advance(w.Time)
+	if w.Priv == isa.User {
+		p.userTime += w.Time
+	} else {
+		p.kernTime += w.Time
+	}
+	k.core.PMU().AddCounts(w.Counts, w.Priv)
+}
+
+// startSyscall queues the entry transition; the handler body runs when the
+// entry cost has elapsed, then the exit transition is queued.
+func (k *Kernel) startSyscall(p *Process, name string, fn SyscallFn) {
+	if len(k.straceSinks) > 0 {
+		k.traceSyscall(p, name)
+	}
+	entry := cpu.Costed{
+		Counts: kernelCounts(k.core.Config().Freq, k.costs.SyscallEntry),
+		Time:   k.rng.Jitter(k.costs.SyscallEntry, k.costs.NoiseRel),
+		Priv:   isa.Kernel,
+	}
+	p.pending = append(p.pending, pendingWork{
+		work: entry,
+		onDone: func(k *Kernel, p *Process) {
+			p.SyscallResult = fn(k, p)
+			exit := cpu.Costed{
+				Counts: kernelCounts(k.core.Config().Freq, k.costs.SyscallExit),
+				Time:   k.rng.Jitter(k.costs.SyscallExit, k.costs.NoiseRel),
+				Priv:   isa.Kernel,
+			}
+			p.pending = append(p.pending, pendingWork{work: exit})
+		},
+	})
+}
+
+// doSleep blocks p. Jiffy sleeps round the wakeup up to the next jiffy
+// boundary — the 10 ms user-timer floor; HR sleeps wake precisely (plus
+// interrupt latency jitter).
+func (k *Kernel) doSleep(p *Process, op OpSleep) {
+	if len(k.straceSinks) > 0 {
+		k.traceSyscall(p, "nanosleep")
+	}
+	k.ChargeKernel(k.costs.SyscallEntry)
+	target := k.clock.Now().Add(op.D)
+	if op.Until != 0 {
+		target = op.Until
+	}
+	if op.HR {
+		p.wakeAt = target.Add(k.timerJitter())
+	} else {
+		j := uint64(k.costs.Jiffy)
+		p.wakeAt = ktime.Time((uint64(target) + j - 1) / j * j)
+	}
+	k.ChargeKernel(k.costs.SyscallExit)
+	if p.wakeAt <= k.clock.Now() {
+		p.wakeAt = k.clock.Now() + 1
+	}
+	p.state = StateSleeping
+	k.current = nil
+}
+
+// doWait blocks p until the waited-on process exits (waitpid). If it is
+// already gone, the caller continues immediately after the syscall cost.
+func (k *Kernel) doWait(p *Process, target PID) {
+	if len(k.straceSinks) > 0 {
+		k.traceSyscall(p, "waitpid")
+	}
+	k.ChargeKernel(k.costs.SyscallEntry)
+	t, ok := k.procs[target]
+	if !ok || t.Exited() {
+		k.ChargeKernel(k.costs.SyscallExit)
+		return
+	}
+	p.waitingOn = target
+	p.state = StateSleeping
+	p.wakeAt = 0 // woken explicitly by the exit path, not by time
+	k.current = nil
+}
+
+// doExit terminates p: gating hooks see a switch to idle, exit probes fire,
+// and the scheduler moves on.
+func (k *Kernel) doExit(p *Process, code int) {
+	k.ChargeKernel(k.costs.SyscallEntry)
+	k.fireSwitchProbes(p, nil)
+	k.current = nil
+	p.state = StateExited
+	p.exitCode = code
+	p.exitTime = k.clock.Now()
+	p.pending = nil
+	if !p.daemon {
+		k.live--
+	}
+	k.fireExitProbes(p)
+	// Wake any waitpid callers.
+	for _, waiter := range k.procs {
+		if waiter.state == StateSleeping && waiter.waitingOn == p.pid {
+			waiter.waitingOn = 0
+			waiter.state = StateReady
+			k.runq = append(k.runq, waiter)
+		}
+	}
+}
+
+// drainPMIs delivers queued performance-monitoring interrupts. Handler work
+// can in principle re-overflow a counter; the loop is bounded to keep a
+// misconfigured sampling period from wedging the simulation.
+func (k *Kernel) drainPMIs() {
+	for round := 0; len(k.pmis) > 0; round++ {
+		if round > 64 {
+			k.pmis = nil
+			return
+		}
+		q := k.pmis
+		k.pmis = nil
+		for _, e := range q {
+			k.ChargeKernel(k.costs.InterruptEntry)
+			if k.pmiDeliver != nil {
+				k.pmiDeliver(e.counter, e.fixed)
+			}
+			k.ChargeKernel(k.costs.InterruptExit)
+		}
+	}
+}

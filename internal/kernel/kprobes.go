@@ -1,0 +1,123 @@
+package kernel
+
+// This file implements the kernel's dynamic instrumentation hooks. K-LEB's
+// central trick — gating counter collection on the scheduler's context
+// switch handler without patching the kernel — is expressed as kprobes on
+// the switch path plus probes on fork and exit for lineage tracking.
+
+// SwitchFn observes a context switch from prev to next. Either may be nil
+// (switch from/to idle).
+type SwitchFn func(k *Kernel, prev, next *Process)
+
+// ForkFn observes process creation.
+type ForkFn func(k *Kernel, parent, child *Process)
+
+// ExitFn observes process termination.
+type ExitFn func(k *Kernel, p *Process)
+
+// ProbeID identifies a registered probe for unregistration.
+type ProbeID int
+
+type switchProbe struct {
+	id ProbeID
+	fn SwitchFn
+	// builtin hooks (the perf_events context switch path) do not pay the
+	// kprobe trampoline cost; module-attached probes do.
+	builtin bool
+}
+
+type forkProbe struct {
+	id ProbeID
+	fn ForkFn
+}
+
+type exitProbe struct {
+	id ProbeID
+	fn ExitFn
+}
+
+// RegisterSwitchProbe attaches a kprobe to the context-switch handler.
+func (k *Kernel) RegisterSwitchProbe(fn SwitchFn) ProbeID {
+	return k.addSwitchHook(fn, false)
+}
+
+// RegisterBuiltinSwitchHook attaches a switch hook with kernel-patch
+// semantics: the code is compiled into the switch path, so no kprobe
+// trampoline cost is charged. The LiMiT patch's per-process counter
+// virtualization uses this.
+func (k *Kernel) RegisterBuiltinSwitchHook(fn SwitchFn) ProbeID {
+	return k.addSwitchHook(fn, true)
+}
+
+func (k *Kernel) addSwitchHook(fn SwitchFn, builtin bool) ProbeID {
+	k.probeID++
+	k.switchProbes = append(k.switchProbes, switchProbe{id: k.probeID, fn: fn, builtin: builtin})
+	return k.probeID
+}
+
+// UnregisterSwitchProbe removes a previously registered switch probe.
+func (k *Kernel) UnregisterSwitchProbe(id ProbeID) {
+	for i, p := range k.switchProbes {
+		if p.id == id {
+			k.switchProbes = append(k.switchProbes[:i], k.switchProbes[i+1:]...)
+			return
+		}
+	}
+}
+
+// RegisterForkProbe attaches a probe to process creation.
+func (k *Kernel) RegisterForkProbe(fn ForkFn) ProbeID {
+	k.probeID++
+	k.forkProbes = append(k.forkProbes, forkProbe{id: k.probeID, fn: fn})
+	return k.probeID
+}
+
+// UnregisterForkProbe removes a fork probe.
+func (k *Kernel) UnregisterForkProbe(id ProbeID) {
+	for i, p := range k.forkProbes {
+		if p.id == id {
+			k.forkProbes = append(k.forkProbes[:i], k.forkProbes[i+1:]...)
+			return
+		}
+	}
+}
+
+// RegisterExitProbe attaches a probe to process termination.
+func (k *Kernel) RegisterExitProbe(fn ExitFn) ProbeID {
+	k.probeID++
+	k.exitProbes = append(k.exitProbes, exitProbe{id: k.probeID, fn: fn})
+	return k.probeID
+}
+
+// UnregisterExitProbe removes an exit probe.
+func (k *Kernel) UnregisterExitProbe(id ProbeID) {
+	for i, p := range k.exitProbes {
+		if p.id == id {
+			k.exitProbes = append(k.exitProbes[:i], k.exitProbes[i+1:]...)
+			return
+		}
+	}
+}
+
+func (k *Kernel) fireSwitchProbes(prev, next *Process) {
+	for _, p := range k.switchProbes {
+		if !p.builtin {
+			k.ChargeKernel(k.costs.KprobeOverhead)
+		}
+		p.fn(k, prev, next)
+	}
+}
+
+func (k *Kernel) fireForkProbes(parent, child *Process) {
+	for _, p := range k.forkProbes {
+		k.ChargeKernel(k.costs.KprobeOverhead)
+		p.fn(k, parent, child)
+	}
+}
+
+func (k *Kernel) fireExitProbes(proc *Process) {
+	for _, p := range k.exitProbes {
+		k.ChargeKernel(k.costs.KprobeOverhead)
+		p.fn(k, proc)
+	}
+}

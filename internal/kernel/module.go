@@ -1,0 +1,76 @@
+package kernel
+
+import "fmt"
+
+// Module is a loadable kernel module. K-LEB is the canonical example: it is
+// loaded into an already-running kernel (no patch, no reboot), registers a
+// character device for its controller, and attaches kprobes in Init.
+type Module interface {
+	// ModuleName is the module's unique name.
+	ModuleName() string
+	// Init is called at insmod time with kernel services available.
+	Init(k *Kernel) error
+	// Exit is called at rmmod time and must release all resources.
+	Exit(k *Kernel)
+}
+
+// IoctlFn handles an ioctl on a registered device. p is the calling
+// process. Handlers may charge additional kernel time (copies) via
+// Kernel.ChargeKernel.
+type IoctlFn func(k *Kernel, p *Process, cmd uint32, arg any) (any, error)
+
+// LoadModule inserts a module into the running kernel.
+func (k *Kernel) LoadModule(m Module) error {
+	name := m.ModuleName()
+	if _, dup := k.modules[name]; dup {
+		return fmt.Errorf("kernel: module %q already loaded", name)
+	}
+	if err := m.Init(k); err != nil {
+		return fmt.Errorf("kernel: init of module %q: %w", name, err)
+	}
+	k.modules[name] = m
+	return nil
+}
+
+// UnloadModule removes a loaded module.
+func (k *Kernel) UnloadModule(name string) error {
+	m, ok := k.modules[name]
+	if !ok {
+		return fmt.Errorf("kernel: module %q not loaded", name)
+	}
+	m.Exit(k)
+	delete(k.modules, name)
+	return nil
+}
+
+// Module returns a loaded module by name.
+func (k *Kernel) Module(name string) (Module, bool) {
+	m, ok := k.modules[name]
+	return m, ok
+}
+
+// RegisterDevice exposes a character device (e.g. /dev/kleb) whose ioctls
+// are served by fn. Returns an error if the name is taken.
+func (k *Kernel) RegisterDevice(name string, fn IoctlFn) error {
+	if _, dup := k.devices[name]; dup {
+		return fmt.Errorf("kernel: device %q already registered", name)
+	}
+	k.devices[name] = fn
+	return nil
+}
+
+// UnregisterDevice removes a device registration.
+func (k *Kernel) UnregisterDevice(name string) {
+	delete(k.devices, name)
+}
+
+// Ioctl dispatches an ioctl to a device. It must be called from syscall
+// context (an OpSyscall handler); the fixed handler cost is charged here.
+func (k *Kernel) Ioctl(p *Process, device string, cmd uint32, arg any) (any, error) {
+	fn, ok := k.devices[device]
+	if !ok {
+		return nil, fmt.Errorf("kernel: ioctl on unknown device %q", device)
+	}
+	k.ChargeKernel(k.costs.IoctlBase)
+	return fn(k, p, cmd, arg)
+}

@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"testing"
+
+	"kleb/internal/ktime"
+	"kleb/internal/pmu"
+)
+
+// TestRunUntilEquivalence: driving a kernel to completion in many small
+// RunUntil windows must produce exactly the same final state as one Run
+// call — stepping is a pure re-slicing of the event loop. This is the
+// property the multi-core lockstep driver relies on.
+func TestRunUntilEquivalence(t *testing.T) {
+	build := func() (*Kernel, *Process, *Process) {
+		k := testKernel(77)
+		a := k.Spawn("a", burner(300, 150_000))
+		b := k.Spawn("b", burner(200, 100_000))
+		return k, a, b
+	}
+
+	k1, a1, b1 := build()
+	if err := k1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	k2, a2, b2 := build()
+	for t2 := ktime.Time(500 * ktime.Microsecond); !k2.Idle(); t2 = t2.Add(500 * ktime.Microsecond) {
+		if err := k2.RunUntil(t2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if a1.ExitTime() != a2.ExitTime() || b1.ExitTime() != b2.ExitTime() {
+		t.Errorf("stepped run diverged: a %v vs %v, b %v vs %v",
+			a1.ExitTime(), a2.ExitTime(), b1.ExitTime(), b2.ExitTime())
+	}
+	if a1.UserTime() != a2.UserTime() {
+		t.Errorf("user time diverged: %v vs %v", a1.UserTime(), a2.UserTime())
+	}
+	if a1.Switches() != a2.Switches() {
+		t.Errorf("switch counts diverged: %d vs %d", a1.Switches(), a2.Switches())
+	}
+}
+
+func TestRunUntilPastInstantIsNoop(t *testing.T) {
+	k := testKernel(78)
+	k.Spawn("p", burner(10, 100_000))
+	if err := k.RunUntil(ktime.Time(ktime.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	at := k.Now()
+	if err := k.RunUntil(ktime.Time(500 * ktime.Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != at {
+		t.Error("RunUntil into the past moved the clock")
+	}
+}
+
+// TestPMIStormGuard: a sampling period so small that the PMI handler's own
+// kernel work re-overflows the counter must not wedge the kernel — the
+// drain loop is bounded.
+func TestPMIStormGuard(t *testing.T) {
+	k := testKernel(79)
+	pm := k.Core().PMU()
+	// Counter 0: branches, OS+USR, PMI on overflow, period 10 — the
+	// handler's own synthetic kernel branches re-overflow it immediately.
+	enc := pmu.Encoding{EventSel: 0xC4, Umask: 0x00}
+	if err := pm.WriteMSR(pmu.MSRPerfEvtSel0, enc.Sel(pmu.SelUsr|pmu.SelOS|pmu.SelInt|pmu.SelEn)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.WriteMSR(pmu.MSRPmc0, pmu.OverflowInit(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.WriteMSR(pmu.MSRGlobalCtrl, 1); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	k.SetPMIDeliver(func(counter int, fixed bool) {
+		delivered++
+		// A handler that never re-arms: the counter keeps wrapping.
+	})
+	k.Spawn("p", burner(20, 100_000))
+	if err := k.Run(50 * ktime.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if delivered == 0 {
+		t.Fatal("no PMIs delivered")
+	}
+	// The process still finished: the storm guard dropped the backlog
+	// instead of spinning forever.
+	p, _ := k.Process(1)
+	if !p.Exited() {
+		t.Error("PMI storm wedged the kernel")
+	}
+}
+
+func TestIdleAccessor(t *testing.T) {
+	k := testKernel(80)
+	if !k.Idle() {
+		t.Error("fresh kernel should be idle")
+	}
+	k.Spawn("p", burner(1, 1000))
+	if k.Idle() {
+		t.Error("kernel with a live process is not idle")
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Idle() {
+		t.Error("kernel should be idle after all processes exit")
+	}
+}

@@ -1,0 +1,190 @@
+package kleb
+
+import (
+	"bytes"
+	"fmt"
+
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+	"kleb/internal/workload"
+)
+
+// DefaultDrainInterval is how often the controller wakes to pull samples
+// out of the kernel buffer. The paper's design leaves this to the
+// scheduler's natural cadence; 100ms keeps the buffer comfortably ahead of
+// a 100µs sampling rate with the default ring size.
+const DefaultDrainInterval = 50 * ktime.Millisecond
+
+// ReadMax bounds one drain; large enough to empty the default ring.
+const ReadMax = DefaultBufferSamples
+
+// LogPath is where the controller writes its CSV sample log.
+const LogPath = "/var/log/kleb.csv"
+
+// Controller is the user-space half of K-LEB (Fig 1's "Controller
+// Process"): it configures the module over ioctl, starts collection, wakes
+// periodically to drain the kernel buffer, logs the samples, and stops the
+// module when the monitored lineage has exited.
+type Controller struct {
+	Cfg           ModuleConfig
+	DrainInterval ktime.Duration
+
+	// Samples accumulates everything drained, in capture order.
+	Samples []monitor.Sample
+	// Err records a fatal module error (failed CONFIG/START); the
+	// controller exits non-zero instead of polling forever.
+	Err error
+
+	state       int
+	pending     []monitor.Sample // drained but not yet logged
+	wroteHeader bool
+	done        bool
+}
+
+const (
+	ctlConfigure = iota
+	ctlStart
+	ctlSleep
+	ctlDrain
+	ctlLog
+	ctlWrite
+	ctlCheck
+	ctlFinal
+	ctlStop
+)
+
+var _ kernel.Program = (*Controller)(nil)
+
+// NewController builds a controller for cfg.
+func NewController(cfg ModuleConfig) *Controller {
+	return &Controller{Cfg: cfg, DrainInterval: DefaultDrainInterval}
+}
+
+// Next implements kernel.Program as the controller's event loop.
+func (c *Controller) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
+	switch c.state {
+	case ctlConfigure:
+		c.state = ctlStart
+		return ioctlOp("KLEB_CONFIG", CmdConfig, c.Cfg)
+	case ctlStart:
+		if err, bad := p.SyscallResult.(error); bad {
+			// CONFIG failed; abort rather than poll a dead module forever.
+			c.Err = err
+			c.state = ctlStop
+			return kernel.OpExit{Code: 1}
+		}
+		c.state = ctlSleep
+		return ioctlOp("KLEB_START", CmdStart, nil)
+	case ctlSleep:
+		if err, bad := p.SyscallResult.(error); bad {
+			c.Err = err
+			c.state = ctlStop
+			return kernel.OpExit{Code: 1}
+		}
+		c.state = ctlDrain
+		return kernel.OpSleep{D: c.DrainInterval}
+	case ctlDrain:
+		c.state = ctlLog
+		return ioctlOp("KLEB_READ", CmdRead, ReadRequest{Max: ReadMax})
+	case ctlLog:
+		if got, ok := p.SyscallResult.([]monitor.Sample); ok && len(got) > 0 {
+			c.pending = got
+			c.Samples = append(c.Samples, got...)
+		} else {
+			c.pending = nil
+		}
+		if len(c.pending) > 0 {
+			c.state = ctlWrite
+			return c.logOp(k, len(c.pending))
+		}
+		c.state = ctlCheck
+		return c.Next(k, p)
+	case ctlWrite:
+		c.state = ctlCheck
+		return c.writeOp(len(c.pending))
+	case ctlCheck:
+		c.state = ctlFinal
+		return ioctlOp("KLEB_STATUS", CmdStatus, nil)
+	case ctlFinal:
+		st, _ := p.SyscallResult.(Status)
+		if st.Done {
+			if st.Available > 0 {
+				// Final drain until the buffer is empty.
+				c.state = ctlLog
+				return ioctlOp("KLEB_READ", CmdRead, ReadRequest{Max: ReadMax})
+			}
+			c.state = ctlStop
+			return ioctlOp("KLEB_STOP", CmdStop, nil)
+		}
+		c.state = ctlDrain
+		return kernel.OpSleep{D: c.DrainInterval}
+	case ctlStop:
+		c.done = true
+		return kernel.OpExit{}
+	}
+	return kernel.OpExit{}
+}
+
+// logOp models writing n samples to the log file: a short user-space
+// formatting stretch plus a write syscall whose kernel side (page-cache
+// copy, VFS) dominates the cost.
+func (c *Controller) logOp(k *kernel.Kernel, n int) kernel.Op {
+	return kernel.OpExec{Block: isa.Block{
+		Instr:    20_000 + uint64(n)*1_500,
+		Loads:    6_000 + uint64(n)*400,
+		Stores:   3_000 + uint64(n)*300,
+		Branches: 2_000 + uint64(n)*120,
+		Mem: isa.MemPattern{
+			Base:      workload.ToolRegion(),
+			Footprint: 256 << 10,
+			Stride:    8,
+		},
+		Priv: isa.User,
+	}}
+}
+
+// writeOp is the log write syscall (issued after the format block): the
+// pending samples are rendered as CSV rows and appended to the log file in
+// the kernel's filesystem, paying the journal/flush cost plus the VFS
+// per-byte copy price.
+func (c *Controller) writeOp(n int) kernel.Op {
+	return kernel.OpSyscall{Name: "write", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+		k.ChargeKernel(350 * ktime.Microsecond) // journal + page-cache flush
+		var buf bytes.Buffer
+		if !c.wroteHeader {
+			c.wroteHeader = true
+			buf.WriteString("time_us")
+			for _, ev := range c.Cfg.Events {
+				buf.WriteByte(',')
+				buf.WriteString(ev.String())
+			}
+			buf.WriteByte('\n')
+		}
+		for _, s := range c.pending {
+			fmt.Fprintf(&buf, "%.1f", float64(s.Time)/1000)
+			for i := range c.Cfg.Events {
+				var v uint64
+				if i < len(s.Deltas) {
+					v = s.Deltas[i]
+				}
+				fmt.Fprintf(&buf, ",%d", v)
+			}
+			buf.WriteByte('\n')
+		}
+		k.FS().Append(LogPath, buf.Bytes())
+		return nil
+	}}
+}
+
+// ioctlOp wraps a module ioctl in a syscall op.
+func ioctlOp(name string, cmd uint32, arg any) kernel.Op {
+	return kernel.OpSyscall{Name: name, Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+		res, err := k.Ioctl(p, DeviceName, cmd, arg)
+		if err != nil {
+			return err
+		}
+		return res
+	}}
+}

@@ -1,0 +1,456 @@
+// Package kleb implements K-LEB (Kernel — Lineage of Event Behavior), the
+// paper's primary contribution: a kernel-module-based performance counter
+// monitor producing precise, non-intrusive, low-overhead periodic samples.
+//
+// The design follows the paper's Figures 1–3:
+//
+//   - a kernel module owns the PMU for the monitored process: kprobes on
+//     the context-switch handler enable counting and start an in-kernel
+//     high-resolution timer when the process is scheduled in, and disable
+//     both when it is scheduled out, isolating its counts;
+//   - fork and exit probes extend tracking to the process's lineage;
+//   - the HRTimer handler reads the counters every period and appends the
+//     deltas to a ring buffer in kernel memory; a full buffer pauses
+//     collection until the controller frees space (the safety mechanism);
+//   - a user-space controller process configures the module over ioctl,
+//     drains the buffer at its natural scheduling cadence, and logs the
+//     samples — keeping per-sample cost off the monitored process's back.
+package kleb
+
+import (
+	"fmt"
+
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+	"kleb/internal/pmu"
+)
+
+// DeviceName is the module's character device ("/dev/kleb").
+const DeviceName = "kleb"
+
+// Ioctl commands understood by the module.
+const (
+	// CmdConfig installs a ModuleConfig (events, period, target PID).
+	CmdConfig uint32 = iota + 1
+	// CmdStart begins tracking the configured PID.
+	CmdStart
+	// CmdStop ends collection, flushing a final partial sample.
+	CmdStop
+	// CmdRead drains up to ReadMax buffered samples.
+	CmdRead
+	// CmdStatus returns a Status snapshot.
+	CmdStatus
+)
+
+// DefaultBufferSamples is the ring capacity when the config leaves it zero.
+const DefaultBufferSamples = 8192
+
+// MinRecommendedPeriod is the 100µs floor the paper recommends for the
+// HRTimer; faster periods work but drown in interrupt jitter (§VI).
+const MinRecommendedPeriod = 100 * ktime.Microsecond
+
+// ModuleConfig is the collection configuration passed via CmdConfig.
+type ModuleConfig struct {
+	// Events to collect; at most pmu.NumProgrammable non-fixed events.
+	Events []isa.Event
+	// Period is the HRTimer sampling interval.
+	Period ktime.Duration
+	// Target is the initial PID to track; children are added automatically.
+	Target kernel.PID
+	// ExcludeKernel counts only user-mode execution when set.
+	ExcludeKernel bool
+	// BufferSamples sizes the kernel ring buffer (0 = default).
+	BufferSamples int
+}
+
+// Status is the CmdStatus reply.
+type Status struct {
+	// Running reports whether collection has been started and not stopped.
+	Running bool
+	// Done reports that every tracked process has exited.
+	Done bool
+	// Available is the number of buffered samples awaiting a read.
+	Available int
+	// Paused reports the buffer-full safety stop is in effect.
+	Paused bool
+	// Dropped counts buffer-full safety stops.
+	Dropped uint64
+	// Samples counts all samples ever captured.
+	Samples uint64
+}
+
+// ReadRequest is the CmdRead argument.
+type ReadRequest struct {
+	// Max bounds how many samples to drain in this call.
+	Max int
+}
+
+// Module is the K-LEB kernel module.
+type Module struct {
+	k   *kernel.Kernel
+	cfg ModuleConfig
+
+	// Counter plan derived from cfg.
+	progEvents  []isa.Event // events on programmable counters, by index
+	fixedEvents []int       // fixed counter index per fixed event position
+	evOrder     []isa.Event // cfg.Events order for sample columns
+
+	tracked map[kernel.PID]bool
+
+	running  bool
+	paused   bool
+	done     bool
+	timer    *kernel.HRTimer
+	buf      *ring
+	last     []uint64 // per-cfg.Events counter snapshot
+	dropped  uint64
+	captured uint64
+
+	switchProbe, forkProbe, exitProbe kernel.ProbeID
+}
+
+var _ kernel.Module = (*Module)(nil)
+
+// NewModule returns an unloaded module instance.
+func NewModule() *Module { return &Module{} }
+
+// ModuleName implements kernel.Module.
+func (m *Module) ModuleName() string { return "k_leb" }
+
+// Init implements kernel.Module: register the device and attach kprobes to
+// the scheduler's switch path and to fork/exit.
+func (m *Module) Init(k *kernel.Kernel) error {
+	m.k = k
+	if err := k.RegisterDevice(DeviceName, m.ioctl); err != nil {
+		return err
+	}
+	m.switchProbe = k.RegisterSwitchProbe(m.onSwitch)
+	m.forkProbe = k.RegisterForkProbe(m.onFork)
+	m.exitProbe = k.RegisterExitProbe(m.onExit)
+	m.tracked = make(map[kernel.PID]bool)
+	return nil
+}
+
+// Exit implements kernel.Module.
+func (m *Module) Exit(k *kernel.Kernel) {
+	m.stop()
+	k.UnregisterSwitchProbe(m.switchProbe)
+	k.UnregisterForkProbe(m.forkProbe)
+	k.UnregisterExitProbe(m.exitProbe)
+	k.UnregisterDevice(DeviceName)
+}
+
+// ioctl is the controller-facing command interface.
+func (m *Module) ioctl(k *kernel.Kernel, p *kernel.Process, cmd uint32, arg any) (any, error) {
+	switch cmd {
+	case CmdConfig:
+		cfg, ok := arg.(ModuleConfig)
+		if !ok {
+			return nil, fmt.Errorf("kleb: CmdConfig needs a ModuleConfig, got %T", arg)
+		}
+		return nil, m.configure(cfg)
+	case CmdStart:
+		return nil, m.start()
+	case CmdStop:
+		m.stop()
+		return nil, nil
+	case CmdRead:
+		req, ok := arg.(ReadRequest)
+		if !ok {
+			return nil, fmt.Errorf("kleb: CmdRead needs a ReadRequest, got %T", arg)
+		}
+		return m.read(req.Max), nil
+	case CmdStatus:
+		return Status{
+			Running:   m.running,
+			Done:      m.done,
+			Available: m.buflen(),
+			Paused:    m.paused,
+			Dropped:   m.dropped,
+			Samples:   m.captured,
+		}, nil
+	}
+	return nil, fmt.Errorf("kleb: unknown ioctl %d", cmd)
+}
+
+func (m *Module) buflen() int {
+	if m.buf == nil {
+		return 0
+	}
+	return m.buf.len()
+}
+
+// configure validates and installs the collection plan.
+func (m *Module) configure(cfg ModuleConfig) error {
+	if m.running {
+		return fmt.Errorf("kleb: cannot reconfigure while running")
+	}
+	if len(cfg.Events) == 0 {
+		return fmt.Errorf("kleb: no events configured")
+	}
+	if cfg.Period == 0 {
+		return fmt.Errorf("kleb: zero period")
+	}
+	table := m.k.Core().PMU().Table()
+	var prog []isa.Event
+	var fixed []int
+	for _, ev := range cfg.Events {
+		switch ev {
+		case isa.EvInstructions:
+			fixed = append(fixed, 0)
+		case isa.EvCycles:
+			fixed = append(fixed, 1)
+		case isa.EvRefCycles:
+			fixed = append(fixed, 2)
+		default:
+			if _, ok := table.EncodingFor(ev); !ok {
+				return fmt.Errorf("kleb: event %v not available on this machine", ev)
+			}
+			prog = append(prog, ev)
+		}
+	}
+	if len(prog) > pmu.NumProgrammable {
+		return fmt.Errorf("kleb: %d programmable events requested, hardware has %d counters",
+			len(prog), pmu.NumProgrammable)
+	}
+	if _, ok := m.k.Process(cfg.Target); !ok {
+		return fmt.Errorf("kleb: target pid %d does not exist", cfg.Target)
+	}
+	m.cfg = cfg
+	m.progEvents = prog
+	m.fixedEvents = fixed
+	m.evOrder = append([]isa.Event(nil), cfg.Events...)
+	m.buf = newRing(cfg.BufferSamples)
+	m.last = make([]uint64, len(cfg.Events))
+	m.dropped, m.captured = 0, 0
+	m.paused, m.done = false, false
+	return nil
+}
+
+// start begins tracking the target lineage and programs the counters.
+func (m *Module) start() error {
+	if m.buf == nil {
+		return fmt.Errorf("kleb: start before configure")
+	}
+	if m.running {
+		return fmt.Errorf("kleb: already running")
+	}
+	target, ok := m.k.Process(m.cfg.Target)
+	if !ok || target.Exited() {
+		return fmt.Errorf("kleb: target pid %d not alive", m.cfg.Target)
+	}
+	m.tracked = map[kernel.PID]bool{m.cfg.Target: true}
+	m.running = true
+	m.done = false
+	m.programCounters()
+	// The controller is running right now, so the target is scheduled out;
+	// counting begins at its next switch-in.
+	return nil
+}
+
+// programCounters writes the event selections and zeroes all counters.
+// Called once at start; per-switch gating only toggles the global enable.
+func (m *Module) programCounters() {
+	p := m.k.Core().PMU()
+	table := p.Table()
+	flags := uint64(pmu.SelUsr)
+	if !m.cfg.ExcludeKernel {
+		flags |= pmu.SelOS
+	}
+	for i, ev := range m.progEvents {
+		enc, _ := table.EncodingFor(ev)
+		m.wrmsr(pmu.MSRPerfEvtSel0+uint32(i), enc.Sel(flags|pmu.SelEn))
+		m.wrmsr(pmu.MSRPmc0+uint32(i), 0)
+	}
+	var fixedCtrl uint64
+	for _, idx := range m.fixedEvents {
+		nib := uint64(pmu.FixedUsr)
+		if !m.cfg.ExcludeKernel {
+			nib |= pmu.FixedOS
+		}
+		fixedCtrl |= nib << uint(4*idx)
+		m.wrmsr(pmu.MSRFixedCtr0+uint32(idx), 0)
+	}
+	m.wrmsr(pmu.MSRFixedCtrCtrl, fixedCtrl)
+	m.wrmsr(pmu.MSRGlobalCtrl, 0) // gated off until the target runs
+	for i := range m.last {
+		m.last[i] = 0
+	}
+}
+
+// globalEnableMask covers exactly the counters the plan uses.
+func (m *Module) globalEnableMask() uint64 {
+	var mask uint64
+	for i := range m.progEvents {
+		mask |= 1 << uint(i)
+	}
+	for _, idx := range m.fixedEvents {
+		mask |= 1 << uint(32+idx)
+	}
+	return mask
+}
+
+// onSwitch is the kprobe on the scheduler's context-switch handler: gate
+// counting and the sampling timer on whether a tracked process runs next.
+func (m *Module) onSwitch(k *kernel.Kernel, prev, next *kernel.Process) {
+	if !m.running {
+		return
+	}
+	if prev != nil && m.tracked[prev.PID()] {
+		m.wrmsr(pmu.MSRGlobalCtrl, 0)
+		if m.timer != nil {
+			k.CancelHRTimer(m.timer)
+			m.timer = nil
+		}
+	}
+	if next != nil && m.tracked[next.PID()] && !m.paused {
+		m.wrmsr(pmu.MSRGlobalCtrl, m.globalEnableMask())
+		m.timer = k.StartHRTimer(m.cfg.Period, m.cfg.Period, m.onTimer)
+	}
+}
+
+// onFork extends tracking to children of tracked processes — the "lineage"
+// in K-LEB's name.
+func (m *Module) onFork(k *kernel.Kernel, parent, child *kernel.Process) {
+	if !m.running || parent == nil || child == nil {
+		return
+	}
+	if m.tracked[parent.PID()] {
+		m.tracked[child.PID()] = true
+	}
+}
+
+// onExit prunes exited processes; when the whole lineage is gone, a final
+// partial sample is flushed and the module marks itself done.
+func (m *Module) onExit(k *kernel.Kernel, p *kernel.Process) {
+	if !m.running || !m.tracked[p.PID()] {
+		return
+	}
+	delete(m.tracked, p.PID())
+	if len(m.tracked) == 0 {
+		m.captureSample(true)
+		m.running = false
+		m.done = true
+		if m.timer != nil {
+			k.CancelHRTimer(m.timer)
+			m.timer = nil
+		}
+		m.wrmsr(pmu.MSRGlobalCtrl, 0)
+	}
+}
+
+// onTimer is the HRTimer handler: read counters, push deltas, pause when
+// the buffer fills.
+func (m *Module) onTimer(k *kernel.Kernel, t *kernel.HRTimer) bool {
+	if !m.running || m.paused {
+		return false
+	}
+	if !m.captureSample(false) {
+		// Buffer full: engage the safety mechanism. Collection (counters
+		// and timer) stops until the controller drains the buffer.
+		m.paused = true
+		m.dropped++
+		m.wrmsr(pmu.MSRGlobalCtrl, 0)
+		m.timer = nil
+		return false
+	}
+	return true
+}
+
+// captureSample reads all planned counters and appends one delta sample.
+// When final is set, an all-zero delta is suppressed. Returns false if the
+// ring was full.
+func (m *Module) captureSample(final bool) bool {
+	if m.buf == nil {
+		return true
+	}
+	deltas := make([]uint64, len(m.evOrder))
+	cur := make([]uint64, len(m.evOrder))
+	pi, fi := 0, 0
+	for i, ev := range m.evOrder {
+		switch ev {
+		case isa.EvInstructions, isa.EvCycles, isa.EvRefCycles:
+			cur[i] = m.rdmsr(pmu.MSRFixedCtr0 + uint32(m.fixedEvents[fi]))
+			fi++
+		default:
+			cur[i] = m.rdmsr(pmu.MSRPmc0 + uint32(pi))
+			pi++
+		}
+		deltas[i] = (cur[i] - m.last[i]) & pmu.CounterMask()
+	}
+	if final {
+		allZero := true
+		for _, d := range deltas {
+			if d != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return true
+		}
+	}
+	// The per-sample store into the kernel buffer.
+	m.k.ChargeKernel(300 * ktime.Nanosecond)
+	if !m.buf.push(monitor.Sample{Time: m.k.Now(), Deltas: deltas}) {
+		return false
+	}
+	copy(m.last, cur)
+	m.captured++
+	return true
+}
+
+// read drains up to max samples (CmdRead). Copying to user space costs
+// CopyPerSample each. Draining below half capacity lifts a safety pause.
+func (m *Module) read(max int) []monitor.Sample {
+	if m.buf == nil {
+		return nil
+	}
+	if max <= 0 {
+		max = m.buf.len()
+	}
+	out := m.buf.popN(max)
+	m.k.ChargeKernel(ktime.Duration(len(out)) * m.k.Costs().CopyPerSample)
+	if m.paused && m.buf.free() >= len(m.buf.buf)/2 {
+		m.paused = false
+		// If a tracked process is running right now, resume immediately;
+		// otherwise the next switch-in re-enables collection.
+		// (The controller holds the CPU during this ioctl, so in practice
+		// resumption happens at the target's next switch-in.)
+	}
+	return out
+}
+
+// stop ends collection (CmdStop).
+func (m *Module) stop() {
+	if m.buf == nil {
+		return
+	}
+	if m.running {
+		m.captureSample(true)
+	}
+	m.running = false
+	if m.timer != nil {
+		m.k.CancelHRTimer(m.timer)
+		m.timer = nil
+	}
+	m.wrmsr(pmu.MSRGlobalCtrl, 0)
+}
+
+func (m *Module) wrmsr(addr uint32, val uint64) {
+	m.k.ChargeKernel(m.k.Costs().MSRAccess)
+	if err := m.k.Core().PMU().WriteMSR(addr, val); err != nil {
+		panic(err)
+	}
+}
+
+func (m *Module) rdmsr(addr uint32) uint64 {
+	m.k.ChargeKernel(m.k.Costs().MSRAccess)
+	v, err := m.k.Core().PMU().ReadMSR(addr)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

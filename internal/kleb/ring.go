@@ -1,0 +1,54 @@
+package kleb
+
+import "kleb/internal/monitor"
+
+// ring is the fixed-capacity sample buffer the K-LEB module keeps in kernel
+// memory. The module fills it from the HRTimer interrupt handler; the
+// controller drains it with periodic read syscalls. When it fills up, the
+// module pauses collection (the paper's safety mechanism) instead of
+// overwriting data.
+type ring struct {
+	buf   []monitor.Sample
+	head  int // next slot to pop
+	count int
+}
+
+func newRing(capacity int) *ring {
+	if capacity <= 0 {
+		capacity = DefaultBufferSamples
+	}
+	return &ring{buf: make([]monitor.Sample, capacity)}
+}
+
+// push appends a sample; it reports false (and stores nothing) when full.
+func (r *ring) push(s monitor.Sample) bool {
+	if r.count == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = s
+	r.count++
+	return true
+}
+
+// popN removes and returns up to n samples in FIFO order.
+func (r *ring) popN(n int) []monitor.Sample {
+	if n > r.count {
+		n = r.count
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]monitor.Sample, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.head = (r.head + n) % len(r.buf)
+	r.count -= n
+	return out
+}
+
+// len returns the number of buffered samples.
+func (r *ring) len() int { return r.count }
+
+// free returns the remaining capacity.
+func (r *ring) free() int { return len(r.buf) - r.count }

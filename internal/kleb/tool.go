@@ -1,0 +1,90 @@
+package kleb
+
+import (
+	"fmt"
+
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+)
+
+// Tool adapts K-LEB (module + controller) to the common monitor.Tool
+// interface so the experiment harness can compare it head-to-head with the
+// baselines.
+type Tool struct {
+	// DrainInterval overrides the controller's drain cadence (0 = default).
+	DrainInterval ktime.Duration
+	// BufferSamples overrides the kernel ring size (0 = default).
+	BufferSamples int
+
+	cfg    monitor.Config
+	module *Module
+	ctl    *Controller
+}
+
+var _ monitor.Tool = (*Tool)(nil)
+
+// New returns an unattached K-LEB tool.
+func New() *Tool { return &Tool{} }
+
+// Name implements monitor.Tool.
+func (t *Tool) Name() string { return "kleb" }
+
+// Attach loads the module into the machine's (already running) kernel and
+// spawns the controller process. No access to the target's program is
+// needed — K-LEB is non-intrusive by construction.
+func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, _ kernel.Program, cfg monitor.Config) error {
+	if len(cfg.ProgrammableEvents()) > 4 {
+		return fmt.Errorf("kleb: %d programmable events exceed the PMU's counters; K-LEB does not multiplex", len(cfg.ProgrammableEvents()))
+	}
+	// Event availability is per-microarchitecture (§VI): refuse events this
+	// machine cannot encode rather than letting the module fail later.
+	for _, ev := range cfg.ProgrammableEvents() {
+		if _, ok := m.Core().PMU().Table().EncodingFor(ev); !ok {
+			return fmt.Errorf("kleb: event %v is not available on %s", ev, m.Profile().Name)
+		}
+	}
+	t.cfg = cfg
+	t.module = NewModule()
+	if err := m.Kernel().LoadModule(t.module); err != nil {
+		return err
+	}
+	t.ctl = NewController(ModuleConfig{
+		Events:        cfg.Events,
+		Period:        cfg.Period,
+		Target:        target.PID(),
+		ExcludeKernel: cfg.ExcludeKernel,
+		BufferSamples: t.BufferSamples,
+	})
+	if t.DrainInterval > 0 {
+		t.ctl.DrainInterval = t.DrainInterval
+	}
+	m.Kernel().Spawn("kleb-controller", t.ctl)
+	return nil
+}
+
+// Collect implements monitor.Tool: sample series plus exact totals (sums of
+// per-period deltas including the final partial flush).
+func (t *Tool) Collect() monitor.Result {
+	res := monitor.Result{
+		Tool:    t.Name(),
+		Events:  t.cfg.Events,
+		Samples: t.ctl.Samples,
+		Totals:  make(map[isa.Event]uint64, len(t.cfg.Events)),
+	}
+	if t.module != nil {
+		res.Dropped = t.module.dropped
+	}
+	for i, ev := range t.cfg.Events {
+		var sum uint64
+		for _, s := range t.ctl.Samples {
+			if i < len(s.Deltas) {
+				sum += s.Deltas[i]
+			}
+		}
+		res.Totals[ev] = sum
+	}
+	return res
+}

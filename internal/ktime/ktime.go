@@ -1,0 +1,140 @@
+// Package ktime provides the virtual time base for the simulated machine.
+//
+// All simulated components — the CPU model, the kernel, the PMU and the
+// monitoring tools — share a single nanosecond-resolution virtual clock.
+// Virtual time is completely decoupled from wall-clock time: a two-second
+// simulated benchmark run typically completes in a few milliseconds of host
+// time, and every run is bit-for-bit reproducible for a given seed.
+package ktime
+
+import "fmt"
+
+// Time is an instant on the virtual clock, in nanoseconds since machine boot.
+type Time uint64
+
+// Duration is a span of virtual time in nanoseconds. It is unsigned because
+// the simulation never produces negative spans; subtraction helpers guard
+// against underflow explicitly.
+type Duration uint64
+
+// Common durations, mirroring the time package but for virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u, or 0 if u is after t.
+func (t Time) Sub(u Time) Duration {
+	if u > t {
+		return 0
+	}
+	return Duration(t - u)
+}
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String renders the instant with automatic unit selection.
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds returns the duration as a floating point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds returns the duration as a floating point number of µs.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Milliseconds returns the duration as a floating point number of ms.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// String renders the duration with automatic unit selection.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.6gs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.6gms", d.Milliseconds())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.6gµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", uint64(d))
+	}
+}
+
+// Scale returns d scaled by the ratio num/den, rounding to nearest.
+// It is used to split partially executed instruction blocks.
+func (d Duration) Scale(num, den uint64) Duration {
+	if den == 0 {
+		return 0
+	}
+	// Guard against overflow for large durations: use big-ish arithmetic via
+	// splitting. Durations in this simulator stay well under 2^53 ns (about
+	// 104 days), so float64 is exact enough for scheduling purposes, but we
+	// keep integer math for determinism.
+	hi := uint64(d) / den
+	lo := uint64(d) % den
+	return Duration(hi*num + (lo*num+den/2)/den)
+}
+
+// Clock is the shared virtual clock. It only moves forward.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock set to boot time (zero).
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual instant.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d and returns the new instant.
+func (c *Clock) Advance(d Duration) Time {
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t. Moving backwards is a programming
+// error in the simulation engine and panics loudly rather than corrupting
+// event ordering.
+func (c *Clock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("ktime: clock moved backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Freq describes a CPU clock frequency and converts between cycles and
+// virtual nanoseconds.
+type Freq struct {
+	// Hz is the core frequency in cycles per second.
+	Hz uint64
+}
+
+// MHz constructs a Freq from a megahertz value.
+func MHz(mhz uint64) Freq { return Freq{Hz: mhz * 1e6} }
+
+// Cycles converts a duration to a number of core cycles, rounding to nearest.
+func (f Freq) Cycles(d Duration) uint64 {
+	// cycles = d_ns * Hz / 1e9, computed without overflow for realistic
+	// values (Hz < 2^33, d < 2^53).
+	hi := uint64(d) / 1e9
+	lo := uint64(d) % 1e9
+	return hi*f.Hz + (lo*f.Hz+5e8)/1e9
+}
+
+// Duration converts a cycle count to virtual time, rounding to nearest.
+func (f Freq) Duration(cycles uint64) Duration {
+	if f.Hz == 0 {
+		return 0
+	}
+	hi := cycles / f.Hz
+	lo := cycles % f.Hz
+	return Duration(hi*1e9 + (lo*1e9+f.Hz/2)/f.Hz)
+}

@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"kleb/internal/cache"
+	"kleb/internal/cpu"
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/pmu"
+)
+
+// Cluster is a multi-core socket: one Machine per core, each with a private
+// L1/L2, branch predictor, PMU and OS instance, all contending for one
+// shared last-level cache. An outer lockstep loop co-simulates the cores so
+// their LLC accesses interleave — the substrate for the co-location
+// scheduling study motivated by the paper's §IV-B ("the scheduler can
+// colocate computation-intensive programs or containers with the
+// memory-intensive ones on the same core, while scheduling the programs
+// that require the same type of resources on different cores").
+type Cluster struct {
+	prof  Profile
+	cores []*Machine
+	llc   *cache.Cache
+}
+
+// BootCluster builds n cores around one shared LLC.
+func BootCluster(prof Profile, seed uint64, n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	root := ktime.NewRand(seed)
+	llc := cache.New(prof.CPU.Hierarchy.LLC)
+	c := &Cluster{prof: prof, llc: llc}
+	for i := 0; i < n; i++ {
+		p := pmu.New(prof.Events)
+		core := cpu.NewShared(prof.CPU, p, root.Split(), llc)
+		kern := kernel.New(core, prof.Costs, root.Split(), prof.Kernel)
+		c.cores = append(c.cores, &Machine{prof: prof, core: core, kern: kern})
+	}
+	return c
+}
+
+// Cores returns the per-core machines.
+func (c *Cluster) Cores() []*Machine { return c.cores }
+
+// SharedLLC returns the socket's last-level cache.
+func (c *Cluster) SharedLLC() *cache.Cache { return c.llc }
+
+// DefaultQuantum is the lockstep window for co-simulation: small enough
+// that cross-core LLC contention interleaves at sub-timeslice granularity,
+// large enough to keep stepping overhead negligible.
+const DefaultQuantum = 100 * ktime.Microsecond
+
+// Run co-simulates every core in lockstep windows of quantum (0 selects
+// DefaultQuantum) until all cores are idle or limit virtual time has passed
+// on every core (limit 0 = no limit). Within each window the cores advance
+// independently; across windows their clocks stay within one quantum of
+// each other, so shared-LLC interference is modeled at that granularity.
+func (c *Cluster) Run(quantum, limit ktime.Duration) error {
+	if quantum == 0 {
+		quantum = DefaultQuantum
+	}
+	var deadline ktime.Time
+	if limit > 0 {
+		deadline = ktime.Time(limit)
+	}
+	for t := ktime.Time(quantum); ; t = t.Add(quantum) {
+		anyAlive := false
+		for _, m := range c.cores {
+			if m.Kernel().Idle() {
+				continue
+			}
+			anyAlive = true
+			if err := m.Kernel().RunUntil(t); err != nil {
+				return err
+			}
+		}
+		if !anyAlive {
+			return nil
+		}
+		if deadline > 0 && t >= deadline {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"testing"
+
+	"kleb/internal/isa"
+)
+
+func TestProfilesAreWellFormed(t *testing.T) {
+	for _, prof := range []Profile{Nehalem(), CascadeLake(), LiMiTKernel()} {
+		t.Run(prof.Name, func(t *testing.T) {
+			for _, c := range []struct {
+				name string
+				err  error
+			}{
+				{"L1D", prof.CPU.Hierarchy.L1D.Validate()},
+				{"L2", prof.CPU.Hierarchy.L2.Validate()},
+				{"LLC", prof.CPU.Hierarchy.LLC.Validate()},
+			} {
+				if c.err != nil {
+					t.Errorf("%s: %v", c.name, c.err)
+				}
+			}
+			if prof.CPU.Freq.Hz == 0 {
+				t.Error("zero frequency")
+			}
+			if prof.CPU.BaseCPI <= 0 {
+				t.Error("non-positive CPI")
+			}
+			if len(prof.Events) == 0 {
+				t.Error("empty event table")
+			}
+			if prof.Costs.Jiffy == 0 || prof.Costs.Timeslice == 0 {
+				t.Error("degenerate cost model")
+			}
+		})
+	}
+}
+
+func TestProfilesCoverCoreEvents(t *testing.T) {
+	needed := []isa.Event{
+		isa.EvLoads, isa.EvStores, isa.EvBranches, isa.EvBranchMisses,
+		isa.EvLLCRefs, isa.EvLLCMisses,
+	}
+	for _, prof := range []Profile{Nehalem(), CascadeLake()} {
+		for _, ev := range needed {
+			if _, ok := prof.Events.EncodingFor(ev); !ok {
+				t.Errorf("%s: missing encoding for %v", prof.Name, ev)
+			}
+		}
+	}
+	// ARITH.MUL exists on Nehalem but not on Cascade Lake (the paper's §VI
+	// portability caveat).
+	if _, ok := Nehalem().Events.EncodingFor(isa.EvMulOps); !ok {
+		t.Error("Nehalem should expose ARITH.MUL")
+	}
+	if _, ok := CascadeLake().Events.EncodingFor(isa.EvMulOps); ok {
+		t.Error("Cascade Lake should not expose ARITH.MUL")
+	}
+}
+
+func TestLiMiTKernelFlag(t *testing.T) {
+	if Nehalem().Kernel.LiMiTPatch {
+		t.Error("stock kernel must not carry the LiMiT patch")
+	}
+	if !LiMiTKernel().Kernel.LiMiTPatch {
+		t.Error("LiMiT kernel must carry the patch")
+	}
+}
+
+func TestBootWiring(t *testing.T) {
+	m := Boot(Nehalem(), 5)
+	if m.Core() == nil || m.Kernel() == nil {
+		t.Fatal("boot left nil components")
+	}
+	if m.Kernel().Core() != m.Core() {
+		t.Error("kernel not bound to the machine's core")
+	}
+	if m.Profile().Name != "nehalem-i7-920" {
+		t.Errorf("profile: %s", m.Profile().Name)
+	}
+	if m.Kernel().LiMiTPatched() {
+		t.Error("patch flag leaked")
+	}
+	if Boot(LiMiTKernel(), 5).Kernel().LiMiTPatched() != true {
+		t.Error("patch flag not plumbed")
+	}
+}
+
+func TestDistinctMachinesDifferInLLC(t *testing.T) {
+	n, c := Nehalem(), CascadeLake()
+	if n.CPU.Hierarchy.LLC.Size >= c.CPU.Hierarchy.LLC.Size {
+		t.Error("Cascade Lake should have the larger LLC")
+	}
+	if n.CPU.Freq == c.CPU.Freq {
+		t.Error("profiles should differ in frequency")
+	}
+}

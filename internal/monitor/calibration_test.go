@@ -1,0 +1,66 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/workload"
+)
+
+// Calibration guards: the paper-facing workloads must stay in their
+// calibrated duration bands (DESIGN.md §1), or every overhead table drifts.
+// These tests exist to catch accidental recalibration when the CPU or
+// kernel models change.
+func TestWorkloadCalibrationBands(t *testing.T) {
+	cases := []struct {
+		name   string
+		script workload.Script
+		lo, hi ktime.Duration
+	}{
+		// Paper: triple-loop matmul ≈ 2s.
+		{"matmul-triple", workload.NewTripleLoopMatmul().Script(),
+			1800 * ktime.Millisecond, 2800 * ktime.Millisecond},
+		// Paper: MKL dgemm < 100ms.
+		{"matmul-dgemm", workload.NewDgemmMatmul().Script(),
+			40 * ktime.Millisecond, 100 * ktime.Millisecond},
+		// Paper: the Meltdown victim < 10ms.
+		{"victim", workload.NewMeltdown().VictimScript(),
+			2 * ktime.Millisecond, 10 * ktime.Millisecond},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := monitor.Run(monitor.RunSpec{
+				Profile:   machine.Nehalem(),
+				Seed:      13,
+				NewTarget: func() kernel.Program { return c.script.Program() },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Elapsed < c.lo || res.Elapsed > c.hi {
+				t.Errorf("%s runs %v, calibrated band [%v, %v]", c.name, res.Elapsed, c.lo, c.hi)
+			}
+		})
+	}
+}
+
+func TestLinpackGFLOPSCalibration(t *testing.T) {
+	lp := workload.NewLinpack(5000)
+	res, err := monitor.Run(monitor.RunSpec{
+		Profile:   machine.Nehalem(),
+		Seed:      13,
+		NewTarget: func() kernel.Program { return lp.Script().Program() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gflops := float64(lp.Flops()) / 1e9 / res.Elapsed.Seconds()
+	// Paper Table I: 37.24 GFLOPS without profiling.
+	if gflops < 35 || gflops > 40 {
+		t.Errorf("LINPACK baseline %.2f GFLOPS, calibrated to ≈37.24", gflops)
+	}
+}

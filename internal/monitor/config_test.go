@@ -1,0 +1,124 @@
+package monitor_test
+
+import (
+	"strings"
+	"testing"
+
+	"kleb/internal/isa"
+	"kleb/internal/kleb"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  monitor.Config
+		want string
+	}{
+		{"no-events", monitor.Config{Period: ktime.Millisecond}, "no events"},
+		{"no-period", monitor.Config{Events: []isa.Event{isa.EvLoads}}, "zero"},
+		{"dup", monitor.Config{Events: []isa.Event{isa.EvLoads, isa.EvLoads}, Period: 1}, "duplicate"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v", c.name, err)
+		}
+	}
+	good := monitor.Config{Events: []isa.Event{isa.EvLoads}, Period: ktime.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestProgrammableEvents(t *testing.T) {
+	cfg := monitor.Config{Events: []isa.Event{
+		isa.EvInstructions, isa.EvCycles, isa.EvRefCycles, isa.EvLoads, isa.EvLLCMisses,
+	}}
+	prog := cfg.ProgrammableEvents()
+	if len(prog) != 2 {
+		t.Fatalf("programmable: %v", prog)
+	}
+	if prog[0] != isa.EvLoads || prog[1] != isa.EvLLCMisses {
+		t.Errorf("wrong split: %v", prog)
+	}
+}
+
+func TestRunRejectsMissingTarget(t *testing.T) {
+	_, err := monitor.Run(monitor.RunSpec{Profile: machine.Nehalem()})
+	if err == nil || !strings.Contains(err.Error(), "NewTarget") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestRunRejectsBadConfigWithTool(t *testing.T) {
+	_, err := monitor.Run(monitor.RunSpec{
+		Profile:   machine.Nehalem(),
+		NewTarget: newTargetFactory(smallWorkload()),
+		Tool:      kleb.New(),
+		Config:    monitor.Config{}, // invalid
+	})
+	if err == nil {
+		t.Error("invalid config with a tool should fail")
+	}
+}
+
+func TestResultSeriesFor(t *testing.T) {
+	r := monitor.Result{
+		Events: []isa.Event{isa.EvLoads, isa.EvStores},
+		Samples: []monitor.Sample{
+			{Time: 1, Deltas: []uint64{10, 20}},
+			{Time: 2, Deltas: []uint64{30, 40}},
+			{Time: 3, Deltas: []uint64{50}}, // ragged row
+		},
+	}
+	loads := r.SeriesFor(isa.EvLoads)
+	if len(loads) != 3 || loads[0] != 10 || loads[2] != 50 {
+		t.Errorf("loads series: %v", loads)
+	}
+	stores := r.SeriesFor(isa.EvStores)
+	if stores[2] != 0 {
+		t.Error("ragged rows should zero-fill")
+	}
+	if r.SeriesFor(isa.EvBranches) != nil {
+		t.Error("missing event should return nil")
+	}
+}
+
+func TestRunWithLimit(t *testing.T) {
+	// A run whose target never exits must stop at the Limit rather than
+	// hang; it then errors because the target is still alive.
+	s := smallWorkload()
+	_, err := monitor.Run(monitor.RunSpec{
+		Profile:   machine.Nehalem(),
+		NewTarget: newTargetFactory(s),
+		Limit:     ktime.Millisecond, // far too short for the workload
+	})
+	if err == nil || !strings.Contains(err.Error(), "did not exit") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestNoiseChangesTiming(t *testing.T) {
+	base, err := monitor.Run(monitor.RunSpec{
+		Profile: machine.Nehalem(), Seed: 5, NewTarget: newTargetFactory(smallWorkload()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := monitor.Run(monitor.RunSpec{
+		Profile: machine.Nehalem(), Seed: 5, NewTarget: newTargetFactory(smallWorkload()),
+		Noise: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Elapsed <= base.Elapsed {
+		t.Errorf("OS noise should lengthen the run: %v vs %v", noisy.Elapsed, base.Elapsed)
+	}
+	if noisy.Target.Switches() <= base.Target.Switches() {
+		t.Error("noise should force extra context switches")
+	}
+}

@@ -1,0 +1,231 @@
+// Package monitor defines the common interface all performance-counter
+// collection tools implement (K-LEB and the perf stat / perf record / PAPI
+// / LiMiT baselines) and the harness that runs a workload under a tool on a
+// simulated machine.
+package monitor
+
+import (
+	"fmt"
+
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/workload"
+)
+
+// Config is the monitoring request: which events, how often, and at what
+// privilege.
+type Config struct {
+	// Events are the hardware events to collect. The three fixed-function
+	// events never consume programmable counters; requesting more
+	// programmable events than the PMU has counters forces tools that
+	// support it (perf stat) into time multiplexing, and is an error for
+	// tools that do not.
+	Events []isa.Event
+	// Period is the sampling interval for periodic tools. Tools built on
+	// user-space timers cannot honor periods below the 10ms jiffy.
+	Period ktime.Duration
+	// ExcludeKernel restricts counting to user-mode execution (the paper's
+	// configuration: LINPACK's in-kernel init shows up as flat lines).
+	ExcludeKernel bool
+}
+
+// Validate checks basic sanity.
+func (c Config) Validate() error {
+	if len(c.Events) == 0 {
+		return fmt.Errorf("monitor: no events requested")
+	}
+	if c.Period == 0 {
+		return fmt.Errorf("monitor: zero sampling period")
+	}
+	seen := map[isa.Event]bool{}
+	for _, ev := range c.Events {
+		if seen[ev] {
+			return fmt.Errorf("monitor: duplicate event %v", ev)
+		}
+		seen[ev] = true
+	}
+	return nil
+}
+
+// ProgrammableEvents returns the subset of Events needing programmable
+// counters.
+func (c Config) ProgrammableEvents() []isa.Event {
+	var out []isa.Event
+	for _, ev := range c.Events {
+		switch ev {
+		case isa.EvInstructions, isa.EvCycles, isa.EvRefCycles:
+		default:
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Sample is one periodic record: per-event deltas since the previous
+// sample, in Config.Events order.
+type Sample struct {
+	Time   ktime.Time
+	Deltas []uint64
+}
+
+// Result is what a tool hands back after a run.
+type Result struct {
+	// Tool is the producing tool's name.
+	Tool string
+	// Events gives the meaning of sample/total columns.
+	Events []isa.Event
+	// Samples is the time series (empty for pure counting tools).
+	Samples []Sample
+	// Totals are the whole-run per-event counts as the tool reports them.
+	Totals map[isa.Event]uint64
+	// Estimated marks totals derived from sampling/multiplexing estimation
+	// rather than direct counting.
+	Estimated bool
+	// Dropped counts buffer-full safety stops (each stop suspends
+	// collection until the controller frees space).
+	Dropped uint64
+}
+
+// SeriesFor extracts one event's delta series.
+func (r Result) SeriesFor(ev isa.Event) []uint64 {
+	idx := -1
+	for i, e := range r.Events {
+		if e == ev {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]uint64, len(r.Samples))
+	for i, s := range r.Samples {
+		if idx < len(s.Deltas) {
+			out[i] = s.Deltas[idx]
+		}
+	}
+	return out
+}
+
+// TargetResumer is implemented by tools that launch the target themselves
+// (the `tool ./program` fork/exec pattern with enable-on-exec counters):
+// Run leaves the target stopped and the tool resumes it once its event
+// setup is complete, so no target instruction escapes the counters.
+type TargetResumer interface {
+	ResumesTarget() bool
+}
+
+// Tool is a performance counter collection mechanism.
+type Tool interface {
+	// Name identifies the tool ("kleb", "perf-stat", ...).
+	Name() string
+	// Attach installs the tool on m, monitoring target. prog is the
+	// target's program, already created but not yet run; source-level tools
+	// (PAPI, LiMiT) instrument it and fail if it is not instrumentable.
+	Attach(m *machine.Machine, target *kernel.Process, prog kernel.Program, cfg Config) error
+	// Collect returns results after the machine's run completes.
+	Collect() Result
+}
+
+// RunSpec describes one monitored (or baseline) run.
+type RunSpec struct {
+	// Profile is the machine to boot.
+	Profile machine.Profile
+	// Seed drives all simulation noise; identical seeds replay identically.
+	Seed uint64
+	// TargetName names the monitored process.
+	TargetName string
+	// NewTarget creates the target's program.
+	NewTarget func() kernel.Program
+	// Tool is the monitor under test; nil runs an unmonitored baseline.
+	Tool Tool
+	// Config is the monitoring request (ignored when Tool is nil).
+	Config Config
+	// Noise adds the background OS-noise daemon.
+	Noise bool
+	// Limit caps simulated time as a runaway guard (0 = none).
+	Limit ktime.Duration
+	// OnBoot, when set, runs right after the machine boots and before any
+	// process is spawned — the hook for attaching debug instrumentation
+	// (syscall tracing, state dumps).
+	OnBoot func(*machine.Machine)
+}
+
+// RunResult is the outcome of one run.
+type RunResult struct {
+	// Result is the tool's collected data (zero value for baselines).
+	Result Result
+	// Elapsed is the target's wall-clock lifetime.
+	Elapsed ktime.Duration
+	// TargetUser/TargetKern are the target's CPU time split.
+	TargetUser ktime.Duration
+	TargetKern ktime.Duration
+	// Machine is the booted machine, for post-run inspection.
+	Machine *machine.Machine
+	// Target is the monitored process.
+	Target *kernel.Process
+}
+
+// Run boots the machine, spawns the target, attaches the tool, drives the
+// kernel until all processes exit, and collects results.
+func Run(spec RunSpec) (*RunResult, error) {
+	if spec.NewTarget == nil {
+		return nil, fmt.Errorf("monitor: RunSpec.NewTarget is nil")
+	}
+	if spec.Tool != nil {
+		if err := spec.Config.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	m := machine.Boot(spec.Profile, spec.Seed)
+	k := m.Kernel()
+	if spec.OnBoot != nil {
+		spec.OnBoot(m)
+	}
+	if spec.Noise {
+		k.SpawnDaemon("os-noise", workload.OSNoise(spec.Seed^0x9e37))
+	}
+	name := spec.TargetName
+	if name == "" {
+		name = "target"
+	}
+	// The target is created stopped so the tool can arm itself before the
+	// target's first instruction (the `tool ./program` launch pattern),
+	// then resumed behind any tool processes already in the run queue.
+	prog := spec.NewTarget()
+	target := k.SpawnStopped(name, prog)
+	if spec.Tool != nil {
+		if err := spec.Tool.Attach(m, target, prog, spec.Config); err != nil {
+			return nil, fmt.Errorf("monitor: attach %s: %w", spec.Tool.Name(), err)
+		}
+	}
+	if tr, ok := spec.Tool.(TargetResumer); !ok || !tr.ResumesTarget() {
+		k.Resume(target)
+	}
+	if err := k.Run(spec.Limit); err != nil {
+		return nil, fmt.Errorf("monitor: run under %s: %w", toolName(spec.Tool), err)
+	}
+	if !target.Exited() {
+		return nil, fmt.Errorf("monitor: target %q did not exit (state %v)", name, target.State())
+	}
+	res := &RunResult{
+		Elapsed:    target.Runtime(),
+		TargetUser: target.UserTime(),
+		TargetKern: target.KernelTime(),
+		Machine:    m,
+		Target:     target,
+	}
+	if spec.Tool != nil {
+		res.Result = spec.Tool.Collect()
+	}
+	return res, nil
+}
+
+func toolName(t Tool) string {
+	if t == nil {
+		return "baseline"
+	}
+	return t.Name()
+}

@@ -1,0 +1,119 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/kleb"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/workload"
+)
+
+func smallWorkload() workload.Script {
+	return workload.Synthetic{
+		Name:       "small",
+		TotalInstr: 300_000_000, // ~60ms at CPI≈0.5
+		Footprint:  512 << 10,
+	}.Script()
+}
+
+func newTargetFactory(s workload.Script) func() kernel.Program {
+	return func() kernel.Program { return s.Program() }
+}
+
+func TestBaselineRunCompletes(t *testing.T) {
+	res, err := monitor.Run(monitor.RunSpec{
+		Profile:    machine.Nehalem(),
+		Seed:       1,
+		TargetName: "small",
+		NewTarget:  newTargetFactory(smallWorkload()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed == 0 {
+		t.Fatal("zero elapsed time")
+	}
+	if res.TargetUser == 0 {
+		t.Error("no user time accumulated")
+	}
+	t.Logf("baseline elapsed=%v user=%v kern=%v", res.Elapsed, res.TargetUser, res.TargetKern)
+}
+
+func TestBaselineDeterministicAcrossRuns(t *testing.T) {
+	run := func() ktime.Duration {
+		res, err := monitor.Run(monitor.RunSpec{
+			Profile:   machine.Nehalem(),
+			Seed:      42,
+			NewTarget: newTargetFactory(smallWorkload()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different elapsed: %v vs %v", a, b)
+	}
+}
+
+func TestKlebRunProducesSamples(t *testing.T) {
+	res, err := monitor.Run(monitor.RunSpec{
+		Profile:   machine.Nehalem(),
+		Seed:      7,
+		NewTarget: newTargetFactory(smallWorkload()),
+		Tool:      kleb.New(),
+		Config: monitor.Config{
+			Events:        []isa.Event{isa.EvInstructions, isa.EvLLCMisses, isa.EvLoads, isa.EvStores},
+			Period:        ktime.Millisecond,
+			ExcludeKernel: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Result.Samples) < 10 {
+		t.Fatalf("expected a healthy sample series, got %d samples", len(res.Result.Samples))
+	}
+	instr := res.Result.Totals[isa.EvInstructions]
+	if instr < 290_000_000 || instr > 310_000_000 {
+		t.Errorf("instruction total %d not within 3%% of 300M", instr)
+	}
+	t.Logf("kleb samples=%d elapsed=%v instr=%d", len(res.Result.Samples), res.Elapsed, instr)
+}
+
+func TestKlebOverheadIsSmall(t *testing.T) {
+	base, err := monitor.Run(monitor.RunSpec{
+		Profile:   machine.Nehalem(),
+		Seed:      9,
+		NewTarget: newTargetFactory(smallWorkload()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.Run(monitor.RunSpec{
+		Profile:   machine.Nehalem(),
+		Seed:      9,
+		NewTarget: newTargetFactory(smallWorkload()),
+		Tool:      kleb.New(),
+		Config: monitor.Config{
+			Events:        []isa.Event{isa.EvInstructions, isa.EvLLCMisses},
+			Period:        10 * ktime.Millisecond,
+			ExcludeKernel: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := 100 * (float64(mon.Elapsed) - float64(base.Elapsed)) / float64(base.Elapsed)
+	if overhead < 0 {
+		t.Errorf("negative overhead %f%%", overhead)
+	}
+	if overhead > 5 {
+		t.Errorf("K-LEB overhead %f%% unreasonably high at 10ms", overhead)
+	}
+	t.Logf("kleb overhead at 10ms: %.3f%% (base=%v mon=%v)", overhead, base.Elapsed, mon.Elapsed)
+}

@@ -1,0 +1,323 @@
+// Package pmu models the per-core Performance Monitoring Unit at the
+// register level: programmable counters controlled by IA32_PERFEVTSELx
+// MSRs, fixed-function counters, global enable/status registers, 48-bit
+// counter width with overflow interrupts (PMI).
+//
+// Keeping the real programming model matters for this reproduction: K-LEB,
+// perf, PAPI and LiMiT differ precisely in *who* programs these registers,
+// *when* counting is enabled around context switches, and *how* counts
+// travel back to user space. All tools in this repository therefore talk to
+// the same register file the way their real counterparts talk to hardware.
+package pmu
+
+import (
+	"fmt"
+
+	"kleb/internal/isa"
+)
+
+// MSR addresses (matching the Intel SDM for the Nehalem family onward).
+const (
+	MSRPmc0         uint32 = 0x0C1 // IA32_PMC0..IA32_PMC3
+	MSRPerfEvtSel0  uint32 = 0x186 // IA32_PERFEVTSEL0..3
+	MSRFixedCtr0    uint32 = 0x309 // IA32_FIXED_CTR0..2
+	MSRFixedCtrCtrl uint32 = 0x38D // IA32_FIXED_CTR_CTRL
+	MSRGlobalStatus uint32 = 0x38E // IA32_PERF_GLOBAL_STATUS
+	MSRGlobalCtrl   uint32 = 0x38F // IA32_PERF_GLOBAL_CTRL
+	MSRGlobalOvf    uint32 = 0x390 // IA32_PERF_GLOBAL_OVF_CTRL
+)
+
+// IA32_PERFEVTSEL bit fields.
+const (
+	SelUsr uint64 = 1 << 16 // count at CPL > 0
+	SelOS  uint64 = 1 << 17 // count at CPL 0
+	SelInt uint64 = 1 << 20 // PMI on overflow
+	SelEn  uint64 = 1 << 22 // counter enable
+)
+
+// Fixed-counter control nibble bits (per counter, 4 bits each).
+const (
+	FixedOS  uint64 = 1 << 0
+	FixedUsr uint64 = 1 << 1
+	FixedPMI uint64 = 1 << 3
+)
+
+// CounterWidth is the architectural counter width in bits.
+const CounterWidth = 48
+
+// counterMask keeps counters within CounterWidth bits.
+const counterMask = (uint64(1) << CounterWidth) - 1
+
+// NumProgrammable and NumFixed match the modern Intel layout the paper
+// describes: four programmable plus three fixed counters.
+const (
+	NumProgrammable = 4
+	NumFixed        = 3
+)
+
+// Fixed-function counter meanings, in architectural order.
+var fixedEvents = [NumFixed]isa.Event{
+	isa.EvInstructions, // IA32_FIXED_CTR0: INST_RETIRED.ANY
+	isa.EvCycles,       // IA32_FIXED_CTR1: CPU_CLK_UNHALTED.CORE
+	isa.EvRefCycles,    // IA32_FIXED_CTR2: CPU_CLK_UNHALTED.REF
+}
+
+// Encoding is an architectural event encoding (event select + unit mask).
+type Encoding struct {
+	EventSel uint8
+	Umask    uint8
+}
+
+// Sel builds an IA32_PERFEVTSEL value from the encoding and flag bits.
+func (e Encoding) Sel(flags uint64) uint64 {
+	return uint64(e.EventSel) | uint64(e.Umask)<<8 | flags
+}
+
+// EventTable maps architectural encodings onto the simulator's ground-truth
+// event classes. Each machine profile carries its own table, mirroring how
+// encodings vary between microarchitectures.
+type EventTable map[Encoding]isa.Event
+
+// Lookup resolves an IA32_PERFEVTSEL value to an event class.
+func (t EventTable) Lookup(sel uint64) (isa.Event, bool) {
+	ev, ok := t[Encoding{EventSel: uint8(sel), Umask: uint8(sel >> 8)}]
+	return ev, ok
+}
+
+// EncodingFor returns the architectural encoding that counts ev on this
+// machine, if the microarchitecture exposes one.
+func (t EventTable) EncodingFor(ev isa.Event) (Encoding, bool) {
+	for enc, e := range t {
+		if e == ev {
+			return enc, true
+		}
+	}
+	return Encoding{}, false
+}
+
+// PMU is one core's performance monitoring unit.
+type PMU struct {
+	table EventTable
+
+	evtsel [NumProgrammable]uint64
+	pmc    [NumProgrammable]uint64
+
+	fixed     [NumFixed]uint64
+	fixedCtrl uint64
+
+	globalCtrl   uint64
+	globalStatus uint64
+
+	// onPMI is invoked (if set) when an overflow occurs on a counter with
+	// its PMI bit set. The kernel routes this to the local APIC handler.
+	onPMI func(counter int, fixed bool)
+}
+
+// New creates a PMU resolving encodings through table.
+func New(table EventTable) *PMU {
+	return &PMU{
+		table: table,
+		// Power-on default: everything disabled, matching hardware.
+	}
+}
+
+// SetPMIHandler installs the overflow interrupt callback.
+func (p *PMU) SetPMIHandler(fn func(counter int, fixed bool)) { p.onPMI = fn }
+
+// Table returns the PMU's event encoding table.
+func (p *PMU) Table() EventTable { return p.table }
+
+// WriteMSR implements WRMSR for the PMU register range.
+func (p *PMU) WriteMSR(addr uint32, val uint64) error {
+	switch {
+	case addr >= MSRPmc0 && addr < MSRPmc0+NumProgrammable:
+		p.pmc[addr-MSRPmc0] = val & counterMask
+	case addr >= MSRPerfEvtSel0 && addr < MSRPerfEvtSel0+NumProgrammable:
+		p.evtsel[addr-MSRPerfEvtSel0] = val
+	case addr >= MSRFixedCtr0 && addr < MSRFixedCtr0+NumFixed:
+		p.fixed[addr-MSRFixedCtr0] = val & counterMask
+	case addr == MSRFixedCtrCtrl:
+		p.fixedCtrl = val
+	case addr == MSRGlobalCtrl:
+		p.globalCtrl = val
+	case addr == MSRGlobalOvf:
+		// Writing 1 bits clears the corresponding status bits.
+		p.globalStatus &^= val
+	case addr == MSRGlobalStatus:
+		return fmt.Errorf("pmu: IA32_PERF_GLOBAL_STATUS is read-only")
+	default:
+		return fmt.Errorf("pmu: WRMSR to unknown MSR %#x", addr)
+	}
+	return nil
+}
+
+// ReadMSR implements RDMSR for the PMU register range.
+func (p *PMU) ReadMSR(addr uint32) (uint64, error) {
+	switch {
+	case addr >= MSRPmc0 && addr < MSRPmc0+NumProgrammable:
+		return p.pmc[addr-MSRPmc0], nil
+	case addr >= MSRPerfEvtSel0 && addr < MSRPerfEvtSel0+NumProgrammable:
+		return p.evtsel[addr-MSRPerfEvtSel0], nil
+	case addr >= MSRFixedCtr0 && addr < MSRFixedCtr0+NumFixed:
+		return p.fixed[addr-MSRFixedCtr0], nil
+	case addr == MSRFixedCtrCtrl:
+		return p.fixedCtrl, nil
+	case addr == MSRGlobalCtrl:
+		return p.globalCtrl, nil
+	case addr == MSRGlobalStatus:
+		return p.globalStatus, nil
+	default:
+		return 0, fmt.Errorf("pmu: RDMSR from unknown MSR %#x", addr)
+	}
+}
+
+// RDPMC implements the user-visible RDPMC instruction: counter indexes
+// 0..NumProgrammable-1 read PMCs; indexes with bit 30 set read fixed
+// counters (as on real hardware).
+func (p *PMU) RDPMC(idx uint32) (uint64, error) {
+	if idx&(1<<30) != 0 {
+		i := idx &^ (1 << 30)
+		if i >= NumFixed {
+			return 0, fmt.Errorf("pmu: RDPMC fixed index %d out of range", i)
+		}
+		return p.fixed[i], nil
+	}
+	if idx >= NumProgrammable {
+		return 0, fmt.Errorf("pmu: RDPMC index %d out of range", idx)
+	}
+	return p.pmc[idx], nil
+}
+
+// progEnabled reports whether programmable counter i counts at priv.
+func (p *PMU) progEnabled(i int, priv isa.Priv) bool {
+	if p.globalCtrl&(1<<uint(i)) == 0 {
+		return false
+	}
+	sel := p.evtsel[i]
+	if sel&SelEn == 0 {
+		return false
+	}
+	if priv == isa.User {
+		return sel&SelUsr != 0
+	}
+	return sel&SelOS != 0
+}
+
+// fixedEnabled reports whether fixed counter i counts at priv.
+func (p *PMU) fixedEnabled(i int, priv isa.Priv) bool {
+	if p.globalCtrl&(1<<uint(32+i)) == 0 {
+		return false
+	}
+	nibble := (p.fixedCtrl >> uint(4*i)) & 0xF
+	if priv == isa.User {
+		return nibble&FixedUsr != 0
+	}
+	return nibble&FixedOS != 0
+}
+
+// AddCounts feeds a batch of ground-truth event counts, produced at the
+// given privilege level, into every enabled counter. Overflows set global
+// status bits and raise PMIs where requested. This is the single point
+// through which all simulated "hardware" event activity flows.
+func (p *PMU) AddCounts(c isa.Counts, priv isa.Priv) {
+	for i := 0; i < NumProgrammable; i++ {
+		if !p.progEnabled(i, priv) {
+			continue
+		}
+		ev, ok := p.table.Lookup(p.evtsel[i])
+		if !ok {
+			continue
+		}
+		n := c[ev]
+		if n == 0 {
+			continue
+		}
+		before := p.pmc[i]
+		p.pmc[i] = (before + n) & counterMask
+		if p.pmc[i] < before || before+n > counterMask {
+			p.overflowProg(i)
+		}
+	}
+	for i := 0; i < NumFixed; i++ {
+		if !p.fixedEnabled(i, priv) {
+			continue
+		}
+		n := c[fixedEvents[i]]
+		if n == 0 {
+			continue
+		}
+		before := p.fixed[i]
+		p.fixed[i] = (before + n) & counterMask
+		if p.fixed[i] < before || before+n > counterMask {
+			p.overflowFixed(i)
+		}
+	}
+}
+
+func (p *PMU) overflowProg(i int) {
+	p.globalStatus |= 1 << uint(i)
+	if p.evtsel[i]&SelInt != 0 && p.onPMI != nil {
+		p.onPMI(i, false)
+	}
+}
+
+func (p *PMU) overflowFixed(i int) {
+	p.globalStatus |= 1 << uint(32+i)
+	nibble := (p.fixedCtrl >> uint(4*i)) & 0xF
+	if nibble&FixedPMI != 0 && p.onPMI != nil {
+		p.onPMI(i, true)
+	}
+}
+
+// OverflowInit returns the counter preset value that will overflow after
+// period further events — the standard sampling idiom (write -period).
+func OverflowInit(period uint64) uint64 {
+	if period == 0 || period > counterMask {
+		return 0
+	}
+	return (counterMask + 1 - period) & counterMask
+}
+
+// CounterMask exposes the 48-bit wrap mask for tools computing deltas.
+func CounterMask() uint64 { return counterMask }
+
+// DecodeSel renders an IA32_PERFEVTSEL value for humans, resolving the
+// event through the table when possible — the debugging view of what a
+// counter is programmed to do.
+func (p *PMU) DecodeSel(sel uint64) string {
+	name := "?"
+	if ev, ok := p.table.Lookup(sel); ok {
+		name = ev.String()
+	}
+	flags := ""
+	if sel&SelUsr != 0 {
+		flags += "usr,"
+	}
+	if sel&SelOS != 0 {
+		flags += "os,"
+	}
+	if sel&SelInt != 0 {
+		flags += "int,"
+	}
+	if sel&SelEn != 0 {
+		flags += "en,"
+	}
+	if flags != "" {
+		flags = flags[:len(flags)-1]
+	}
+	return fmt.Sprintf("%s (event=%#02x umask=%#02x flags=%s)",
+		name, sel&0xFF, (sel>>8)&0xFF, flags)
+}
+
+// Snapshot renders the whole register file for debugging.
+func (p *PMU) Snapshot() string {
+	out := fmt.Sprintf("GLOBAL_CTRL=%#x GLOBAL_STATUS=%#x FIXED_CTRL=%#x\n",
+		p.globalCtrl, p.globalStatus, p.fixedCtrl)
+	for i := 0; i < NumProgrammable; i++ {
+		out += fmt.Sprintf("PMC%d=%d SEL%d=%s\n", i, p.pmc[i], i, p.DecodeSel(p.evtsel[i]))
+	}
+	for i := 0; i < NumFixed; i++ {
+		out += fmt.Sprintf("FIXED%d=%d (%s)\n", i, p.fixed[i], fixedEvents[i])
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Package power estimates dynamic CPU power from hardware event samples —
+// the use case the paper cites from Liu et al. ("dynamic power estimation
+// with hardware performance counters support on multi-core platform",
+// reference [12]): a weighted linear model over per-period event counts.
+//
+// Models of this family assign an energy cost to each architectural
+// activity (a retired instruction, a cache miss that drives the DRAM bus, a
+// floating point operation) plus a leakage/static floor, and evaluate the
+// sum per sampling window. Their accuracy lives or dies on the sampling
+// rate: a 10ms tool sees one average per scheduler quantum, while K-LEB's
+// 100µs windows resolve program phases into the power trace.
+package power
+
+import (
+	"fmt"
+
+	"kleb/internal/isa"
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+)
+
+// Model is a linear per-event energy model.
+type Model struct {
+	// StaticWatts is the constant baseline (leakage + uncore).
+	StaticWatts float64
+	// EnergyPerEvent maps each event to its marginal energy in nanojoules.
+	// Events absent from the map contribute nothing.
+	EnergyPerEvent map[isa.Event]float64
+}
+
+// DefaultModel returns weights of the magnitude the literature reports for
+// Nehalem-class parts: ~0.5nJ per instruction, tens of nJ per DRAM access,
+// and a ~15W static floor.
+func DefaultModel() Model {
+	return Model{
+		StaticWatts: 15,
+		EnergyPerEvent: map[isa.Event]float64{
+			isa.EvInstructions: 0.45,
+			isa.EvFPOps:        0.30,
+			isa.EvL2Misses:     4.0,
+			isa.EvLLCMisses:    35.0, // DRAM access + bus
+			isa.EvCacheFlushes: 6.0,
+		},
+	}
+}
+
+// Point is one window's power estimate.
+type Point struct {
+	Time  ktime.Time
+	Watts float64
+}
+
+// Estimate is a power trace plus its integral.
+type Estimate struct {
+	// Series is the per-window power estimate.
+	Series []Point
+	// EnergyJoules integrates the trace over the sampled span.
+	EnergyJoules float64
+	// MeanWatts and PeakWatts summarize the trace.
+	MeanWatts, PeakWatts float64
+}
+
+// FromSamples evaluates the model over a collected sample stream. The
+// events slice gives the meaning of each delta column. At least one modeled
+// event must be present.
+func (m Model) FromSamples(events []isa.Event, samples []monitor.Sample) (*Estimate, error) {
+	modeled := 0
+	idx := make([]float64, len(events)) // nJ weight per column
+	for i, ev := range events {
+		if w, ok := m.EnergyPerEvent[ev]; ok {
+			idx[i] = w
+			modeled++
+		}
+	}
+	if modeled == 0 {
+		return nil, fmt.Errorf("power: none of the collected events %v are in the model", events)
+	}
+	est := &Estimate{}
+	var prev ktime.Time
+	var sum float64
+	for si, s := range samples {
+		var nj float64
+		for i, d := range s.Deltas {
+			if i < len(idx) {
+				nj += idx[i] * float64(d)
+			}
+		}
+		window := s.Time.Sub(prev)
+		if si == 0 || window == 0 {
+			// The first window's span is unknown; approximate with the
+			// next gap once available, or skip a zero-length window.
+			prev = s.Time
+			if si == 0 && len(samples) > 1 {
+				window = samples[1].Time.Sub(s.Time)
+			}
+			if window == 0 {
+				continue
+			}
+		}
+		watts := m.StaticWatts + nj/float64(window) // nJ per ns == W
+		est.Series = append(est.Series, Point{Time: s.Time, Watts: watts})
+		est.EnergyJoules += watts * window.Seconds()
+		sum += watts
+		if watts > est.PeakWatts {
+			est.PeakWatts = watts
+		}
+		prev = s.Time
+	}
+	if n := len(est.Series); n > 0 {
+		est.MeanWatts = sum / float64(n)
+	}
+	return est, nil
+}

@@ -1,0 +1,147 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/kleb"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/workload"
+)
+
+var powerEvents = []isa.Event{isa.EvInstructions, isa.EvLLCMisses, isa.EvFPOps}
+
+func mkSamples(n int, period ktime.Duration, instr, misses uint64) []monitor.Sample {
+	out := make([]monitor.Sample, n)
+	for i := range out {
+		out[i] = monitor.Sample{
+			Time:   ktime.Time(i+1) * ktime.Time(period),
+			Deltas: []uint64{instr, misses, 0},
+		}
+	}
+	return out
+}
+
+func TestEstimateArithmetic(t *testing.T) {
+	m := Model{
+		StaticWatts:    10,
+		EnergyPerEvent: map[isa.Event]float64{isa.EvInstructions: 1.0}, // 1 nJ/instr
+	}
+	// 1M instructions per 1ms window: 1e6 nJ / 1e6 ns = 1 W dynamic.
+	est, err := m.FromSamples(powerEvents, mkSamples(10, ktime.Millisecond, 1_000_000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.MeanWatts-11) > 1e-9 {
+		t.Errorf("mean %f W, want 11", est.MeanWatts)
+	}
+	if math.Abs(est.PeakWatts-11) > 1e-9 {
+		t.Errorf("peak %f", est.PeakWatts)
+	}
+	// 11W over 10ms = 0.11 J.
+	if math.Abs(est.EnergyJoules-0.11) > 1e-6 {
+		t.Errorf("energy %f J, want 0.11", est.EnergyJoules)
+	}
+	if len(est.Series) != 10 {
+		t.Errorf("series %d", len(est.Series))
+	}
+}
+
+func TestEstimateRejectsUnmodeledEvents(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.FromSamples([]isa.Event{isa.EvBranches}, nil); err == nil {
+		t.Error("unmodeled event set should fail")
+	}
+}
+
+func TestMemoryBoundBurnsMorePowerPerInstruction(t *testing.T) {
+	m := DefaultModel()
+	compute, err := m.FromSamples(powerEvents, mkSamples(20, ktime.Millisecond, 5_000_000, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory, err := m.FromSamples(powerEvents, mkSamples(20, ktime.Millisecond, 1_000_000, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The memory-bound trace retires 5× fewer instructions but drives DRAM:
+	// its energy per instruction must be far higher.
+	epiC := compute.EnergyJoules / (20 * 5e6)
+	epiM := memory.EnergyJoules / (20 * 1e6)
+	if epiM < 2*epiC {
+		t.Errorf("energy/instr: compute %.3e, memory %.3e", epiC, epiM)
+	}
+}
+
+func TestPowerTraceFromKLEBRun(t *testing.T) {
+	// End to end: collect a phase-structured workload at 1ms and check the
+	// power trace resolves the phases (hot compute start, cooler tail).
+	prof := machine.Nehalem()
+	prof.Costs.NoiseRel = 0
+	prof.Costs.RunNoiseRel = 0
+	prof.Costs.TimerJitterRel = 0
+	script := workload.Script{Name: "two-phase", Phases: []workload.Phase{
+		{Name: "hot", TotalInstr: 300_000_000, BlockInstr: 200_000,
+			LoadsPerK: 100, FPsPerK: 500, MulsPerK: 200,
+			Mem: isa.MemPattern{Base: 0x10_0000, Footprint: 24 << 10, Stride: 8}},
+		{Name: "cold", TotalInstr: 50_000_000, BlockInstr: 200_000,
+			LoadsPerK: 350,
+			Mem:       isa.MemPattern{Base: 0x20_0000, Footprint: 64 << 20, Stride: 8, RandomFrac: 0.4}},
+	}}
+	res, err := monitor.Run(monitor.RunSpec{
+		Profile:   prof,
+		Seed:      2,
+		NewTarget: func() kernel.Program { return script.Program() },
+		Tool:      kleb.New(),
+		Config:    monitor.Config{Events: powerEvents, Period: ktime.Millisecond, ExcludeKernel: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := DefaultModel().FromSamples(powerEvents, res.Result.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MeanWatts <= DefaultModel().StaticWatts {
+		t.Errorf("mean %f W not above the static floor", est.MeanWatts)
+	}
+	if est.PeakWatts <= est.MeanWatts {
+		t.Error("flat power trace: phases not resolved")
+	}
+	if est.EnergyJoules <= 0 {
+		t.Error("no energy integrated")
+	}
+	// Both phases appear: compare first-quarter vs last-quarter mean power.
+	q := len(est.Series) / 4
+	var head, tail float64
+	for i := 0; i < q; i++ {
+		head += est.Series[i].Watts
+		tail += est.Series[len(est.Series)-1-i].Watts
+	}
+	if head == tail {
+		t.Error("power trace cannot distinguish the workload's phases")
+	}
+}
+
+func TestEstimateEmptyAndDegenerate(t *testing.T) {
+	m := DefaultModel()
+	est, err := m.FromSamples(powerEvents, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Series) != 0 || est.EnergyJoules != 0 || est.MeanWatts != 0 {
+		t.Error("empty stream should produce an empty estimate")
+	}
+	// A single sample has no window span: no points, no crash.
+	est, err = m.FromSamples(powerEvents, mkSamples(1, ktime.Millisecond, 1000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Series) > 1 {
+		t.Errorf("series %d from a single sample", len(est.Series))
+	}
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"kleb/internal/experiments"
+	"kleb/internal/ktime"
+)
+
+// The report writer is exercised against real (small) experiment runs so
+// the rendering stays in sync with the result types.
+func TestReportRendersAllSections(t *testing.T) {
+	var sb strings.Builder
+	r := New(&sb)
+
+	lp, err := experiments.RunLinpack(experiments.LinpackConfig{Trials: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.TableI(lp)
+	r.Fig4(lp)
+
+	t2, err := experiments.RunOverhead(experiments.OverheadConfig{
+		Workload: experiments.WorkloadTriple, Trials: 2, Seed: 1,
+		Tools: []experiments.ToolKind{experiments.KLEB, experiments.PerfStat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.TableII(t2)
+	r.Fig8(t2)
+
+	t3, err := experiments.RunOverhead(experiments.OverheadConfig{
+		Workload: experiments.WorkloadDgemm, Trials: 2, Seed: 1, StockKernelOnly: true,
+		Tools: []experiments.ToolKind{experiments.KLEB, experiments.LiMiT},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.TableIII(t3)
+
+	md, err := experiments.RunMeltdown(experiments.MeltdownConfig{Rounds: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Fig6and7(md)
+
+	ac, err := experiments.RunAccuracy(experiments.AccuracyConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Fig9(ac)
+
+	tm, err := experiments.RunTimers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Timers(tm)
+
+	sw, err := experiments.RunSweep(experiments.SweepConfig{
+		Periods: []ktime.Duration{10 * ktime.Millisecond}, Trials: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Sweep(sw)
+
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# K-LEB reproduction",
+		"## Table I",
+		"## Table II",
+		"## Table III",
+		"## Fig 4",
+		"## Fig 6/7",
+		"## Fig 8",
+		"## Fig 9",
+		"## Timer granularity",
+		"## Rate sweep",
+		"| kleb |",
+		"n/a (", // LiMiT's Table III row
+		"37.24", // the paper column is present
+		"```",   // sparkline fences
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if r.Sections() != 9 {
+		t.Errorf("sections: %d", r.Sections())
+	}
+	// Markdown sanity: every table row line has balanced pipes.
+	for i, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "|") && !strings.HasSuffix(line, "|") {
+			t.Errorf("line %d: unbalanced table row %q", i+1, line)
+		}
+	}
+}
+
+func TestReportFig5(t *testing.T) {
+	res, err := experiments.RunDocker(experiments.DockerConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	r := New(&sb)
+	r.Fig5(res)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	out := sb.String()
+	for _, want := range []string{"## Fig 5", "| ruby |", "| tomcat |", "memory-intensive", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Contains(out, "**NO**") {
+		t.Error("a classification mismatch leaked into the report")
+	}
+}
+
+// errWriter fails after n bytes to exercise error propagation.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestReportSurfacesWriteErrors(t *testing.T) {
+	r := New(&errWriter{n: 16})
+	tm, err := experiments.RunTimers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Timers(tm)
+	if r.Err() == nil {
+		t.Error("write error swallowed")
+	}
+}

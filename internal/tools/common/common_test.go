@@ -1,0 +1,90 @@
+package common
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+)
+
+func TestDeltaTrackerFirstSampleIsAbsolute(t *testing.T) {
+	var d DeltaTracker
+	s := d.Sample(100, []uint64{10, 20})
+	if s.Time != 100 || s.Deltas[0] != 10 || s.Deltas[1] != 20 {
+		t.Errorf("first sample: %+v", s)
+	}
+}
+
+func TestDeltaTrackerDeltas(t *testing.T) {
+	var d DeltaTracker
+	d.Sample(1, []uint64{100, 1000})
+	s := d.Sample(2, []uint64{150, 1700})
+	if s.Deltas[0] != 50 || s.Deltas[1] != 700 {
+		t.Errorf("deltas: %v", s.Deltas)
+	}
+	// A counter that went backwards (reprogramming glitch) clamps to zero
+	// rather than underflowing.
+	s = d.Sample(3, []uint64{100, 1800})
+	if s.Deltas[0] != 0 || s.Deltas[1] != 100 {
+		t.Errorf("clamped deltas: %v", s.Deltas)
+	}
+	if d.Last()[0] != 100 {
+		t.Errorf("Last: %v", d.Last())
+	}
+}
+
+// Property: for monotone counter streams, the deltas always re-sum to the
+// final absolute values.
+func TestDeltaTrackerSumsBack(t *testing.T) {
+	prop := func(increments []uint8) bool {
+		var d DeltaTracker
+		var abs uint64
+		var sum uint64
+		for i, inc := range increments {
+			abs += uint64(inc)
+			s := d.Sample(ktime.Time(i+1), []uint64{abs})
+			sum += s.Deltas[0]
+		}
+		return sum == abs
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatOpShape(t *testing.T) {
+	op := FormatOp(90_000)
+	ex, ok := op.(kernel.OpExec)
+	if !ok {
+		t.Fatalf("FormatOp should be an exec op, got %T", op)
+	}
+	b := ex.Block
+	if b.Instr != 90_000 || b.Loads == 0 || b.Mem.Footprint == 0 {
+		t.Errorf("format block: %+v", b)
+	}
+	if b.MemOps() > b.Instr {
+		t.Error("more memory ops than instructions")
+	}
+}
+
+func TestLogPointOpIsTiny(t *testing.T) {
+	op := LogPointOp(400)
+	ex := op.(kernel.OpExec)
+	// The point of LogPointOp: its counted footprint must stay negligible
+	// so instrumentation does not perturb Fig 9's count agreement.
+	if ex.Block.Instr > 5_000 {
+		t.Errorf("log point retires %d instructions; too heavy", ex.Block.Instr)
+	}
+}
+
+func TestWriteOpIsASyscall(t *testing.T) {
+	op := WriteOp(100 * ktime.Microsecond)
+	sc, ok := op.(kernel.OpSyscall)
+	if !ok {
+		t.Fatalf("WriteOp should be a syscall, got %T", op)
+	}
+	if sc.Name != "write" {
+		t.Errorf("syscall name %q", sc.Name)
+	}
+}

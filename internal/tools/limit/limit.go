@@ -1,0 +1,244 @@
+// Package limit models LiMiT (Demme & Sethumadhavan, ISCA'11): a kernel
+// patch that virtualizes the performance counters per process and allows
+// user-space RDPMC, so instrumented programs read counters without any
+// system call. That removes PAPI's syscall cost — LiMiT's measured edge in
+// Table II — but the approach requires a patched (here: legacy) kernel:
+// Attach refuses to run on a stock kernel, which is why the paper's
+// Table III has no LiMiT entry for the MKL machine.
+package limit
+
+import (
+	"fmt"
+
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/pmu"
+	"kleb/internal/tools/common"
+	"kleb/internal/workload"
+)
+
+// DefaultPoints matches PAPI's strategic point count.
+const DefaultPoints = 200
+
+// LogWriteCost and LogFormatInstr are the same harness logging costs PAPI
+// pays; LiMiT only saves the counter-read syscalls.
+const LogWriteCost = 430 * ktime.Microsecond
+
+// RdpmcInstr is the user-side cost of the four-RDPMC read sequence.
+const RdpmcInstr = 400
+
+// Tool is the LiMiT baseline.
+type Tool struct {
+	// Points overrides the strategic point count (0 = default).
+	Points int
+
+	cfg     monitor.Config
+	events  []isa.Event
+	machine *machine.Machine
+	target  *kernel.Process
+	tracker common.DeltaTracker
+	samples []monitor.Sample
+	totals  []uint64
+	// saved holds the target's virtualized counter values while it is
+	// scheduled out (the patch's per-process counter save/restore).
+	saved    []uint64
+	enabled  bool
+	hookID   kernel.ProbeID
+	fixedIdx []int // fixed counter index per event, or -1 for programmable
+	progIdx  []int // programmable counter index per event, or -1
+}
+
+var _ monitor.Tool = (*Tool)(nil)
+
+// New returns an unattached LiMiT tool.
+func New() *Tool { return &Tool{} }
+
+// Name implements monitor.Tool.
+func (t *Tool) Name() string { return "limit" }
+
+// Attach implements monitor.Tool.
+func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, prog kernel.Program, cfg monitor.Config) error {
+	if !m.Kernel().LiMiTPatched() {
+		return fmt.Errorf("limit: kernel is not LiMiT-patched (unsupported OS and kernel version)")
+	}
+	sp, ok := prog.(*workload.ScriptProgram)
+	if !ok {
+		return fmt.Errorf("limit: target %q is not instrumentable: LiMiT requires source code access", target.Name())
+	}
+	if n := len(cfg.ProgrammableEvents()); n > pmu.NumProgrammable {
+		return fmt.Errorf("limit: %d programmable events exceed the %d hardware counters", n, pmu.NumProgrammable)
+	}
+	t.cfg = cfg
+	t.events = cfg.Events
+	t.machine = m
+	t.target = target
+	t.totals = make([]uint64, len(cfg.Events))
+	t.saved = make([]uint64, len(cfg.Events))
+	t.planCounters()
+	t.program()
+	// The patch's switch path virtualizes the counters for the target.
+	t.hookID = m.Kernel().RegisterBuiltinSwitchHook(t.onSwitch)
+
+	points := t.Points
+	if points <= 0 {
+		points = DefaultPoints
+	}
+	every := sp.Script().TotalInstr() / uint64(points)
+	if every == 0 {
+		every = 1
+	}
+	sp.HookEvery = every
+	sp.Hook = t.strategicPoint
+	return nil
+}
+
+// planCounters assigns events to fixed or programmable counters.
+func (t *Tool) planCounters() {
+	t.fixedIdx = make([]int, len(t.events))
+	t.progIdx = make([]int, len(t.events))
+	next := 0
+	for i, ev := range t.events {
+		t.fixedIdx[i], t.progIdx[i] = -1, -1
+		switch ev {
+		case isa.EvInstructions:
+			t.fixedIdx[i] = 0
+		case isa.EvCycles:
+			t.fixedIdx[i] = 1
+		case isa.EvRefCycles:
+			t.fixedIdx[i] = 2
+		default:
+			t.progIdx[i] = next
+			next++
+		}
+	}
+}
+
+// program writes the event selections once at attach (the patched kernel
+// sets this up when the instrumented program calls the LiMiT init).
+func (t *Tool) program() {
+	pm := t.machine.Core().PMU()
+	table := pm.Table()
+	flags := uint64(pmu.SelUsr)
+	if !t.cfg.ExcludeKernel {
+		flags |= pmu.SelOS
+	}
+	for i, ev := range t.events {
+		if t.progIdx[i] < 0 {
+			continue
+		}
+		enc, ok := table.EncodingFor(ev)
+		if !ok {
+			continue
+		}
+		wrmsr(pm, pmu.MSRPerfEvtSel0+uint32(t.progIdx[i]), enc.Sel(flags|pmu.SelEn))
+		wrmsr(pm, pmu.MSRPmc0+uint32(t.progIdx[i]), 0)
+	}
+	var fixedCtrl uint64
+	for i := range t.events {
+		if t.fixedIdx[i] < 0 {
+			continue
+		}
+		nib := uint64(pmu.FixedUsr)
+		if !t.cfg.ExcludeKernel {
+			nib |= pmu.FixedOS
+		}
+		fixedCtrl |= nib << uint(4*t.fixedIdx[i])
+		wrmsr(pm, pmu.MSRFixedCtr0+uint32(t.fixedIdx[i]), 0)
+	}
+	wrmsr(pm, pmu.MSRFixedCtrCtrl, fixedCtrl)
+	wrmsr(pm, pmu.MSRGlobalCtrl, 0)
+}
+
+func (t *Tool) enableMask() uint64 {
+	var mask uint64
+	for i := range t.events {
+		if t.progIdx[i] >= 0 {
+			mask |= 1 << uint(t.progIdx[i])
+		}
+		if t.fixedIdx[i] >= 0 {
+			mask |= 1 << uint(32+t.fixedIdx[i])
+		}
+	}
+	return mask
+}
+
+// onSwitch is the patch's counter virtualization: save and disable on
+// switch-out of the target, restore and enable on switch-in.
+func (t *Tool) onSwitch(k *kernel.Kernel, prev, next *kernel.Process) {
+	pm := k.Core().PMU()
+	if prev == t.target {
+		for i := range t.events {
+			t.saved[i] = t.read(pm, i)
+		}
+		wrmsr(pm, pmu.MSRGlobalCtrl, 0)
+		t.enabled = false
+		k.ChargeKernel(ktime.Duration(len(t.events)+1) * k.Costs().MSRAccess)
+	}
+	if next == t.target {
+		for i := range t.events {
+			t.write(pm, i, t.saved[i])
+		}
+		wrmsr(pm, pmu.MSRGlobalCtrl, t.enableMask())
+		t.enabled = true
+		k.ChargeKernel(ktime.Duration(len(t.events)+1) * k.Costs().MSRAccess)
+	}
+}
+
+func (t *Tool) read(pm *pmu.PMU, i int) uint64 {
+	if t.fixedIdx[i] >= 0 {
+		v, _ := pm.ReadMSR(pmu.MSRFixedCtr0 + uint32(t.fixedIdx[i]))
+		return v
+	}
+	v, _ := pm.ReadMSR(pmu.MSRPmc0 + uint32(t.progIdx[i]))
+	return v
+}
+
+func (t *Tool) write(pm *pmu.PMU, i int, v uint64) {
+	if t.fixedIdx[i] >= 0 {
+		wrmsr(pm, pmu.MSRFixedCtr0+uint32(t.fixedIdx[i]), v)
+		return
+	}
+	wrmsr(pm, pmu.MSRPmc0+uint32(t.progIdx[i]), v)
+}
+
+// strategicPoint reads the counters with RDPMC — no syscall — then logs.
+func (t *Tool) strategicPoint(k *kernel.Kernel, p *kernel.Process) []kernel.Op {
+	pm := k.Core().PMU()
+	values := make([]uint64, len(t.events))
+	for i := range t.events {
+		if t.fixedIdx[i] >= 0 {
+			values[i], _ = pm.RDPMC(uint32(t.fixedIdx[i]) | 1<<30)
+		} else {
+			values[i], _ = pm.RDPMC(uint32(t.progIdx[i]))
+		}
+	}
+	t.samples = append(t.samples, t.tracker.Sample(k.Now(), values))
+	copy(t.totals, values)
+	return []kernel.Op{
+		common.LogPointOp(RdpmcInstr),
+		common.WriteOp(LogWriteCost),
+	}
+}
+
+// Collect implements monitor.Tool.
+func (t *Tool) Collect() monitor.Result {
+	res := monitor.Result{
+		Tool:    t.Name(),
+		Events:  t.events,
+		Samples: t.samples,
+		Totals:  make(map[isa.Event]uint64, len(t.events)),
+	}
+	for i, ev := range t.events {
+		res.Totals[ev] = t.totals[i]
+	}
+	return res
+}
+
+func wrmsr(pm *pmu.PMU, addr uint32, val uint64) {
+	if err := pm.WriteMSR(addr, val); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package papi models PAPI-C instrumentation: the monitored program's
+// source is modified to initialize the PAPI library and to read an event
+// set at strategic points. Every read of every event is a system call into
+// the kernel's counter subsystem — the expensive path the paper (and the
+// LiMiT work before it) identifies as PAPI's overhead problem — and the
+// library's hardware-detection initialization is a fixed startup cost that
+// dominates short workloads (Table III's 21.4%).
+package papi
+
+import (
+	"fmt"
+
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/tools/common"
+	"kleb/internal/workload"
+)
+
+// DefaultPoints is how many strategic read points the instrumentation
+// inserts when the caller does not choose (the paper matches the timer
+// tools' sample counts).
+const DefaultPoints = 200
+
+// InitInstr is PAPI_library_init's work (component discovery, hardware
+// tables); calibrated against Table III.
+const InitInstr = 10_000_000
+
+// LogWriteCost is the kernel-side log flush per strategic point.
+const LogWriteCost = 330 * ktime.Microsecond
+
+// Tool is the PAPI baseline. It requires source instrumentation: Attach
+// fails unless the target program exposes the instrumentation seam.
+type Tool struct {
+	// Points overrides the number of strategic read points (0 = default).
+	Points int
+
+	cfg     monitor.Config
+	events  []isa.Event
+	pes     []*kernel.PerfEvent
+	tracker common.DeltaTracker
+	samples []monitor.Sample
+	totals  []uint64
+}
+
+var _ monitor.Tool = (*Tool)(nil)
+
+// New returns an unattached PAPI tool.
+func New() *Tool { return &Tool{} }
+
+// Name implements monitor.Tool.
+func (t *Tool) Name() string { return "papi" }
+
+// Attach implements monitor.Tool by instrumenting the target's program.
+func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, prog kernel.Program, cfg monitor.Config) error {
+	sp, ok := prog.(*workload.ScriptProgram)
+	if !ok {
+		return fmt.Errorf("papi: target %q is not instrumentable: PAPI requires source code access", target.Name())
+	}
+	if n := len(cfg.ProgrammableEvents()); n > 4 {
+		return fmt.Errorf("papi: event set of %d programmable events exceeds the %d hardware counters", n, 4)
+	}
+	t.cfg = cfg
+	t.events = cfg.Events
+	t.totals = make([]uint64, len(cfg.Events))
+	points := t.Points
+	if points <= 0 {
+		points = DefaultPoints
+	}
+	every := sp.Script().TotalInstr() / uint64(points)
+	if every == 0 {
+		every = 1
+	}
+
+	// PAPI_library_init + PAPI_create_eventset + PAPI_start at the top of
+	// main: library setup work, then one perf_event_open per event.
+	prelude := []kernel.Op{common.FormatOp(InitInstr)}
+	for _, ev := range cfg.Events {
+		ev := ev
+		prelude = append(prelude, kernel.OpSyscall{
+			Name: "perf_event_open",
+			Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+				pe, err := k.Perf().Open(target.PID(), kernel.EventSpec{
+					Event:         ev,
+					ExcludeKernel: cfg.ExcludeKernel,
+				})
+				if err != nil {
+					return err
+				}
+				t.pes = append(t.pes, pe)
+				return nil
+			},
+		})
+	}
+	sp.Prelude = prelude
+	sp.HookEvery = every
+	sp.Hook = t.strategicPoint
+	return nil
+}
+
+// strategicPoint emits the operations of one instrumented read site:
+// PAPI_read (one read syscall per event in the set) followed by the
+// harness's logging of the values.
+func (t *Tool) strategicPoint(k *kernel.Kernel, p *kernel.Process) []kernel.Op {
+	if len(t.pes) != len(t.events) {
+		return nil // library init failed; nothing to read
+	}
+	values := make([]uint64, len(t.pes))
+	ops := make([]kernel.Op, 0, len(t.pes)+2)
+	for i, pe := range t.pes {
+		i, pe := i, pe
+		ops = append(ops, kernel.OpSyscall{Name: "read", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+			v, _, _ := k.Perf().Read(pe)
+			values[i] = v
+			if i == len(t.pes)-1 {
+				t.samples = append(t.samples, t.tracker.Sample(k.Now(), values))
+				copy(t.totals, values)
+			}
+			return nil
+		}})
+	}
+	ops = append(ops, common.LogPointOp(0), common.WriteOp(LogWriteCost))
+	return ops
+}
+
+// Collect implements monitor.Tool: totals are the last read's absolute
+// values (PAPI counts precisely; its cost is how it reads).
+func (t *Tool) Collect() monitor.Result {
+	res := monitor.Result{
+		Tool:    t.Name(),
+		Events:  t.events,
+		Samples: t.samples,
+		Totals:  make(map[isa.Event]uint64, len(t.events)),
+	}
+	for i, ev := range t.events {
+		res.Totals[ev] = t.totals[i]
+	}
+	return res
+}

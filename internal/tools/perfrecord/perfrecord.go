@@ -1,0 +1,179 @@
+// Package perfrecord models `perf record -F <freq> -p <pid>`: sampling
+// mode. The kernel arms each event's counter to overflow after a period,
+// the resulting PMI captures a sample record into a buffer, and the
+// frequency feedback loop retunes the period toward the requested rate. A
+// user-space perf process wakes occasionally to flush the buffer to
+// perf.data.
+//
+// Counts reconstructed from samples are estimates (sums of elapsed
+// periods): cheap to collect, but carrying the quantization error the
+// paper's Fig 9 measures at under 0.15% versus K-LEB.
+package perfrecord
+
+import (
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/tools/common"
+)
+
+// DrainInterval is how often the perf process flushes its mmap buffer.
+const DrainInterval = 100 * ktime.Millisecond
+
+// DrainWriteCost is the kernel-side cost of one perf.data flush.
+const DrainWriteCost = 260 * ktime.Microsecond
+
+// StartupInstr models fork/exec and event setup at launch.
+const StartupInstr = 3_000_000
+
+// Tool is the perf record baseline.
+type Tool struct {
+	cfg    monitor.Config
+	freq   uint64
+	events []isa.Event
+	proc   *recProc
+}
+
+var _ monitor.Tool = (*Tool)(nil)
+
+// New returns an unattached perf record tool.
+func New() *Tool { return &Tool{} }
+
+// Name implements monitor.Tool.
+func (t *Tool) Name() string { return "perf-record" }
+
+// Attach implements monitor.Tool. cfg.Period is translated to perf's -F
+// frequency (samples per second of target runtime).
+func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, _ kernel.Program, cfg monitor.Config) error {
+	t.cfg = cfg
+	t.events = cfg.Events
+	t.freq = uint64(ktime.Second / cfg.Period)
+	if t.freq == 0 {
+		t.freq = 1
+	}
+	t.proc = &recProc{tool: t, target: target}
+	m.Kernel().Spawn("perf-record", t.proc)
+	return nil
+}
+
+// ResumesTarget implements monitor.TargetResumer: perf forks/execs the
+// target itself, with counters enabled on exec.
+func (t *Tool) ResumesTarget() bool { return true }
+
+// Collect implements monitor.Tool. Totals are sampling estimates; the
+// sample series is per-event and not row-aligned, so Samples stays empty
+// (perf record's output is a profile, not an interval table).
+func (t *Tool) Collect() monitor.Result {
+	res := monitor.Result{
+		Tool:      t.Name(),
+		Events:    t.events,
+		Totals:    make(map[isa.Event]uint64, len(t.events)),
+		Estimated: true,
+	}
+	for i, pe := range t.proc.events {
+		res.Totals[t.events[i]] = pe.SampledCount()
+	}
+	return res
+}
+
+// SampleCount returns the total number of PMI samples taken (all events).
+func (t *Tool) SampleCount() int {
+	n := 0
+	for _, pe := range t.proc.events {
+		n += len(pe.Samples())
+	}
+	return n
+}
+
+// recProc is the perf record process's program.
+type recProc struct {
+	tool   *Tool
+	target *kernel.Process
+
+	state      int
+	opened     int
+	execed     bool
+	closed     int
+	finalFlush bool
+	events     []*kernel.PerfEvent
+	flushed    int
+}
+
+const (
+	stStartup = iota
+	stOpen
+	stLoop
+	stFlush
+	stClose
+)
+
+// Next implements kernel.Program.
+func (rp *recProc) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
+	switch rp.state {
+	case stStartup:
+		rp.state = stOpen
+		return common.FormatOp(StartupInstr)
+	case stOpen:
+		if rp.opened < len(rp.tool.events) {
+			ev := rp.tool.events[rp.opened]
+			rp.opened++
+			return kernel.OpSyscall{Name: "perf_event_open", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+				pe, err := k.Perf().Open(rp.target.PID(), kernel.EventSpec{
+					Event:         ev,
+					ExcludeKernel: rp.tool.cfg.ExcludeKernel,
+					SampleFreq:    rp.tool.freq,
+				})
+				if err != nil {
+					return err
+				}
+				rp.events = append(rp.events, pe)
+				return nil
+			}}
+		}
+		if !rp.execed {
+			rp.execed = true
+			return kernel.OpSyscall{Name: "execve", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+				k.Resume(rp.target)
+				return nil
+			}}
+		}
+		rp.state = stLoop
+		fallthrough
+	case stLoop:
+		if rp.target.Exited() {
+			rp.state = stClose
+			return rp.Next(k, p)
+		}
+		rp.state = stFlush
+		return kernel.OpSleep{D: DrainInterval}
+	case stFlush:
+		rp.state = stLoop
+		n := rp.tool.SampleCount()
+		newSamples := n - rp.flushed
+		rp.flushed = n
+		if newSamples == 0 {
+			return rp.Next(k, p)
+		}
+		return common.WriteOp(DrainWriteCost + ktime.Duration(newSamples)*500*ktime.Nanosecond)
+	case stClose:
+		if rp.closed < len(rp.events) {
+			pe := rp.events[rp.closed]
+			rp.closed++
+			return kernel.OpSyscall{Name: "close", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+				k.Perf().Close(pe)
+				return nil
+			}}
+		}
+		if !rp.finalFlush {
+			rp.finalFlush = true
+			n := rp.tool.SampleCount() - rp.flushed
+			if n > 0 {
+				return common.WriteOp(DrainWriteCost + ktime.Duration(n)*500*ktime.Nanosecond)
+			}
+		}
+		return kernel.OpExit{}
+	}
+	return kernel.OpExit{}
+}

@@ -1,0 +1,214 @@
+// Package perfstat models `perf stat -I <interval> -p <pid>`: a separate
+// user-space process built on the kernel's perf_events subsystem that
+// counts the requested events for the target and prints a snapshot every
+// interval.
+//
+// Its costs are exactly the ones the paper attributes to it: the interval
+// loop runs on a user-space (jiffy-granularity) timer, so it cannot sample
+// faster than 10ms; every interval pays wakeup context switches, one
+// expensive read syscall per event, and user-space formatting; and with
+// more programmable events than hardware counters the kernel time-
+// multiplexes, making the reported counts scaled estimates.
+package perfstat
+
+import (
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/tools/common"
+)
+
+// FormatInstr is the per-interval user-space formatting work (instruction
+// count); calibrated against the paper's Table II (see DESIGN.md §1).
+const FormatInstr = 250_000
+
+// StartupInstr models fork/exec plus option and event parsing at launch.
+const StartupInstr = 3_000_000
+
+// Tool is the perf stat baseline.
+type Tool struct {
+	cfg     monitor.Config
+	period  ktime.Duration // effective (jiffy-clamped) interval
+	proc    *perfProc
+	multi   bool
+	events  []isa.Event
+	samples []monitor.Sample
+	totals  map[isa.Event]uint64
+}
+
+var _ monitor.Tool = (*Tool)(nil)
+
+// New returns an unattached perf stat tool.
+func New() *Tool { return &Tool{} }
+
+// Name implements monitor.Tool.
+func (t *Tool) Name() string { return "perf-stat" }
+
+// EffectivePeriod returns the interval actually used after the user-timer
+// granularity clamp.
+func (t *Tool) EffectivePeriod() ktime.Duration { return t.period }
+
+// Attach implements monitor.Tool: spawn the perf process.
+func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, _ kernel.Program, cfg monitor.Config) error {
+	t.cfg = cfg
+	t.events = cfg.Events
+	t.totals = make(map[isa.Event]uint64)
+	jiffy := m.Kernel().Costs().Jiffy
+	t.period = cfg.Period
+	if t.period < jiffy {
+		// User-space timers cannot fire faster than the jiffy rate; perf
+		// silently degrades to 10ms, which is the paper's §II-C point.
+		t.period = jiffy
+	}
+	t.multi = len(cfg.ProgrammableEvents()) > 4
+	t.proc = &perfProc{tool: t, target: target}
+	m.Kernel().Spawn("perf-stat", t.proc)
+	return nil
+}
+
+// ResumesTarget implements monitor.TargetResumer: perf forks/execs the
+// target itself, with counters enabled on exec.
+func (t *Tool) ResumesTarget() bool { return true }
+
+// Collect implements monitor.Tool.
+func (t *Tool) Collect() monitor.Result {
+	return monitor.Result{
+		Tool:      t.Name(),
+		Events:    t.events,
+		Samples:   t.samples,
+		Totals:    t.totals,
+		Estimated: t.multi,
+	}
+}
+
+// perfProc is the perf process's program.
+type perfProc struct {
+	tool   *Tool
+	target *kernel.Process
+
+	state   int
+	events  []*kernel.PerfEvent
+	opened  int
+	execed  bool
+	tracker common.DeltaTracker
+	reads   []uint64
+	readIdx int
+	queue   []kernel.Op
+}
+
+const (
+	stStartup = iota
+	stOpen
+	stLoop
+	stRead
+	stFormat
+	stFinal
+	stClose
+)
+
+// Next implements kernel.Program.
+func (pp *perfProc) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
+	if len(pp.queue) > 0 {
+		op := pp.queue[0]
+		pp.queue = pp.queue[1:]
+		return op
+	}
+	switch pp.state {
+	case stStartup:
+		pp.state = stOpen
+		return common.FormatOp(StartupInstr)
+	case stOpen:
+		if pp.opened < len(pp.tool.events) {
+			ev := pp.tool.events[pp.opened]
+			pp.opened++
+			return kernel.OpSyscall{Name: "perf_event_open", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+				pe, err := k.Perf().Open(pp.target.PID(), kernel.EventSpec{
+					Event:         ev,
+					ExcludeKernel: pp.tool.cfg.ExcludeKernel,
+				})
+				if err != nil {
+					return err
+				}
+				pp.events = append(pp.events, pe)
+				return nil
+			}}
+		}
+		if !pp.execed {
+			// fork/exec the target with counters enabled on exec.
+			pp.execed = true
+			return kernel.OpSyscall{Name: "execve", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+				k.Resume(pp.target)
+				return nil
+			}}
+		}
+		pp.state = stLoop
+		fallthrough
+	case stLoop:
+		if pp.target.Exited() {
+			pp.state = stFinal
+			pp.readIdx = 0
+			return pp.Next(k, p)
+		}
+		pp.state = stRead
+		pp.reads = pp.reads[:0]
+		pp.readIdx = 0
+		// Absolute-interval semantics (setitimer): wake at the next
+		// multiple of the interval, not interval-from-now, so per-interval
+		// work does not stretch the cadence.
+		period := uint64(pp.tool.period)
+		next := (uint64(k.Now())/period + 1) * period
+		return kernel.OpSleep{Until: ktime.Time(next)}
+	case stRead:
+		if pp.readIdx < len(pp.events) {
+			pe := pp.events[pp.readIdx]
+			pp.readIdx++
+			return kernel.OpSyscall{Name: "read", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+				pp.reads = append(pp.reads, scaledRead(k, pe))
+				return nil
+			}}
+		}
+		pp.state = stFormat
+		fallthrough
+	case stFormat:
+		pp.tool.samples = append(pp.tool.samples,
+			pp.tracker.Sample(k.Now(), append([]uint64(nil), pp.reads...)))
+		pp.state = stLoop
+		return common.FormatOp(FormatInstr)
+	case stFinal:
+		// Final read of every counter for whole-run totals.
+		if pp.readIdx < len(pp.events) {
+			pe := pp.events[pp.readIdx]
+			idx := pp.readIdx
+			pp.readIdx++
+			return kernel.OpSyscall{Name: "read", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+				pp.tool.totals[pp.tool.events[idx]] = scaledRead(k, pe)
+				return nil
+			}}
+		}
+		pp.state = stClose
+		fallthrough
+	case stClose:
+		if len(pp.events) > 0 {
+			pe := pp.events[len(pp.events)-1]
+			pp.events = pp.events[:len(pp.events)-1]
+			return kernel.OpSyscall{Name: "close", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
+				k.Perf().Close(pe)
+				return nil
+			}}
+		}
+		return kernel.OpExit{}
+	}
+	return kernel.OpExit{}
+}
+
+// scaledRead performs the perf_events read and applies the enabled/running
+// multiplexing scaling user-space perf applies.
+func scaledRead(k *kernel.Kernel, pe *kernel.PerfEvent) uint64 {
+	v, enabled, running := k.Perf().Read(pe)
+	if running == 0 || enabled == running {
+		return v
+	}
+	return uint64(float64(v) * float64(enabled) / float64(running))
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"math"
+
+	"kleb/internal/ktime"
+)
+
+// Additional series analysis shared by examples and detectors: correlation
+// between event streams, rate conversion, and histograms.
+
+// Correlation returns the Pearson correlation coefficient of two
+// equally-indexed series (the shorter length is used). It returns 0 when
+// either series is constant or empty.
+func Correlation(a, b []uint64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n < 2 {
+		return 0
+	}
+	var sa, sb float64
+	for i := 0; i < n; i++ {
+		sa += float64(a[i])
+		sb += float64(b[i])
+	}
+	ma, mb := sa/float64(n), sb/float64(n)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da, db := float64(a[i])-ma, float64(b[i])-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// RatePerSecond converts per-window deltas into an events-per-second
+// series given the sampling period.
+func RatePerSecond(series []uint64, period ktime.Duration) []float64 {
+	if period == 0 {
+		return nil
+	}
+	out := make([]float64, len(series))
+	sec := period.Seconds()
+	for i, v := range series {
+		out[i] = float64(v) / sec
+	}
+	return out
+}
+
+// Histogram bins values into n equal-width buckets over [min, max] and
+// returns the per-bucket counts plus the bucket width. Degenerate input
+// (empty, or constant values) yields a single bucket.
+func Histogram(values []float64, n int) (counts []int, lo, width float64) {
+	if len(values) == 0 || n < 1 {
+		return nil, 0, 0
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return []int{len(values)}, lo, 0
+	}
+	width = (hi - lo) / float64(n)
+	counts = make([]int, n)
+	for _, v := range values {
+		b := int((v - lo) / width)
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts, lo, width
+}

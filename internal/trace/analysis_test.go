@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kleb/internal/ktime"
+)
+
+func TestCorrelation(t *testing.T) {
+	a := []uint64{1, 2, 3, 4, 5}
+	if got := Correlation(a, a); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self correlation %f", got)
+	}
+	anti := []uint64{5, 4, 3, 2, 1}
+	if got := Correlation(a, anti); math.Abs(got+1) > 1e-9 {
+		t.Errorf("anti correlation %f", got)
+	}
+	if Correlation(a, []uint64{7, 7, 7, 7, 7}) != 0 {
+		t.Error("constant series should correlate 0")
+	}
+	if Correlation(nil, a) != 0 || Correlation(a[:1], a[:1]) != 0 {
+		t.Error("degenerate inputs")
+	}
+	// Unequal lengths use the common prefix.
+	if got := Correlation(a, []uint64{1, 2, 3}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("prefix correlation %f", got)
+	}
+}
+
+func TestCorrelationBounds(t *testing.T) {
+	prop := func(a, b []uint8) bool {
+		ua := make([]uint64, len(a))
+		ub := make([]uint64, len(b))
+		for i, v := range a {
+			ua[i] = uint64(v)
+		}
+		for i, v := range b {
+			ub[i] = uint64(v)
+		}
+		c := Correlation(ua, ub)
+		return c >= -1.0000001 && c <= 1.0000001 && !math.IsNaN(c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatePerSecond(t *testing.T) {
+	rates := RatePerSecond([]uint64{100, 200}, ktime.Millisecond)
+	if rates[0] != 100_000 || rates[1] != 200_000 {
+		t.Errorf("rates: %v", rates)
+	}
+	if RatePerSecond([]uint64{1}, 0) != nil {
+		t.Error("zero period should return nil")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, lo, width := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if lo != 0 || math.Abs(width-1.8) > 1e-9 {
+		t.Errorf("lo=%f width=%f", lo, width)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram lost values: %v", counts)
+	}
+	// Constant input collapses to one bucket.
+	counts, _, width = Histogram([]float64{3, 3, 3}, 4)
+	if len(counts) != 1 || counts[0] != 3 || width != 0 {
+		t.Errorf("constant histogram: %v width %f", counts, width)
+	}
+	if c, _, _ := Histogram(nil, 3); c != nil {
+		t.Error("empty input")
+	}
+}

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary input must never panic the parser, and anything
+// WriteCSV produced must parse back.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time_us,INST_RETIRED\n100.0,42\n")
+	f.Add("time_us,LLC_MISSES,INST_RETIRED\n0.1,1,2\n0.2,3,4\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, samples, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Valid parses round-trip.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, events, samples); err != nil {
+			t.Fatalf("re-render failed: %v", err)
+		}
+		_, samples2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(samples2) != len(samples) {
+			t.Fatalf("round trip changed row count: %d vs %d", len(samples2), len(samples))
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package trace
+
+// Phase segmentation: split an event-rate series into homogeneous segments
+// by detecting sustained level shifts between adjacent windows. This is the
+// offline counterpart of the paper's Fig 4 reading — "we can see a clear
+// phase transition from loading data and computation, followed by a storing
+// phase" — turned into code so experiments and examples can assert phase
+// structure instead of eyeballing it.
+
+// Segment is one homogeneous stretch of a series.
+type Segment struct {
+	// Start and End are sample indexes [Start, End).
+	Start, End int
+	// Mean is the per-sample mean of the series over the segment.
+	Mean float64
+}
+
+// Len returns the segment length in samples.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// SegmentOptions tunes the detector.
+type SegmentOptions struct {
+	// Window is the comparison window length in samples (default 8).
+	Window int
+	// Ratio is the level-shift factor that opens a new segment: a boundary
+	// is placed where the next window's mean differs from the current
+	// segment's mean by more than this factor either way (default 2).
+	Ratio float64
+	// MinLen drops segments shorter than this (they merge into their
+	// predecessor; default = Window).
+	MinLen int
+}
+
+func (o *SegmentOptions) defaults() {
+	if o.Window <= 0 {
+		o.Window = 8
+	}
+	if o.Ratio <= 1 {
+		o.Ratio = 2
+	}
+	if o.MinLen <= 0 {
+		o.MinLen = o.Window
+	}
+}
+
+// Segments splits series into level-homogeneous segments.
+func Segments(series []uint64, opts SegmentOptions) []Segment {
+	opts.defaults()
+	if len(series) == 0 {
+		return nil
+	}
+	window := opts.Window
+	if window > len(series) {
+		window = len(series)
+	}
+
+	windowMean := func(at int) float64 {
+		end := at + window
+		if end > len(series) {
+			end = len(series)
+		}
+		var s float64
+		for _, v := range series[at:end] {
+			s += float64(v)
+		}
+		return s / float64(end-at)
+	}
+	shifted := func(segMean, next float64) bool {
+		if segMean == 0 {
+			return next > 1 // leaving a silent stretch is always a shift
+		}
+		r := next / segMean
+		return r > opts.Ratio || r < 1/opts.Ratio
+	}
+
+	var segs []Segment
+	for start := 0; start < len(series); {
+		var sum float64
+		count := 0
+		end := len(series)
+		for i := start; i < len(series); i++ {
+			sum += float64(series[i])
+			count++
+			if count < opts.MinLen || i+1 >= len(series) {
+				continue
+			}
+			segMean := sum / float64(count)
+			if !shifted(segMean, windowMean(i+1)) {
+				continue
+			}
+			// A shift is in sight within the lookahead window; snap the
+			// boundary to the first sample that individually clears the
+			// ratio, so transition slivers don't become segments of their
+			// own.
+			b := i + 1
+			for j := i + 1; j < i+1+window && j < len(series); j++ {
+				if shifted(segMean, float64(series[j])) {
+					b = j
+					break
+				}
+			}
+			// Fold the remaining pre-boundary samples into this segment.
+			for j := i + 1; j < b; j++ {
+				sum += float64(series[j])
+				count++
+			}
+			end = b
+			break
+		}
+		mean := 0.0
+		if n := end - start; n > 0 {
+			// Recompute exactly over [start, end) — the scan above may have
+			// stopped early.
+			var s float64
+			for _, v := range series[start:end] {
+				s += float64(v)
+			}
+			mean = s / float64(n)
+		}
+		segs = append(segs, Segment{Start: start, End: end, Mean: mean})
+		start = end
+	}
+	return segs
+}
+
+// DominantSegment returns the segment covering the most samples.
+func DominantSegment(segs []Segment) Segment {
+	var best Segment
+	for _, s := range segs {
+		if s.Len() > best.Len() {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func level(n int, v uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSegmentsFlatSeries(t *testing.T) {
+	segs := Segments(level(100, 500), SegmentOptions{})
+	if len(segs) != 1 {
+		t.Fatalf("flat series split into %d segments", len(segs))
+	}
+	if segs[0].Start != 0 || segs[0].End != 100 || segs[0].Mean != 500 {
+		t.Errorf("segment %+v", segs[0])
+	}
+}
+
+func TestSegmentsTwoLevels(t *testing.T) {
+	series := append(level(50, 100), level(50, 1000)...)
+	segs := Segments(series, SegmentOptions{})
+	if len(segs) != 2 {
+		t.Fatalf("two-level series split into %d segments: %+v", len(segs), segs)
+	}
+	// Boundary within a window of the true change point.
+	if b := segs[0].End; b < 42 || b > 58 {
+		t.Errorf("boundary at %d, truth 50", b)
+	}
+	if segs[0].Mean >= segs[1].Mean {
+		t.Error("segment means not ordered with the data")
+	}
+}
+
+func TestSegmentsSilentThenActive(t *testing.T) {
+	series := append(level(30, 0), level(30, 400)...)
+	segs := Segments(series, SegmentOptions{})
+	if len(segs) != 2 {
+		t.Fatalf("silent→active split into %d segments", len(segs))
+	}
+	if segs[0].Mean != 0 {
+		t.Errorf("first segment mean %f", segs[0].Mean)
+	}
+}
+
+func TestSegmentsIgnoreSmallWobble(t *testing.T) {
+	series := make([]uint64, 100)
+	for i := range series {
+		series[i] = 1000 + uint64(i%7)*20 // ±12% wobble
+	}
+	segs := Segments(series, SegmentOptions{Ratio: 2})
+	if len(segs) != 1 {
+		t.Errorf("wobble split into %d segments", len(segs))
+	}
+}
+
+func TestSegmentsLinpackLikePhases(t *testing.T) {
+	// Fig 4 shape in miniature: silence (init), a store burst, then a long
+	// repeating solve region at a middling level.
+	series := append(level(20, 0), level(30, 5000)...)
+	series = append(series, level(150, 900)...)
+	segs := Segments(series, SegmentOptions{})
+	if len(segs) != 3 {
+		t.Fatalf("want 3 phases, got %d: %+v", len(segs), segs)
+	}
+	dom := DominantSegment(segs)
+	if dom.Start < 40 || dom.Len() < 100 {
+		t.Errorf("dominant segment should be the solve region: %+v", dom)
+	}
+}
+
+func TestSegmentsEdgeCases(t *testing.T) {
+	if Segments(nil, SegmentOptions{}) != nil {
+		t.Error("empty series")
+	}
+	segs := Segments([]uint64{7}, SegmentOptions{})
+	if len(segs) != 1 || segs[0].Mean != 7 {
+		t.Errorf("singleton: %+v", segs)
+	}
+	if DominantSegment(nil).Len() != 0 {
+		t.Error("dominant of nothing")
+	}
+}
+
+// Property: segments always partition the series exactly.
+func TestSegmentsPartitionProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		series := make([]uint64, len(raw))
+		for i, v := range raw {
+			series[i] = uint64(v)
+		}
+		segs := Segments(series, SegmentOptions{})
+		if len(series) == 0 {
+			return segs == nil
+		}
+		at := 0
+		for _, s := range segs {
+			if s.Start != at || s.End <= s.Start {
+				return false
+			}
+			at = s.End
+		}
+		return at == len(series)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"kleb/internal/isa"
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+)
+
+// WriteCSV renders a sample series as CSV: a header of event mnemonics,
+// then one row per sample with the timestamp in microseconds. This is the
+// K-LEB controller's log file format.
+func WriteCSV(w io.Writer, events []isa.Event, samples []monitor.Sample) error {
+	cols := make([]string, 0, len(events)+1)
+	cols = append(cols, "time_us")
+	for _, ev := range events {
+		cols = append(cols, ev.String())
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		row := make([]string, 0, len(events)+1)
+		row = append(row, fmt.Sprintf("%.1f", float64(s.Time)/1000))
+		for i := range events {
+			var v uint64
+			if i < len(s.Deltas) {
+				v = s.Deltas[i]
+			}
+			row = append(row, fmt.Sprintf("%d", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses a sample log written by WriteCSV (or by the K-LEB
+// controller), returning the event columns and the samples.
+func ReadCSV(r io.Reader) ([]isa.Event, []monitor.Sample, error) {
+	scanner := bufio.NewScanner(r)
+	if !scanner.Scan() {
+		return nil, nil, fmt.Errorf("trace: empty log")
+	}
+	header := strings.Split(scanner.Text(), ",")
+	if len(header) < 2 || header[0] != "time_us" {
+		return nil, nil, fmt.Errorf("trace: bad header %q", scanner.Text())
+	}
+	events := make([]isa.Event, 0, len(header)-1)
+	for _, name := range header[1:] {
+		ev, ok := isa.EventByName(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("trace: unknown event column %q", name)
+		}
+		events = append(events, ev)
+	}
+	var samples []monitor.Sample
+	line := 1
+	for scanner.Scan() {
+		line++
+		fields := strings.Split(scanner.Text(), ",")
+		if len(fields) != len(header) {
+			return nil, nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(fields), len(header))
+		}
+		us, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: line %d timestamp: %w", line, err)
+		}
+		s := monitor.Sample{
+			Time:   ktime.Time(us * 1000),
+			Deltas: make([]uint64, len(events)),
+		}
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: line %d column %d: %w", line, i+1, err)
+			}
+			s.Deltas[i] = v
+		}
+		samples = append(samples, s)
+	}
+	return events, samples, scanner.Err()
+}
+
+// Bucket aggregates a delta series into n equal-count buckets (summing
+// deltas), for compact textual rendering of long time series.
+func Bucket(series []uint64, n int) []uint64 {
+	if n <= 0 || len(series) == 0 {
+		return nil
+	}
+	if n > len(series) {
+		n = len(series)
+	}
+	out := make([]uint64, n)
+	for i, v := range series {
+		out[i*n/len(series)] += v
+	}
+	return out
+}
+
+// Sparkline renders a delta series as a one-line unicode bar chart — handy
+// for eyeballing phase behaviour (Fig 4/7) in terminal output.
+func Sparkline(series []uint64, width int) string {
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	b := Bucket(series, width)
+	if len(b) == 0 {
+		return ""
+	}
+	var max uint64
+	for _, v := range b {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range b {
+		idx := 0
+		if max > 0 {
+			idx = int(v * uint64(len(levels)-1) / max)
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}

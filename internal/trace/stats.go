@@ -1,0 +1,156 @@
+// Package trace provides the small analysis layer the experiments share:
+// summary statistics, box-and-whisker descriptions, MPKI computation, and
+// CSV rendering of sample time series.
+package trace
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats summarizes a sample of float64 values.
+type Stats struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes Stats for xs (zero value for empty input).
+func Summarize(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	s := Stats{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It returns 0 for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Box is a box-and-whisker description (Tukey style): quartiles, whiskers
+// at the most extreme points within 1.5·IQR of the box, and outliers
+// beyond them. It is the shape of the paper's Fig 8.
+type Box struct {
+	Q1, Median, Q3          float64
+	WhiskerLow, WhiskerHigh float64
+	Outliers                []float64
+}
+
+// IQR returns the interquartile range.
+func (b Box) IQR() float64 { return b.Q3 - b.Q1 }
+
+// Spread returns whisker-to-whisker width — the "spread" the paper uses to
+// argue K-LEB is the most consistent tool.
+func (b Box) Spread() float64 { return b.WhiskerHigh - b.WhiskerLow }
+
+// BoxPlot computes the box description of xs.
+func BoxPlot(xs []float64) Box {
+	b := Box{
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+	}
+	iqr := b.IQR()
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.WhiskerLow = math.Inf(1)
+	b.WhiskerHigh = math.Inf(-1)
+	for _, x := range xs {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.WhiskerLow {
+			b.WhiskerLow = x
+		}
+		if x > b.WhiskerHigh {
+			b.WhiskerHigh = x
+		}
+	}
+	if math.IsInf(b.WhiskerLow, 1) { // everything was an outlier (degenerate)
+		b.WhiskerLow, b.WhiskerHigh = b.Median, b.Median
+	}
+	return b
+}
+
+// MPKI returns misses per kilo-instruction, the paper's classification
+// metric (Fig 5, §IV-B/C).
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) / (float64(instructions) / 1000)
+}
+
+// PercentDiff returns |a-b| as a percentage of the larger magnitude — the
+// paper's Fig 9 metric for cross-tool count agreement. It returns 0 when
+// both are zero.
+func PercentDiff(a, b uint64) float64 {
+	if a == b {
+		return 0
+	}
+	max := a
+	if b > max {
+		max = b
+	}
+	var diff uint64
+	if a > b {
+		diff = a - b
+	} else {
+		diff = b - a
+	}
+	return 100 * float64(diff) / float64(max)
+}
+
+// OverheadPct returns (withTool-baseline)/baseline in percent.
+func OverheadPct(baseline, withTool float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (withTool - baseline) / baseline
+}

@@ -1,0 +1,82 @@
+package workload
+
+import "kleb/internal/isa"
+
+// Heartbleed models the data-only exploit case study the paper cites from
+// Torres & Liu ("Can data-only exploits be detected at runtime using
+// hardware events?", reference [26]): a TLS server answering heartbeat
+// requests, with an attack variant in which malicious heartbeats carry a
+// fake payload length and the response copies tens of kilobytes of
+// adjacent heap memory per request. The exploit never diverts control
+// flow — only the *data* behaviour changes — so the observable is a burst
+// of extra load traffic sweeping heap the server normally never touches.
+type Heartbleed struct {
+	// Requests is the number of heartbeats served.
+	Requests int
+	// AttackStart/AttackEnd bracket the malicious request burst
+	// [AttackStart, AttackEnd) within the request stream.
+	AttackStart, AttackEnd int
+}
+
+// NewHeartbleed returns the standard configuration: 300 requests with a
+// mid-stream attack burst.
+func NewHeartbleed() Heartbleed {
+	return Heartbleed{Requests: 300, AttackStart: 150, AttackEnd: 210}
+}
+
+// request is one benign heartbeat: parse, touch the session state, echo the
+// small payload.
+func (h Heartbleed) request() Phase {
+	return Phase{
+		Name:       "heartbeat",
+		TotalInstr: 120_000,
+		BlockInstr: 40_000,
+		LoadsPerK:  220, StoresPerK: 90, BranchesPerK: 140,
+		MispredictRate: 0.02,
+		Mem: isa.MemPattern{
+			Base: regionSynth + 1<<32, Footprint: 192 << 10, Stride: 8, RandomFrac: 0.05,
+		},
+		Priv: isa.User,
+	}
+}
+
+// exfil is the over-read a malicious heartbeat triggers: memcpy of ~64KB of
+// adjacent heap per request — a pure load burst over memory outside the
+// request path's working set.
+func (h Heartbleed) exfil() Phase {
+	return Phase{
+		Name:       "over-read",
+		TotalInstr: 30_000,
+		BlockInstr: 30_000,
+		LoadsPerK:  650, StoresPerK: 300, BranchesPerK: 20,
+		MispredictRate: 0.005,
+		Mem: isa.MemPattern{
+			// The victim heap: far larger than the request working set and
+			// never warm, so the sweep misses its way through the LLC.
+			Base: regionSynth + 2<<32, Footprint: 24 << 20, Stride: 8,
+		},
+		Priv: isa.User,
+	}
+}
+
+// ServerScript is the benign request stream.
+func (h Heartbleed) ServerScript() Script {
+	phases := make([]Phase, 0, h.Requests)
+	for i := 0; i < h.Requests; i++ {
+		phases = append(phases, h.request())
+	}
+	return Script{Name: "tls-server", Phases: phases}
+}
+
+// AttackScript is the same stream with the malicious burst: requests in
+// [AttackStart, AttackEnd) each trigger the over-read.
+func (h Heartbleed) AttackScript() Script {
+	phases := make([]Phase, 0, h.Requests+(h.AttackEnd-h.AttackStart))
+	for i := 0; i < h.Requests; i++ {
+		phases = append(phases, h.request())
+		if i >= h.AttackStart && i < h.AttackEnd {
+			phases = append(phases, h.exfil())
+		}
+	}
+	return Script{Name: "tls-server+heartbleed", Phases: phases}
+}

@@ -1,0 +1,132 @@
+package workload
+
+import "kleb/internal/isa"
+
+// Linpack models the Intel MKL LINPACK binary the paper profiles: solving a
+// dense n×n linear system. Its event signature has the paper's Fig 4
+// structure:
+//
+//  1. an initialization stretch executing in the kernel (configuration
+//     extraction) during which user-mode counters stay flat;
+//  2. a setup burst with heavy LOAD/STORE traffic and almost no
+//     multiplications (building the benchmark matrices);
+//  3. the solve loop: repeating cycles of panel load → multiply-dominated
+//     computation → result store.
+//
+// The canonical LINPACK flop count 2/3·n³ + 2·n² is returned by Flops; the
+// experiment converts measured runtime into GFLOPS with it, exactly as the
+// real benchmark converts time into a rate.
+type Linpack struct {
+	// N is the problem size (the paper uses 5000).
+	N uint64
+	// Cycles is the number of load/compute/store solve iterations.
+	Cycles int
+}
+
+// NewLinpack returns the standard configuration for problem size n.
+func NewLinpack(n uint64) Linpack {
+	return Linpack{N: n, Cycles: 40}
+}
+
+// Flops returns the nominal floating point operation count.
+func (l Linpack) Flops() uint64 {
+	return 2*l.N*l.N*l.N/3 + 2*l.N*l.N
+}
+
+// Script builds the phase script. Instruction budgets scale with N so a
+// smaller problem runs proportionally faster.
+func (l Linpack) Script() Script {
+	// Budgets are expressed relative to N=5000 and scaled cubically for the
+	// solve phases (O(n³) work) and quadratically for setup (O(n²) data).
+	cube := float64(l.N) / 5000
+	cube = cube * cube * cube
+	sq := float64(l.N) / 5000 * float64(l.N) / 5000
+	scaleC := func(v uint64) uint64 { return uint64(float64(v) * cube) }
+	scaleQ := func(v uint64) uint64 { return uint64(float64(v) * sq) }
+
+	matrixBytes := l.N * l.N * 8 // one n×n float64 matrix
+
+	phases := []Phase{
+		{
+			Name:       "init-kernel",
+			TotalInstr: 120_000_000,
+			BlockInstr: 400_000,
+			LoadsPerK:  120, StoresPerK: 60, BranchesPerK: 180,
+			MispredictRate: 0.04,
+			Mem:            isa.MemPattern{Base: regionLinpack, Footprint: 64 << 10, Stride: 8},
+			Priv:           isa.Kernel,
+		},
+		{
+			Name:       "setup",
+			TotalInstr: scaleQ(520_000_000),
+			BlockInstr: 500_000,
+			LoadsPerK:  430, StoresPerK: 360, BranchesPerK: 60, MulsPerK: 4,
+			MispredictRate: 0.01,
+			Mem: isa.MemPattern{
+				// Matrix generation works through an L2-resident buffer
+				// before the non-temporal stream out, so its LOAD/STORE
+				// burst retires at full speed (the sharp rise of Fig 4).
+				Base:      regionLinpack + 1<<30,
+				Footprint: 192 << 10,
+				Stride:    8,
+			},
+			Priv: isa.User,
+		},
+	}
+	for i := 0; i < l.Cycles; i++ {
+		phases = append(phases,
+			Phase{
+				Name:       "solve-load",
+				TotalInstr: scaleC(2_000_000),
+				BlockInstr: 200_000,
+				LoadsPerK:  430, StoresPerK: 20, BranchesPerK: 40, MulsPerK: 2,
+				MispredictRate: 0.01,
+				Mem: isa.MemPattern{
+					Base:      regionLinpack + 1<<30,
+					Footprint: clampFootprint(matrixBytes, 256<<20),
+					Stride:    8,
+				},
+				Priv: isa.User,
+			},
+			Phase{
+				Name:       "solve-compute",
+				TotalInstr: scaleC(245_000_000),
+				BlockInstr: 1_000_000,
+				LoadsPerK:  240, StoresPerK: 30, BranchesPerK: 50,
+				MulsPerK: 210, FPsPerK: 460,
+				MispredictRate: 0.005,
+				Mem: isa.MemPattern{
+					// Blocked kernel: the active tile lives in L1.
+					Base:      regionLinpack + 2<<30,
+					Footprint: 28 << 10,
+					Stride:    8,
+				},
+				Priv: isa.User,
+			},
+			Phase{
+				Name:       "solve-store",
+				TotalInstr: scaleC(1_000_000),
+				BlockInstr: 200_000,
+				LoadsPerK:  40, StoresPerK: 420, BranchesPerK: 40, MulsPerK: 2,
+				MispredictRate: 0.01,
+				Mem: isa.MemPattern{
+					Base:      regionLinpack + 1<<30,
+					Footprint: clampFootprint(matrixBytes, 256<<20),
+					Stride:    8,
+				},
+				Priv: isa.User,
+			},
+		)
+	}
+	return Script{Name: "linpack", Phases: phases}
+}
+
+func clampFootprint(v, max uint64) uint64 {
+	if v == 0 {
+		return 4096
+	}
+	if v > max {
+		return max
+	}
+	return v
+}

@@ -1,0 +1,114 @@
+package workload
+
+import "kleb/internal/isa"
+
+// TripleLoopMatmul models the paper's overhead-study workload: a naive
+// triple-nested-loop matrix multiplication (Intel's teaching sample). Its
+// column-major B accesses have poor locality, so the working set streams
+// through the whole hierarchy and the program runs for roughly two seconds
+// — long enough for timer-based tools to take ~200 samples at 10ms.
+type TripleLoopMatmul struct {
+	// N is the matrix dimension.
+	N uint64
+}
+
+// NewTripleLoopMatmul returns the configuration used by Tables II and
+// Fig 8/9: a run of about two virtual seconds on the Nehalem profile.
+func NewTripleLoopMatmul() TripleLoopMatmul { return TripleLoopMatmul{N: 1200} }
+
+// Flops returns the nominal 2·n³ flop count.
+func (m TripleLoopMatmul) Flops() uint64 { return 2 * m.N * m.N * m.N }
+
+// Script builds the phase script: a brief allocation/initialization phase
+// followed by one long uniform multiplication phase whose cache behaviour
+// (footprint ≈ 3n²·8 bytes, slight irregularity from the strided column
+// walk) dominates runtime.
+func (m TripleLoopMatmul) Script() Script {
+	cube := float64(m.N) / 1200
+	cube = cube * cube * cube
+	footprint := clampFootprint(3*m.N*m.N*8, 64<<20)
+	return Script{
+		Name: "matmul-triple",
+		Phases: []Phase{
+			{
+				Name:       "init",
+				TotalInstr: 40_000_000,
+				BlockInstr: 400_000,
+				LoadsPerK:  150, StoresPerK: 340, BranchesPerK: 60,
+				MispredictRate: 0.01,
+				Mem:            isa.MemPattern{Base: regionMatmul, Footprint: footprint, Stride: 8},
+				Priv:           isa.User,
+			},
+			{
+				Name:       "multiply",
+				TotalInstr: uint64(1_380_000_000 * cube),
+				BlockInstr: 600_000,
+				LoadsPerK:  300, StoresPerK: 25, BranchesPerK: 70,
+				MulsPerK: 130, FPsPerK: 260,
+				MispredictRate: 0.008,
+				Mem: isa.MemPattern{
+					Base:      regionMatmul,
+					Footprint: footprint,
+					Stride:    8,
+					// The strided column walk of B shows up as a random
+					// admixture at line granularity.
+					RandomFrac: 0.008,
+				},
+				Priv: isa.User,
+			},
+		},
+	}
+}
+
+// DgemmMatmul models the Intel MKL dgemm routine on the same problem: a
+// blocked, vectorized kernel whose active tiles live in L1 and which
+// retires far fewer instructions for the same flops. It finishes in under
+// 100ms — the paper's short-workload stress test (Table III), where
+// fixed attach costs and per-sample syscalls hurt most.
+type DgemmMatmul struct {
+	N uint64
+}
+
+// NewDgemmMatmul returns the Table III configuration.
+func NewDgemmMatmul() DgemmMatmul { return DgemmMatmul{N: 1200} }
+
+// Flops returns the nominal 2·n³ flop count.
+func (m DgemmMatmul) Flops() uint64 { return 2 * m.N * m.N * m.N }
+
+// Script builds the phase script.
+func (m DgemmMatmul) Script() Script {
+	cube := float64(m.N) / 1200
+	cube = cube * cube * cube
+	return Script{
+		Name: "matmul-dgemm",
+		Phases: []Phase{
+			{
+				Name:       "pack",
+				TotalInstr: 12_000_000,
+				BlockInstr: 300_000,
+				LoadsPerK:  380, StoresPerK: 320, BranchesPerK: 40,
+				MispredictRate: 0.005,
+				Mem: isa.MemPattern{
+					Base:      regionMatmul + 1<<30,
+					Footprint: clampFootprint(3*m.N*m.N*8, 64<<20),
+					Stride:    8,
+				},
+				Priv: isa.User,
+			},
+			{
+				Name:       "kernel",
+				TotalInstr: uint64(280_000_000 * cube),
+				BlockInstr: 500_000,
+				LoadsPerK:  300, StoresPerK: 40, BranchesPerK: 30,
+				MulsPerK: 240, FPsPerK: 900, // vectorized: many flops/instr
+				MispredictRate: 0.003,
+				Mem: isa.MemPattern{
+					Base:      regionMatmul + 2<<30,
+					Footprint: 24 << 10, // L1-resident tiles
+					Stride:    8,
+				},
+				Priv: isa.User,
+			},
+		},
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import "kleb/internal/isa"
+
+// This file models the paper's third case study: a short secret-printing
+// victim program, run with and without the Meltdown exploit attached
+// (the IAIK proof of concept). The exploit's Flush+Reload covert channel
+// dominates its cache signature: the attacker repeatedly CLFLUSHes a
+// 256-page probe array and reloads it to find the one line the speculative
+// access warmed, producing abnormal LLC reference and miss rates and a
+// sharp MPKI increase — which is what K-LEB's 100µs series can localize in
+// time and a 10ms tool cannot.
+
+// Meltdown configures the victim/attacker pair.
+type Meltdown struct {
+	// SecretLen is the number of secret bytes the attack leaks; each byte
+	// needs one Flush+Reload round over the probe array.
+	SecretLen int
+}
+
+// NewMeltdown returns the configuration of the paper's experiment.
+func NewMeltdown() Meltdown { return Meltdown{SecretLen: 24} }
+
+// VictimScript is the plain secret-printing program: a brief start-up, a
+// formatting/printing stretch, and exit — well under 10 ms of execution, so
+// a 10 ms-resolution tool sees at most one sample of it.
+func (m Meltdown) VictimScript() Script {
+	return Script{
+		Name: "victim",
+		Phases: []Phase{
+			{
+				Name:       "startup",
+				TotalInstr: 600_000,
+				BlockInstr: 40_000,
+				LoadsPerK:  330, StoresPerK: 140, BranchesPerK: 90,
+				MispredictRate: 0.02,
+				Mem: isa.MemPattern{
+					Base: regionMeltdown, Footprint: 256 << 10, Stride: 8, RandomFrac: 0.05,
+				},
+				Priv: isa.User,
+			},
+			{
+				Name:       "print-secret",
+				TotalInstr: 2_500_000,
+				BlockInstr: 40_000,
+				LoadsPerK:  250, StoresPerK: 110, BranchesPerK: 120,
+				MispredictRate: 0.03,
+				Mem: isa.MemPattern{
+					Base: regionMeltdown, Footprint: 640 << 10, Stride: 8, RandomFrac: 0.03,
+				},
+				Priv: isa.User,
+			},
+		},
+	}
+}
+
+// AttackScript is the same program with the Meltdown exploit attached: the
+// printing work is preceded by per-byte Flush+Reload rounds. Each round
+// flushes the probe array (256 lines, one per possible byte value), fires
+// the transient access, then reloads every line timing it — so the phase
+// mixes heavy CLFLUSH traffic with loads that miss by construction.
+func (m Meltdown) AttackScript() Script {
+	v := m.VictimScript()
+	phases := []Phase{v.Phases[0]}
+	probe := isa.MemPattern{
+		Base:      regionMeltdown + 1<<30,
+		Footprint: 256 * 4096, // one line probed per 4KB page
+		Stride:    4096,
+	}
+	for i := 0; i < m.SecretLen; i++ {
+		phases = append(phases, Phase{
+			Name:       "flush-reload",
+			TotalInstr: 50_000,
+			BlockInstr: 25_000,
+			// The reload loop is load- and flush-dominated with a timing
+			// branch per line.
+			LoadsPerK: 80, StoresPerK: 10, BranchesPerK: 180, FlushesPerK: 60,
+			MispredictRate: 0.10,
+			Mem:            probe,
+			Priv:           isa.User,
+		})
+	}
+	phases = append(phases, v.Phases[1])
+	return Script{Name: "victim+meltdown", Phases: phases}
+}

@@ -1,0 +1,206 @@
+// Package workload provides the synthetic programs the experiments monitor:
+// a phase-structured LINPACK model, triple-nested-loop and MKL-dgemm matrix
+// multiplication, Docker container images with calibrated memory
+// intensities, a Meltdown victim/attacker pair, and generic mix generators.
+//
+// Workloads are expressed as phase scripts: each phase emits instruction
+// blocks with a fixed class mix and memory pattern until its instruction
+// budget is exhausted. The paper's case studies only observe workloads
+// through their hardware event signatures, so a synthetic program with the
+// right signature exercises the identical monitoring code paths (DESIGN.md
+// §1).
+package workload
+
+import (
+	"kleb/internal/isa"
+	"kleb/internal/kernel"
+)
+
+// Phase is one homogeneous stretch of a workload.
+type Phase struct {
+	// Name labels the phase for tracing.
+	Name string
+	// TotalInstr is the phase's instruction budget.
+	TotalInstr uint64
+	// BlockInstr is the emission granularity: how many instructions per
+	// block. Smaller blocks let high-frequency sampling resolve the phase.
+	BlockInstr uint64
+	// Per-1000-instruction class mix.
+	LoadsPerK, StoresPerK, BranchesPerK, MulsPerK, FPsPerK, FlushesPerK uint64
+	// MispredictRate is the fraction of hard-to-predict branches.
+	MispredictRate float64
+	// Mem is the data access pattern.
+	Mem isa.MemPattern
+	// Priv is the privilege level (LINPACK's init runs in the kernel).
+	Priv isa.Priv
+}
+
+// blockAt returns the phase's block for the given remaining budget.
+func (ph Phase) blockAt(remaining uint64) isa.Block {
+	n := ph.BlockInstr
+	if n == 0 {
+		n = 100_000
+	}
+	if n > remaining {
+		n = remaining
+	}
+	return isa.Block{
+		Instr:                n,
+		Loads:                n * ph.LoadsPerK / 1000,
+		Stores:               n * ph.StoresPerK / 1000,
+		Branches:             n * ph.BranchesPerK / 1000,
+		MulOps:               n * ph.MulsPerK / 1000,
+		FPOps:                n * ph.FPsPerK / 1000,
+		Flushes:              n * ph.FlushesPerK / 1000,
+		BranchMispredictRate: ph.MispredictRate,
+		Mem:                  ph.Mem,
+		Priv:                 ph.Priv,
+	}
+}
+
+// Script is a complete workload: an ordered list of phases.
+type Script struct {
+	// Name identifies the workload.
+	Name string
+	// Phases run in order; the program exits after the last one.
+	Phases []Phase
+}
+
+// TotalInstr sums the phases' instruction budgets.
+func (s Script) TotalInstr() uint64 {
+	var t uint64
+	for _, ph := range s.Phases {
+		t += ph.TotalInstr
+	}
+	return t
+}
+
+// TotalFPOps sums the floating point operations the script performs, for
+// GFLOPS computations.
+func (s Script) TotalFPOps() uint64 {
+	var t uint64
+	for _, ph := range s.Phases {
+		t += ph.TotalInstr * ph.FPsPerK / 1000
+	}
+	return t
+}
+
+// Program returns a fresh kernel program executing the script once.
+func (s Script) Program() *ScriptProgram {
+	return &ScriptProgram{script: s}
+}
+
+// ScriptProgram drives a Script as a kernel process. It also implements the
+// instrumentation seam PAPI/LiMiT need: an optional hook invoked every
+// HookEvery retired instructions (a "strategic point" in the paper's
+// terminology) may inject operations such as counter-read syscalls.
+type ScriptProgram struct {
+	script Script
+
+	phase     int
+	remaining uint64
+	started   bool
+
+	// Prelude operations run once before the first phase — where
+	// instrumenting tools put their library initialization (e.g.
+	// PAPI_library_init).
+	Prelude []kernel.Op
+	// HookEvery inserts Hook's operations every so many instructions.
+	HookEvery uint64
+	// Hook returns the operations to run at a strategic point. It may
+	// return nil.
+	Hook func(k *kernel.Kernel, p *kernel.Process) []kernel.Op
+
+	sinceHook uint64
+	queue     []kernel.Op
+	done      bool
+}
+
+var _ kernel.Program = (*ScriptProgram)(nil)
+
+// Script returns the underlying script.
+func (sp *ScriptProgram) Script() Script { return sp.script }
+
+// PhaseName returns the name of the phase currently executing.
+func (sp *ScriptProgram) PhaseName() string {
+	if sp.phase < len(sp.script.Phases) {
+		return sp.script.Phases[sp.phase].Name
+	}
+	return ""
+}
+
+// Next implements kernel.Program.
+func (sp *ScriptProgram) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
+	if len(sp.queue) > 0 {
+		op := sp.queue[0]
+		sp.queue = sp.queue[1:]
+		return op
+	}
+	if sp.done {
+		return kernel.OpExit{}
+	}
+	if !sp.started {
+		sp.started = true
+		if len(sp.script.Phases) > 0 {
+			sp.remaining = sp.script.Phases[0].TotalInstr
+		}
+		if len(sp.Prelude) > 0 {
+			sp.queue = append(sp.queue, sp.Prelude...)
+			return sp.nextQueued()
+		}
+	}
+	for sp.phase < len(sp.script.Phases) && sp.remaining == 0 {
+		sp.phase++
+		if sp.phase < len(sp.script.Phases) {
+			sp.remaining = sp.script.Phases[sp.phase].TotalInstr
+		}
+	}
+	if sp.phase >= len(sp.script.Phases) {
+		sp.done = true
+		if ops := sp.fireHook(k, p); len(ops) > 0 {
+			sp.queue = append(sp.queue, ops...)
+			return sp.nextQueued()
+		}
+		return kernel.OpExit{}
+	}
+	ph := sp.script.Phases[sp.phase]
+	blk := ph.blockAt(sp.remaining)
+	sp.remaining -= blk.Instr
+	sp.sinceHook += blk.Instr
+	if sp.HookEvery > 0 && sp.sinceHook >= sp.HookEvery {
+		sp.sinceHook = 0
+		if ops := sp.fireHook(k, p); len(ops) > 0 {
+			sp.queue = append(sp.queue, ops...)
+		}
+	}
+	return kernel.OpExec{Block: blk}
+}
+
+func (sp *ScriptProgram) fireHook(k *kernel.Kernel, p *kernel.Process) []kernel.Op {
+	if sp.Hook == nil {
+		return nil
+	}
+	return sp.Hook(k, p)
+}
+
+func (sp *ScriptProgram) nextQueued() kernel.Op {
+	op := sp.queue[0]
+	sp.queue = sp.queue[1:]
+	return op
+}
+
+// Region bases keep workloads' footprints disjoint in the shared hierarchy.
+const (
+	regionLinpack  uint64 = 0x1_0000_0000
+	regionMatmul   uint64 = 0x2_0000_0000
+	regionDocker   uint64 = 0x3_0000_0000
+	regionMeltdown uint64 = 0x4_0000_0000
+	regionSynth    uint64 = 0x5_0000_0000
+	regionNoise    uint64 = 0x6_0000_0000
+	regionTool     uint64 = 0x7_0000_0000
+)
+
+// ToolRegion is the memory region tool-side user work (log formatting)
+// runs in, so tool activity pollutes the monitored process's cache the way
+// a competing process would.
+func ToolRegion() uint64 { return regionTool }
