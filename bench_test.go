@@ -203,7 +203,7 @@ func BenchmarkTimerGranularity(b *testing.B) {
 	var res *experiments.TimerResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.RunTimers(uint64(i) + 1)
+		res, err = experiments.RunTimers(uint64(i)+1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -20,15 +20,22 @@
 //	experiments contention — online cross-core contention detection
 //	experiments all      — everything above
 //
-// With -md FILE, the paper-facing tables and figures are additionally
+// Every experiment fans its independent simulated runs over a worker pool
+// (-workers, default GOMAXPROCS); results are bit-identical for any pool
+// size. With -md FILE, the paper-facing tables and figures are additionally
 // rendered as a Markdown report (the regenerable EXPERIMENTS record); the
-// pseudo-command "md-only" writes the report and exits.
+// pseudo-command "md-only" writes the report and exits. With -json FILE,
+// the pseudo-command "bench" times a representative experiment set serially
+// and at -workers and writes the wall times and speedups as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"kleb/internal/experiments"
 	"kleb/internal/report"
@@ -36,13 +43,15 @@ import (
 
 func main() {
 	var (
-		trials = flag.Int("trials", 0, "override trial count (0 = per-experiment default)")
-		rounds = flag.Int("rounds", 25, "meltdown averaging rounds")
-		seed   = flag.Uint64("seed", 1, "base simulation seed")
-		mdPath = flag.String("md", "", "also write a Markdown report of the paper-facing results to this file")
+		trials  = flag.Int("trials", 0, "override trial count (0 = per-experiment default)")
+		rounds  = flag.Int("rounds", 25, "meltdown averaging rounds")
+		seed    = flag.Uint64("seed", 1, "base simulation seed")
+		workers = flag.Int("workers", 0, "scheduler pool size for each experiment's runs (0 = GOMAXPROCS)")
+		mdPath  = flag.String("md", "", "also write a Markdown report of the paper-facing results to this file")
+		jsPath  = flag.String("json", "", "with the bench command: write wall times and speedups to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|all|md-only>\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|all|md-only|bench>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,8 +60,15 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+	if cmd == "bench" {
+		if err := writeBench(*jsPath, *trials, *rounds, *seed, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *mdPath != "" {
-		if err := writeMarkdownReport(*mdPath, *trials, *rounds, *seed); err != nil {
+		if err := writeMarkdownReport(*mdPath, *trials, *rounds, *seed, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: markdown report: %v\n", err)
 			os.Exit(1)
 		}
@@ -62,7 +78,7 @@ func main() {
 		}
 	}
 	run := func(name string) {
-		if err := dispatch(name, *trials, *rounds, *seed); err != nil {
+		if err := dispatch(name, *trials, *rounds, *seed, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -77,18 +93,18 @@ func main() {
 	run(cmd)
 }
 
-func dispatch(name string, trials, rounds int, seed uint64) error {
+func dispatch(name string, trials, rounds int, seed uint64, workers int) error {
 	w := os.Stdout
 	switch name {
 	case "table1", "fig4":
-		res, err := experiments.RunLinpack(experiments.LinpackConfig{Trials: trials, Seed: seed})
+		res, err := experiments.RunLinpack(experiments.LinpackConfig{Trials: trials, Seed: seed, Workers: workers})
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "table2":
 		res, err := experiments.RunOverhead(experiments.OverheadConfig{
-			Workload: experiments.WorkloadTriple, Trials: trials, Seed: seed,
+			Workload: experiments.WorkloadTriple, Trials: trials, Seed: seed, Workers: workers,
 		})
 		if err != nil {
 			return err
@@ -97,76 +113,76 @@ func dispatch(name string, trials, rounds int, seed uint64) error {
 	case "table3":
 		res, err := experiments.RunOverhead(experiments.OverheadConfig{
 			Workload: experiments.WorkloadDgemm, Trials: trials, Seed: seed,
-			StockKernelOnly: true,
+			StockKernelOnly: true, Workers: workers,
 		})
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "fig5":
-		res, err := experiments.RunDocker(experiments.DockerConfig{Seed: seed, BothMachines: true})
+		res, err := experiments.RunDocker(experiments.DockerConfig{Seed: seed, BothMachines: true, Workers: workers})
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "fig6", "fig7":
-		res, err := experiments.RunMeltdown(experiments.MeltdownConfig{Rounds: rounds, Seed: seed})
+		res, err := experiments.RunMeltdown(experiments.MeltdownConfig{Rounds: rounds, Seed: seed, Workers: workers})
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "fig8":
 		res, err := experiments.RunOverhead(experiments.OverheadConfig{
-			Workload: experiments.WorkloadTriple, Trials: trials, Seed: seed,
+			Workload: experiments.WorkloadTriple, Trials: trials, Seed: seed, Workers: workers,
 		})
 		if err != nil {
 			return err
 		}
 		res.RenderBoxes(w)
 	case "fig9":
-		res, err := experiments.RunAccuracy(experiments.AccuracyConfig{Seed: seed})
+		res, err := experiments.RunAccuracy(experiments.AccuracyConfig{Seed: seed, Workers: workers})
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "timers":
-		res, err := experiments.RunTimers(seed)
+		res, err := experiments.RunTimers(seed, workers)
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "sweep":
-		res, err := experiments.RunSweep(experiments.SweepConfig{Seed: seed})
+		res, err := experiments.RunSweep(experiments.SweepConfig{Seed: seed, Workers: workers})
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "buffers":
-		res, err := experiments.RunBufferAblation(experiments.BufferAblationConfig{Seed: seed})
+		res, err := experiments.RunBufferAblation(experiments.BufferAblationConfig{Seed: seed, Workers: workers})
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "drains":
-		res, err := experiments.RunDrainAblation(experiments.DrainAblationConfig{Seed: seed})
+		res, err := experiments.RunDrainAblation(experiments.DrainAblationConfig{Seed: seed, Workers: workers})
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "colocate":
-		res, err := experiments.RunColocate(experiments.ColocateConfig{Seed: seed})
+		res, err := experiments.RunColocate(experiments.ColocateConfig{Seed: seed, Workers: workers})
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "suite":
-		res, err := experiments.RunCharacterize(experiments.CharacterizeConfig{Seed: seed})
+		res, err := experiments.RunCharacterize(experiments.CharacterizeConfig{Seed: seed, Workers: workers})
 		if err != nil {
 			return err
 		}
 		res.Render(w)
 	case "placement":
-		res, err := experiments.RunPlacement(seed)
+		res, err := experiments.RunPlacement(seed, workers)
 		if err != nil {
 			return err
 		}
@@ -183,9 +199,69 @@ func dispatch(name string, trials, rounds int, seed uint64) error {
 	return nil
 }
 
+// benchRow is one experiment's serial-vs-parallel timing.
+type benchRow struct {
+	Name            string  `json:"name"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// writeBench times a representative experiment set with a one-worker pool
+// and again at the requested pool size, then writes the comparison as JSON
+// (speedup scales with real cores; results are identical either way).
+func writeBench(path string, trials, rounds int, seed uint64, workers int) error {
+	if path == "" {
+		path = "BENCH_experiments.json"
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cases := []string{"table2", "fig6", "sweep", "suite"}
+	// Speedup tracks real cores: on a single-CPU host the pool can only
+	// interleave, so the ratio hovers around 1× regardless of -workers.
+	out := struct {
+		Workers int        `json:"workers"`
+		CPUs    int        `json:"cpus"`
+		Rows    []benchRow `json:"experiments"`
+	}{Workers: workers, CPUs: runtime.NumCPU()}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer devnull.Close()
+	stdout := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = stdout }()
+	for _, name := range cases {
+		t0 := time.Now()
+		if err := dispatch(name, trials, rounds, seed, 1); err != nil {
+			return err
+		}
+		serial := time.Since(t0).Seconds()
+		t0 = time.Now()
+		if err := dispatch(name, trials, rounds, seed, workers); err != nil {
+			return err
+		}
+		parallel := time.Since(t0).Seconds()
+		row := benchRow{Name: name, SerialSeconds: serial, ParallelSeconds: parallel}
+		if parallel > 0 {
+			row.Speedup = serial / parallel
+		}
+		out.Rows = append(out.Rows, row)
+		fmt.Fprintf(os.Stderr, "bench %-8s serial %6.2fs  %d-worker %6.2fs  speedup %.2fx\n",
+			name, serial, workers, parallel, row.Speedup)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // writeMarkdownReport runs the paper-facing experiments and renders them as
 // one Markdown document.
-func writeMarkdownReport(path string, trials, rounds int, seed uint64) error {
+func writeMarkdownReport(path string, trials, rounds int, seed uint64, workers int) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -193,7 +269,7 @@ func writeMarkdownReport(path string, trials, rounds int, seed uint64) error {
 	defer f.Close()
 	r := report.New(f)
 
-	lp, err := experiments.RunLinpack(experiments.LinpackConfig{Trials: trials, Seed: seed})
+	lp, err := experiments.RunLinpack(experiments.LinpackConfig{Trials: trials, Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -201,7 +277,7 @@ func writeMarkdownReport(path string, trials, rounds int, seed uint64) error {
 	r.Fig4(lp)
 
 	t2, err := experiments.RunOverhead(experiments.OverheadConfig{
-		Workload: experiments.WorkloadTriple, Trials: trials, Seed: seed,
+		Workload: experiments.WorkloadTriple, Trials: trials, Seed: seed, Workers: workers,
 	})
 	if err != nil {
 		return err
@@ -210,38 +286,38 @@ func writeMarkdownReport(path string, trials, rounds int, seed uint64) error {
 	r.Fig8(t2)
 
 	t3, err := experiments.RunOverhead(experiments.OverheadConfig{
-		Workload: experiments.WorkloadDgemm, Trials: trials, Seed: seed, StockKernelOnly: true,
+		Workload: experiments.WorkloadDgemm, Trials: trials, Seed: seed, StockKernelOnly: true, Workers: workers,
 	})
 	if err != nil {
 		return err
 	}
 	r.TableIII(t3)
 
-	dk, err := experiments.RunDocker(experiments.DockerConfig{Seed: seed, BothMachines: true})
+	dk, err := experiments.RunDocker(experiments.DockerConfig{Seed: seed, BothMachines: true, Workers: workers})
 	if err != nil {
 		return err
 	}
 	r.Fig5(dk)
 
-	md, err := experiments.RunMeltdown(experiments.MeltdownConfig{Rounds: rounds, Seed: seed})
+	md, err := experiments.RunMeltdown(experiments.MeltdownConfig{Rounds: rounds, Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}
 	r.Fig6and7(md)
 
-	ac, err := experiments.RunAccuracy(experiments.AccuracyConfig{Seed: seed})
+	ac, err := experiments.RunAccuracy(experiments.AccuracyConfig{Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}
 	r.Fig9(ac)
 
-	tm, err := experiments.RunTimers(seed)
+	tm, err := experiments.RunTimers(seed, workers)
 	if err != nil {
 		return err
 	}
 	r.Timers(tm)
 
-	sw, err := experiments.RunSweep(experiments.SweepConfig{Seed: seed})
+	sw, err := experiments.RunSweep(experiments.SweepConfig{Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}

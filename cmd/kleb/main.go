@@ -28,6 +28,7 @@ func main() {
 		machineFlag  = flag.String("machine", "nehalem", "machine: nehalem | cascadelake | limit-legacy")
 		seedFlag     = flag.Uint64("seed", 1, "simulation seed (equal seeds replay identically)")
 		baseline     = flag.Bool("baseline", false, "also run unmonitored and report overhead")
+		workersFlag  = flag.Int("workers", 0, "scheduler pool for multi-run calls like -baseline (0 = GOMAXPROCS)")
 		kernelToo    = flag.Bool("kernel", false, "count kernel-mode execution too")
 		outFlag      = flag.String("o", "", "write sample CSV to this file (default: summary only)")
 		straceFlag   = flag.Bool("strace", false, "trace every simulated syscall to stderr")
@@ -57,6 +58,7 @@ func main() {
 		Tool:          kleb.ToolKind(*toolFlag),
 		Baseline:      *baseline,
 		IncludeKernel: *kernelToo,
+		Workers:       *workersFlag,
 	}
 	if *straceFlag {
 		opts.Strace = os.Stderr

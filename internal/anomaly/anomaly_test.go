@@ -9,6 +9,7 @@ import (
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/workload"
 )
 
@@ -21,11 +22,11 @@ func collect(t *testing.T, script workload.Script, seed uint64) []monitor.Sample
 	prof.Costs.NoiseRel = 0
 	prof.Costs.TimerJitterRel = 0
 	prof.Costs.RunNoiseRel = 0
-	res, err := monitor.Run(monitor.RunSpec{
+	res, err := session.Run(session.Spec{
 		Profile:   prof,
 		Seed:      seed,
 		NewTarget: func() kernel.Program { return script.Program() },
-		Tool:      kleb.New(),
+		NewTool:   func() (monitor.Tool, error) { return kleb.New(), nil },
 		Config: monitor.Config{
 			Events: meltdownEvents, Period: 100 * ktime.Microsecond, ExcludeKernel: true,
 		},

@@ -7,6 +7,7 @@ import (
 	"kleb/internal/kleb"
 	"kleb/internal/ktime"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/trace"
 	"kleb/internal/workload"
 )
@@ -25,6 +26,8 @@ type BufferAblationConfig struct {
 	DrainInterval ktime.Duration
 	// Seed drives the runs.
 	Seed uint64
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *BufferAblationConfig) defaults() {
@@ -74,29 +77,30 @@ func RunBufferAblation(cfg BufferAblationConfig) (*BufferAblationResult, error) 
 	}.Script()
 	res := &BufferAblationResult{Period: cfg.Period, DrainInterval: cfg.DrainInterval}
 
-	base, err := monitor.Run(monitor.RunSpec{
-		Profile:   ProfileFor(KLEB),
-		Seed:      cfg.Seed,
-		NewTarget: targetFactory(script),
-	})
-	if err != nil {
-		return nil, err
-	}
-
+	// One batch: the unmonitored baseline plus one run per ring size.
+	specs := []session.Spec{baselineSpec(ProfileFor(KLEB), cfg.Seed, script)}
 	for _, size := range cfg.Sizes {
-		tool := kleb.New()
-		tool.BufferSamples = size
-		tool.DrainInterval = cfg.DrainInterval
-		run, err := monitor.Run(monitor.RunSpec{
+		specs = append(specs, session.Spec{
 			Profile:   ProfileFor(KLEB),
 			Seed:      cfg.Seed,
 			NewTarget: targetFactory(script),
-			Tool:      tool,
-			Config:    monitor.Config{Events: defaultEvents(), Period: cfg.Period, ExcludeKernel: true},
+			NewTool: func() (monitor.Tool, error) {
+				tool := kleb.New()
+				tool.BufferSamples = size
+				tool.DrainInterval = cfg.DrainInterval
+				return tool, nil
+			},
+			Config: monitor.Config{Events: defaultEvents(), Period: cfg.Period, ExcludeKernel: true},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	runs, err := runAll(cfg.Workers, specs)
+	if err != nil {
+		return nil, err
+	}
+	base := runs[0]
+
+	for i, size := range cfg.Sizes {
+		run := runs[i+1]
 		row := BufferAblationRow{
 			Size:        size,
 			Collected:   len(run.Result.Samples),
@@ -133,6 +137,8 @@ type DrainAblationConfig struct {
 	Period ktime.Duration
 	// Seed drives the runs.
 	Seed uint64
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *DrainAblationConfig) defaults() {
@@ -176,27 +182,28 @@ func RunDrainAblation(cfg DrainAblationConfig) (*DrainAblationResult, error) {
 	}.Script()
 	res := &DrainAblationResult{Period: cfg.Period}
 
-	base, err := monitor.Run(monitor.RunSpec{
-		Profile:   ProfileFor(KLEB),
-		Seed:      cfg.Seed,
-		NewTarget: targetFactory(script),
-	})
-	if err != nil {
-		return nil, err
-	}
+	// One batch: the unmonitored baseline plus one run per drain cadence.
+	specs := []session.Spec{baselineSpec(ProfileFor(KLEB), cfg.Seed, script)}
 	for _, interval := range cfg.Intervals {
-		tool := kleb.New()
-		tool.DrainInterval = interval
-		run, err := monitor.Run(monitor.RunSpec{
+		specs = append(specs, session.Spec{
 			Profile:   ProfileFor(KLEB),
 			Seed:      cfg.Seed,
 			NewTarget: targetFactory(script),
-			Tool:      tool,
-			Config:    monitor.Config{Events: defaultEvents(), Period: cfg.Period, ExcludeKernel: true},
+			NewTool: func() (monitor.Tool, error) {
+				tool := kleb.New()
+				tool.DrainInterval = interval
+				return tool, nil
+			},
+			Config: monitor.Config{Events: defaultEvents(), Period: cfg.Period, ExcludeKernel: true},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	runs, err := runAll(cfg.Workers, specs)
+	if err != nil {
+		return nil, err
+	}
+	base := runs[0]
+	for i, interval := range cfg.Intervals {
+		run := runs[i+1]
 		res.Rows = append(res.Rows, DrainAblationRow{
 			Interval:    interval,
 			Collected:   len(run.Result.Samples),

@@ -7,6 +7,7 @@ import (
 	"kleb/internal/isa"
 	"kleb/internal/ktime"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/trace"
 )
 
@@ -18,6 +19,8 @@ type AccuracyConfig struct {
 	Period ktime.Duration
 	// Seed selects the run.
 	Seed uint64
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *AccuracyConfig) defaults() {
@@ -60,42 +63,50 @@ func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
 	events := []isa.Event{isa.EvBranches, isa.EvLoads, isa.EvStores, isa.EvInstructions}
 	mcfg := monitor.Config{Events: events, Period: cfg.Period, ExcludeKernel: true}
 
-	totalsFor := func(kind ToolKind) (map[isa.Event]uint64, error) {
-		// Instrumented tools need a point count; use a baseline estimate.
-		base, err := monitor.Run(monitor.RunSpec{
-			Profile:   ProfileFor(kind),
-			Seed:      cfg.Seed,
-			NewTarget: targetFactory(script),
-		})
-		if err != nil {
-			return nil, err
+	// Batch 1: a baseline per tool's machine profile — the instrumented
+	// tools size their point counts from the baseline's elapsed time.
+	kinds := []ToolKind{KLEB, PerfStat, PerfRecord, PAPI, LiMiT}
+	baseSpecs := make([]session.Spec, len(kinds))
+	for i, kind := range kinds {
+		baseSpecs[i] = baselineSpec(ProfileFor(kind), cfg.Seed, script)
+	}
+	baseOuts := session.Scheduler{Workers: cfg.Workers}.Run(baseSpecs)
+
+	// Batch 2: the monitored runs, all on the same seed.
+	runSpecs := make([]session.Spec, len(kinds))
+	for i, kind := range kinds {
+		if baseOuts[i].Err != nil {
+			continue // surfaces as the row's Unsupported reason below
 		}
-		tool, err := NewTool(kind, pointsFor(base.Elapsed, cfg.Period))
-		if err != nil {
-			return nil, err
-		}
-		run, err := monitor.Run(monitor.RunSpec{
+		runSpecs[i] = session.Spec{
 			Profile:    ProfileFor(kind),
 			Seed:       cfg.Seed,
 			NewTarget:  targetFactory(script),
 			TargetName: string(cfg.Workload),
-			Tool:       tool,
+			NewTool:    toolFactory(kind, pointsFor(baseOuts[i].Run.Elapsed, cfg.Period)),
 			Config:     mcfg,
-		})
-		if err != nil {
-			return nil, err
 		}
-		return run.Result.Totals, nil
+	}
+	runOuts := session.Scheduler{Workers: cfg.Workers}.Run(runSpecs)
+
+	totalsFor := func(i int) (map[isa.Event]uint64, error) {
+		if baseOuts[i].Err != nil {
+			return nil, baseOuts[i].Err
+		}
+		if runOuts[i].Err != nil {
+			return nil, runOuts[i].Err
+		}
+		return runOuts[i].Run.Result.Totals, nil
 	}
 
-	kt, err := totalsFor(KLEB)
+	kt, err := totalsFor(0)
 	if err != nil {
 		return nil, err
 	}
 	res := &AccuracyResult{Events: events, KLEB: kt}
-	for _, kind := range []ToolKind{PerfStat, PerfRecord, PAPI, LiMiT} {
+	for i, kind := range kinds[1:] {
 		row := AccuracyRow{Tool: kind, DiffPct: map[isa.Event]float64{}}
-		totals, err := totalsFor(kind)
+		totals, err := totalsFor(i + 1)
 		if err != nil {
 			row.Unsupported = err.Error()
 			res.Rows = append(res.Rows, row)

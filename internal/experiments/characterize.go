@@ -7,6 +7,7 @@ import (
 	"kleb/internal/isa"
 	"kleb/internal/ktime"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/trace"
 	"kleb/internal/workload"
 )
@@ -22,6 +23,8 @@ type CharacterizeConfig struct {
 	Period ktime.Duration
 	// Seed drives the runs.
 	Seed uint64
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *CharacterizeConfig) defaults() {
@@ -64,22 +67,24 @@ func RunCharacterize(cfg CharacterizeConfig) (*CharacterizeResult, error) {
 		isa.EvLLCMisses, isa.EvBranches, isa.EvBranchMisses,
 	}
 	res := &CharacterizeResult{}
-	for _, b := range workload.Suite() {
-		tool, err := NewTool(KLEB, 0)
-		if err != nil {
-			return nil, err
-		}
-		run, err := monitor.Run(monitor.RunSpec{
+	suite := workload.Suite()
+	specs := make([]session.Spec, len(suite))
+	for i, b := range suite {
+		specs[i] = session.Spec{
 			Profile:    ProfileFor(KLEB),
 			Seed:       cfg.Seed + uint64(workload.ClassSeed(b.Name)),
 			TargetName: b.Name,
 			NewTarget:  targetFactory(b.Script()),
-			Tool:       tool,
+			NewTool:    toolFactory(KLEB, 0),
 			Config:     monitor.Config{Events: events, Period: cfg.Period, ExcludeKernel: true},
-		})
-		if err != nil {
-			return nil, err
 		}
+	}
+	runs, err := runAll(cfg.Workers, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range suite {
+		run := runs[i]
 		tot := run.Result.Totals
 		row := CharacterizeRow{
 			Name: b.Name, Family: b.Family,

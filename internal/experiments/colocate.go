@@ -7,6 +7,7 @@ import (
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
+	"kleb/internal/session"
 	"kleb/internal/workload"
 )
 
@@ -25,6 +26,8 @@ type ColocateConfig struct {
 	Images []string
 	// Seed drives the runs.
 	Seed uint64
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *ColocateConfig) defaults() {
@@ -61,14 +64,15 @@ func (r *ColocateResult) Cell(image, neighbour string) (ColocateCell, bool) {
 }
 
 // RunColocate measures each image's runtime alone on a core and next to
-// each neighbour on the other core of a shared-LLC socket.
+// each neighbour on the other core of a shared-LLC socket. Every socket
+// run is independent, so the solo baselines and the full matrix fan out
+// over one scheduler batch.
 func RunColocate(cfg ColocateConfig) (*ColocateResult, error) {
 	cfg.defaults()
 	res := &ColocateResult{Images: cfg.Images, Solo: map[string]ktime.Duration{}}
 
 	runPair := func(a, b string) (ktime.Duration, ktime.Duration, error) {
-		cluster := machine.BootCluster(ProfileFor(KLEB), cfg.Seed, 2)
-		cores := cluster.Cores()
+		var pa, pb *kernel.Process
 		spawn := func(m *machine.Machine, image string, slot int) (*kernel.Process, error) {
 			if image == "" {
 				return nil, nil
@@ -79,15 +83,20 @@ func RunColocate(cfg ColocateConfig) (*ColocateResult, error) {
 			}
 			return m.Kernel().Spawn(image, img.ScriptAt(slot).Program()), nil
 		}
-		pa, err := spawn(cores[0], a, 0)
+		_, err := session.RunCluster(session.ClusterSpec{
+			Profile: ProfileFor(KLEB),
+			Seed:    cfg.Seed,
+			Cores:   2,
+			Place: func(cores []*machine.Machine) error {
+				var err error
+				if pa, err = spawn(cores[0], a, 0); err != nil {
+					return err
+				}
+				pb, err = spawn(cores[1], b, 1)
+				return err
+			},
+		})
 		if err != nil {
-			return 0, 0, err
-		}
-		pb, err := spawn(cores[1], b, 1)
-		if err != nil {
-			return 0, 0, err
-		}
-		if err := cluster.Run(0, 0); err != nil {
 			return 0, 0, err
 		}
 		var ra, rb ktime.Duration
@@ -100,31 +109,49 @@ func RunColocate(cfg ColocateConfig) (*ColocateResult, error) {
 		return ra, rb, nil
 	}
 
-	// Solo baselines: each image alone on core 0 of the socket.
+	// The job list: each image solo on core 0, then the upper-triangular
+	// matrix (one socket run yields both the (a,b) and (b,a) cells).
+	type job struct{ a, b string }
+	var jobs []job
 	for _, image := range cfg.Images {
-		solo, _, err := runPair(image, "")
-		if err != nil {
-			return nil, err
-		}
-		res.Solo[image] = solo
-		res.Cells = append(res.Cells, ColocateCell{Image: image, Runtime: solo, Slowdown: 1})
+		jobs = append(jobs, job{image, ""})
 	}
-	// The full matrix (both orders run together; record both sides).
 	for i, a := range cfg.Images {
 		for j, b := range cfg.Images {
 			if j < i {
-				continue // (a,b) also yields the (b,a) cell
+				continue
 			}
-			ra, rb, err := runPair(a, b)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells,
-				ColocateCell{Image: a, Neighbour: b, Runtime: ra,
-					Slowdown: float64(ra) / float64(res.Solo[a])},
-				ColocateCell{Image: b, Neighbour: a, Runtime: rb,
-					Slowdown: float64(rb) / float64(res.Solo[b])})
+			jobs = append(jobs, job{a, b})
 		}
+	}
+	type outcome struct {
+		ra, rb ktime.Duration
+		err    error
+	}
+	outs := make([]outcome, len(jobs))
+	session.Scheduler{Workers: cfg.Workers}.ForEach(len(jobs), func(i int) {
+		o := &outs[i]
+		o.ra, o.rb, o.err = runPair(jobs[i].a, jobs[i].b)
+	})
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+	}
+
+	// Aggregate in job order: solo baselines first (the matrix cells'
+	// slowdowns divide by them), then both sides of each pairing.
+	for i, j := range jobs {
+		if j.b == "" {
+			res.Solo[j.a] = outs[i].ra
+			res.Cells = append(res.Cells, ColocateCell{Image: j.a, Runtime: outs[i].ra, Slowdown: 1})
+			continue
+		}
+		res.Cells = append(res.Cells,
+			ColocateCell{Image: j.a, Neighbour: j.b, Runtime: outs[i].ra,
+				Slowdown: float64(outs[i].ra) / float64(res.Solo[j.a])},
+			ColocateCell{Image: j.b, Neighbour: j.a, Runtime: outs[i].rb,
+				Slowdown: float64(outs[i].rb) / float64(res.Solo[j.b])})
 	}
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/workload"
 )
 
@@ -39,36 +40,39 @@ type ContentionResult struct {
 // RunContention performs the study at a 1ms sampling period.
 func RunContention(seed uint64) (*ContentionResult, error) {
 	events := []isa.Event{isa.EvLLCMisses, isa.EvInstructions}
-	cluster := machine.BootCluster(ProfileFor(KLEB), seed, 2)
-	core0, core1 := cluster.Cores()[0], cluster.Cores()[1]
-
-	// Victim: the LLC-resident container, monitored by K-LEB on core 0.
-	img, _ := workload.ImageByName("mysql")
-	victimProg := img.ScriptAt(0).Program()
-	victim := core0.Kernel().SpawnStopped("mysql", victimProg)
 	tool := kleb.New()
-	if err := tool.Attach(core0, victim, victimProg, monitor.Config{
-		Events: events, Period: ktime.Millisecond, ExcludeKernel: true,
-	}); err != nil {
-		return nil, err
-	}
-	core0.Kernel().Resume(victim)
-
-	// Run the socket until the victim is half done, then unleash the
-	// streaming neighbour on core 1.
 	start := ktime.Time(700 * ktime.Millisecond)
-	if err := cluster.Run(0, ktime.Duration(start)); err != nil {
-		return nil, err
-	}
-	stream := workload.Synthetic{
-		Name:       "stream",
-		TotalInstr: 2_500_000_000,
-		BlockInstr: 400_000,
-		LoadsPerK:  350,
-		Footprint:  64 << 20,
-	}.Script()
-	core1.Kernel().Spawn("stream", stream.Program())
-	if err := cluster.Run(0, 0); err != nil {
+	_, err := session.RunCluster(session.ClusterSpec{
+		Profile: ProfileFor(KLEB),
+		Seed:    seed,
+		Cores:   2,
+		Place: func(cores []*machine.Machine) error {
+			// Victim: the LLC-resident container, monitored by K-LEB on
+			// core 0.
+			img, _ := workload.ImageByName("mysql")
+			_, err := session.StartTarget(cores[0], "mysql", img.ScriptAt(0).Program(), tool, monitor.Config{
+				Events: events, Period: ktime.Millisecond, ExcludeKernel: true,
+			})
+			return err
+		},
+		Drive: func(c *machine.Cluster) error {
+			// Run the socket until the victim is half done, then unleash
+			// the streaming neighbour on core 1.
+			if err := c.Run(0, ktime.Duration(start)); err != nil {
+				return err
+			}
+			stream := workload.Synthetic{
+				Name:       "stream",
+				TotalInstr: 2_500_000_000,
+				BlockInstr: 400_000,
+				LoadsPerK:  350,
+				Footprint:  64 << 20,
+			}.Script()
+			c.Cores()[1].Kernel().Spawn("stream", stream.Program())
+			return c.Run(0, 0)
+		},
+	})
+	if err != nil {
 		return nil, err
 	}
 

@@ -9,6 +9,7 @@ import (
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/trace"
 	"kleb/internal/workload"
 )
@@ -22,6 +23,8 @@ type DockerConfig struct {
 	// BothMachines also runs the Cascade Lake profile to reproduce the
 	// paper's cross-platform trend check.
 	BothMachines bool
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *DockerConfig) defaults() {
@@ -58,41 +61,46 @@ func RunDocker(cfg DockerConfig) (*DockerResult, error) {
 		profiles = append(profiles, machine.CascadeLake())
 	}
 	res := &DockerResult{}
+	type job struct {
+		prof machine.Profile
+		img  workload.ContainerImage
+	}
+	var jobs []job
+	var specs []session.Spec
 	for _, prof := range profiles {
 		for _, img := range workload.Images() {
-			img := img
-			tool, err := NewTool(KLEB, 0)
-			if err != nil {
-				return nil, err
-			}
-			run, err := monitor.Run(monitor.RunSpec{
+			jobs = append(jobs, job{prof, img})
+			specs = append(specs, session.Spec{
 				Profile:    prof,
 				Seed:       cfg.Seed + uint64(workload.ClassSeed(img.Name)),
 				TargetName: "dockerd-" + img.Name,
 				NewTarget:  func() kernel.Program { return workload.DockerRun(img) },
-				Tool:       tool,
+				NewTool:    toolFactory(KLEB, 0),
 				Config: monitor.Config{
 					Events:        []isa.Event{isa.EvLLCMisses, isa.EvInstructions},
 					Period:        cfg.Period,
 					ExcludeKernel: true,
 				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			misses := run.Result.Totals[isa.EvLLCMisses]
-			instr := run.Result.Totals[isa.EvInstructions]
-			mpki := trace.MPKI(misses, instr)
-			res.Rows = append(res.Rows, DockerRow{
-				Image:     img.Name,
-				Machine:   prof.Name,
-				LLCMisses: misses,
-				Instr:     instr,
-				MPKI:      mpki,
-				Class:     workload.ClassifyMPKI(mpki),
-				Expected:  img.Class,
-			})
 		}
+	}
+	runs, err := runAll(cfg.Workers, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		misses := runs[i].Result.Totals[isa.EvLLCMisses]
+		instr := runs[i].Result.Totals[isa.EvInstructions]
+		mpki := trace.MPKI(misses, instr)
+		res.Rows = append(res.Rows, DockerRow{
+			Image:     j.img.Name,
+			Machine:   j.prof.Name,
+			LLCMisses: misses,
+			Instr:     instr,
+			MPKI:      mpki,
+			Class:     workload.ClassifyMPKI(mpki),
+			Expected:  j.img.Class,
+		})
 	}
 	return res, nil
 }

@@ -2,7 +2,9 @@
 // paper's evaluation (see DESIGN.md §3 for the index). Each runner is a
 // pure function from a configuration to a typed result with a text
 // renderer, shared by the cmd/experiments binary and the root benchmark
-// harness.
+// harness. All runners describe their trials as internal/session Specs and
+// fan them out over session.Scheduler, so every experiment parallelizes
+// across a worker pool while staying bit-identical to a serial run.
 package experiments
 
 import (
@@ -14,6 +16,7 @@ import (
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/tools/limit"
 	"kleb/internal/tools/papi"
 	"kleb/internal/tools/perfrecord"
@@ -120,4 +123,29 @@ func pointsFor(baseline, period ktime.Duration) int {
 		n = 1
 	}
 	return n
+}
+
+// toolFactory adapts NewTool into the fresh-instance factory a Spec
+// carries, so each run in a batch gets its own stateful tool.
+func toolFactory(kind ToolKind, points int) func() (monitor.Tool, error) {
+	return func() (monitor.Tool, error) { return NewTool(kind, points) }
+}
+
+// baselineSpec describes an unmonitored run of script on prof.
+func baselineSpec(prof machine.Profile, seed uint64, script workload.Script) session.Spec {
+	return session.Spec{Profile: prof, Seed: seed, NewTarget: targetFactory(script)}
+}
+
+// runAll fans specs out over the scheduler's worker pool and returns the
+// results in spec order, treating any failure as fatal.
+func runAll(workers int, specs []session.Spec) ([]*session.Result, error) {
+	outs := session.Scheduler{Workers: workers}.Run(specs)
+	if err := session.FirstErr(outs); err != nil {
+		return nil, err
+	}
+	res := make([]*session.Result, len(outs))
+	for i, o := range outs {
+		res[i] = o.Run
+	}
+	return res, nil
 }

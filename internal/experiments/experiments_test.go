@@ -349,7 +349,7 @@ func TestFig9CountAccuracy(t *testing.T) {
 }
 
 func TestTimerGranularity(t *testing.T) {
-	res, err := RunTimers(1)
+	res, err := RunTimers(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -578,7 +578,7 @@ func TestCharacterizationFingerprints(t *testing.T) {
 }
 
 func TestPlacementRule(t *testing.T) {
-	res, err := RunPlacement(1)
+	res, err := RunPlacement(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

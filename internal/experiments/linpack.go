@@ -7,6 +7,7 @@ import (
 	"kleb/internal/isa"
 	"kleb/internal/ktime"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/trace"
 	"kleb/internal/workload"
 )
@@ -21,6 +22,8 @@ type LinpackConfig struct {
 	Period ktime.Duration
 	// Seed bases the trial seeds.
 	Seed uint64
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *LinpackConfig) defaults() {
@@ -69,45 +72,50 @@ func RunLinpack(cfg LinpackConfig) (*LinpackResult, error) {
 		Series:       make(map[isa.Event][]float64),
 	}
 
-	gflopsFor := func(kind ToolKind, withTool bool) (float64, error) {
-		var total float64
+	// One batch covers every configuration: the unprofiled baseline plus one
+	// block of trials per tool, all independent runs.
+	kinds := []ToolKind{KLEB, PerfStat, PerfRecord}
+	var specs []session.Spec
+	addBlock := func(kind ToolKind, withTool bool) {
 		for trial := 0; trial < cfg.Trials; trial++ {
-			spec := monitor.RunSpec{
+			spec := session.Spec{
 				Profile:    ProfileFor(KLEB),
 				Seed:       cfg.Seed + uint64(trial)*104729,
 				NewTarget:  targetFactory(script),
 				TargetName: "linpack",
 			}
 			if withTool {
-				tool, err := NewTool(kind, 0)
-				if err != nil {
-					return 0, err
-				}
-				spec.Tool = tool
+				spec.NewTool = toolFactory(kind, 0)
 				spec.Config = monitor.Config{Events: events, Period: cfg.Period, ExcludeKernel: true}
 			}
-			run, err := monitor.Run(spec)
-			if err != nil {
-				return 0, err
-			}
-			total += flops / 1e9 / run.Elapsed.Seconds()
-			if withTool && kind == KLEB {
-				res.accumulateSeries(run.Result)
-			}
+			specs = append(specs, spec)
 		}
-		return total / float64(cfg.Trials), nil
 	}
-
-	baseGF, err := gflopsFor("", false)
+	addBlock("", false)
+	for _, kind := range kinds {
+		addBlock(kind, true)
+	}
+	runs, err := runAll(cfg.Workers, specs)
 	if err != nil {
 		return nil, err
 	}
-	res.Rows = append(res.Rows, LinpackRow{Tool: "none", GFLOPS: baseGF})
-	for _, kind := range []ToolKind{KLEB, PerfStat, PerfRecord} {
-		gf, err := gflopsFor(kind, true)
-		if err != nil {
-			return nil, err
+
+	gflopsFor := func(block int) float64 {
+		var total float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			total += flops / 1e9 / runs[block*cfg.Trials+trial].Elapsed.Seconds()
 		}
+		return total / float64(cfg.Trials)
+	}
+	baseGF := gflopsFor(0)
+	res.Rows = append(res.Rows, LinpackRow{Tool: "none", GFLOPS: baseGF})
+	for ki, kind := range kinds {
+		if kind == KLEB {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				res.accumulateSeries(runs[(ki+1)*cfg.Trials+trial].Result)
+			}
+		}
+		gf := gflopsFor(ki + 1)
 		res.Rows = append(res.Rows, LinpackRow{
 			Tool:    string(kind),
 			GFLOPS:  gf,

@@ -7,6 +7,7 @@ import (
 	"kleb/internal/isa"
 	"kleb/internal/ktime"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/trace"
 	"kleb/internal/workload"
 )
@@ -20,6 +21,8 @@ type MeltdownConfig struct {
 	Period ktime.Duration
 	// Seed bases the round seeds.
 	Seed uint64
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *MeltdownConfig) defaults() {
@@ -75,22 +78,23 @@ func RunMeltdown(cfg MeltdownConfig) (*MeltdownResult, error) {
 func runMeltdownSide(cfg MeltdownConfig, name string, script workload.Script) (MeltdownSide, error) {
 	events := []isa.Event{isa.EvLLCRefs, isa.EvLLCMisses, isa.EvInstructions}
 	side := MeltdownSide{Name: name, SeriesEvents: events, Series: map[isa.Event][]uint64{}}
-	for round := 0; round < cfg.Rounds; round++ {
-		tool, err := NewTool(KLEB, 0)
-		if err != nil {
-			return side, err
-		}
-		run, err := monitor.Run(monitor.RunSpec{
+	specs := make([]session.Spec, cfg.Rounds)
+	for round := range specs {
+		specs[round] = session.Spec{
 			Profile:    ProfileFor(KLEB),
 			Seed:       cfg.Seed + uint64(round)*31337,
 			TargetName: name,
 			NewTarget:  targetFactory(script),
-			Tool:       tool,
+			NewTool:    toolFactory(KLEB, 0),
 			Config:     monitor.Config{Events: events, Period: cfg.Period, ExcludeKernel: true},
-		})
-		if err != nil {
-			return side, err
 		}
+	}
+	runs, err := runAll(cfg.Workers, specs)
+	if err != nil {
+		return side, err
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		run := runs[round]
 		side.LLCRefs += float64(run.Result.Totals[isa.EvLLCRefs])
 		side.LLCMisses += float64(run.Result.Totals[isa.EvLLCMisses])
 		side.Instructions += float64(run.Result.Totals[isa.EvInstructions])

@@ -8,6 +8,7 @@ import (
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/trace"
 )
 
@@ -31,6 +32,8 @@ type OverheadConfig struct {
 	// LiMiT — which only exists as a patch to the legacy kernel — comes
 	// out "n/a" exactly as in the paper.
 	StockKernelOnly bool
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *OverheadConfig) defaults() {
@@ -80,6 +83,9 @@ type OverheadResult struct {
 // runs an unmonitored baseline and one run per tool on the *same* seed and
 // machine profile, then compares execution times. This regenerates
 // Table II (triple loop), Table III (dgemm) and the Fig 8 distributions.
+// The baselines run as one scheduler batch and the monitored trials as a
+// second (tool construction needs the baseline elapsed time to size the
+// instrumented tools' point counts).
 func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 	cfg.defaults()
 	script, err := scriptFor(cfg.Workload)
@@ -88,67 +94,83 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 	}
 	res := &OverheadResult{Workload: cfg.Workload, Period: cfg.Period, Trials: cfg.Trials}
 
-	// Baselines per profile (LiMiT's patched machine has its own timing).
-	baselines := map[string][]ktime.Duration{}
 	profileFor := func(kind ToolKind) machine.Profile {
 		if cfg.StockKernelOnly {
 			return machine.Nehalem()
 		}
 		return ProfileFor(kind)
 	}
-	baselineFor := func(kind ToolKind, trial int) (ktime.Duration, error) {
-		prof := profileFor(kind)
-		runs, ok := baselines[prof.Name]
-		if !ok || len(runs) <= trial {
-			r, err := monitor.Run(monitor.RunSpec{
-				Profile:   prof,
-				Seed:      cfg.Seed + uint64(trial)*7919,
-				NewTarget: targetFactory(script),
-				Noise:     cfg.Noise,
-			})
-			if err != nil {
-				return 0, err
-			}
-			baselines[prof.Name] = append(runs, r.Elapsed)
+
+	// Batch 1: baselines per profile (LiMiT's patched machine has its own
+	// timing), one run per trial seed.
+	var profiles []machine.Profile
+	seenProf := map[string]bool{}
+	for _, kind := range cfg.Tools {
+		if p := profileFor(kind); !seenProf[p.Name] {
+			seenProf[p.Name] = true
+			profiles = append(profiles, p)
 		}
-		return baselines[prof.Name][trial], nil
+	}
+	var baseSpecs []session.Spec
+	for _, prof := range profiles {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			spec := baselineSpec(prof, cfg.Seed+uint64(trial)*7919, script)
+			spec.Noise = cfg.Noise
+			baseSpecs = append(baseSpecs, spec)
+		}
+	}
+	baseRuns, err := runAll(cfg.Workers, baseSpecs)
+	if err != nil {
+		return nil, err
+	}
+	baselines := map[string][]ktime.Duration{}
+	for pi, prof := range profiles {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			baselines[prof.Name] = append(baselines[prof.Name], baseRuns[pi*cfg.Trials+trial].Elapsed)
+		}
 	}
 
+	// Batch 2: one monitored run per (tool, trial).
+	var specs []session.Spec
 	for _, kind := range cfg.Tools {
-		row := ToolOverhead{Tool: kind}
-		var sampleSum float64
 		for trial := 0; trial < cfg.Trials; trial++ {
-			base, err := baselineFor(kind, trial)
-			if err != nil {
-				return nil, err
-			}
-			tool, err := NewTool(kind, pointsFor(base, cfg.Period))
-			if err != nil {
-				return nil, err
-			}
-			run, err := monitor.Run(monitor.RunSpec{
+			base := baselines[profileFor(kind).Name][trial]
+			specs = append(specs, session.Spec{
 				Profile:    profileFor(kind),
 				Seed:       cfg.Seed + uint64(trial)*7919,
 				NewTarget:  targetFactory(script),
-				Tool:       tool,
+				NewTool:    toolFactory(kind, pointsFor(base, cfg.Period)),
 				Config:     monitor.Config{Events: defaultEvents(), Period: cfg.Period, ExcludeKernel: true},
 				Noise:      cfg.Noise,
 				TargetName: string(cfg.Workload),
 			})
-			if err != nil {
+		}
+	}
+	outs := session.Scheduler{Workers: cfg.Workers}.Run(specs)
+
+	for ki, kind := range cfg.Tools {
+		row := ToolOverhead{Tool: kind}
+		var sampleSum float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			o := outs[ki*cfg.Trials+trial]
+			if o.Err != nil {
+				// A tool that cannot run this configuration at all fails on
+				// its first trial; any later failure is a real error.
 				if trial == 0 {
-					row.Unsupported = err.Error()
+					row.Unsupported = o.Err.Error()
 					break
 				}
-				return nil, err
+				return nil, o.Err
 			}
+			base := baselines[profileFor(kind).Name][trial]
+			run := o.Run
 			row.OverheadPct = append(row.OverheadPct,
 				trace.OverheadPct(base.Seconds(), run.Elapsed.Seconds()))
 			row.Normalized = append(row.Normalized,
 				run.Elapsed.Seconds()/base.Seconds())
 			n := len(run.Result.Samples)
 			if kind == PerfRecord {
-				if rt, ok := tool.(interface{ SampleCount() int }); ok {
+				if rt, ok := run.Tool.(interface{ SampleCount() int }); ok {
 					n = rt.SampleCount()
 				}
 			}

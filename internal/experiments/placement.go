@@ -7,6 +7,7 @@ import (
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
+	"kleb/internal/session"
 	"kleb/internal/workload"
 )
 
@@ -62,31 +63,37 @@ func (r *PlacementResult) Find(name string) (Placement, bool) {
 //     core 1 — the LLC-hungry pair time-shares, never running concurrently;
 //   - "mixed-pairs": one memory + one compute job per core — the memory
 //     jobs overlap on the shared LLC about half the time.
-func RunPlacement(seed uint64) (*PlacementResult, error) {
+func RunPlacement(seed uint64, workers int) (*PlacementResult, error) {
 	const memImage, compImage = "mysql", "ruby"
 	res := &PlacementResult{Images: [4]string{memImage, memImage, compImage, compImage}}
 
-	run := func(name string, assignment [4]int) error {
-		cluster := machine.BootCluster(ProfileFor(KLEB), seed, 2)
-		cores := cluster.Cores()
+	run := func(name string, assignment [4]int) (Placement, error) {
 		placed := Placement{Name: name}
 		var procs []*kernel.Process
-		for slot, coreIdx := range assignment {
-			image := memImage
-			if slot >= 2 {
-				image = compImage
-			}
-			img, ok := workload.ImageByName(image)
-			if !ok {
-				return fmt.Errorf("placement: unknown image %q", image)
-			}
-			p := cores[coreIdx].Kernel().Spawn(
-				fmt.Sprintf("%s-%d", image, slot), img.ScriptAt(slot).Program())
-			procs = append(procs, p)
-			placed.Jobs = append(placed.Jobs, PlacementJob{Image: image, Core: coreIdx})
-		}
-		if err := cluster.Run(0, 0); err != nil {
-			return err
+		_, err := session.RunCluster(session.ClusterSpec{
+			Profile: ProfileFor(KLEB),
+			Seed:    seed,
+			Cores:   2,
+			Place: func(cores []*machine.Machine) error {
+				for slot, coreIdx := range assignment {
+					image := memImage
+					if slot >= 2 {
+						image = compImage
+					}
+					img, ok := workload.ImageByName(image)
+					if !ok {
+						return fmt.Errorf("placement: unknown image %q", image)
+					}
+					p := cores[coreIdx].Kernel().Spawn(
+						fmt.Sprintf("%s-%d", image, slot), img.ScriptAt(slot).Program())
+					procs = append(procs, p)
+					placed.Jobs = append(placed.Jobs, PlacementJob{Image: image, Core: coreIdx})
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return Placement{}, err
 		}
 		for i, p := range procs {
 			placed.Jobs[i].Runtime = p.Runtime()
@@ -94,18 +101,30 @@ func RunPlacement(seed uint64) (*PlacementResult, error) {
 				placed.Makespan = ktime.Duration(end)
 			}
 		}
-		res.Placements = append(res.Placements, placed)
-		return nil
+		return placed, nil
 	}
 
-	// serialize-memory: mem jobs share core 0; compute jobs share core 1.
-	if err := run("serialize-memory", [4]int{0, 0, 1, 1}); err != nil {
-		return nil, err
+	// The two assignments are independent socket runs; fan them out.
+	assignments := []struct {
+		name string
+		at   [4]int
+	}{
+		// serialize-memory: mem jobs share core 0; compute jobs share core 1.
+		{"serialize-memory", [4]int{0, 0, 1, 1}},
+		// mixed-pairs: each core gets one memory and one compute job.
+		{"mixed-pairs", [4]int{0, 1, 0, 1}},
 	}
-	// mixed-pairs: each core gets one memory and one compute job.
-	if err := run("mixed-pairs", [4]int{0, 1, 0, 1}); err != nil {
-		return nil, err
+	placements := make([]Placement, len(assignments))
+	errs := make([]error, len(assignments))
+	session.Scheduler{Workers: workers}.ForEach(len(assignments), func(i int) {
+		placements[i], errs[i] = run(assignments[i].name, assignments[i].at)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
+	res.Placements = placements
 	return res, nil
 }
 

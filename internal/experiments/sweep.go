@@ -6,6 +6,7 @@ import (
 
 	"kleb/internal/ktime"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/trace"
 	"kleb/internal/workload"
 )
@@ -19,6 +20,8 @@ type SweepConfig struct {
 	Trials int
 	// Seed bases the trial seeds.
 	Seed uint64
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *SweepConfig) defaults() {
@@ -63,40 +66,53 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		Footprint:  256 << 10,
 	}.Script()
 	res := &SweepResult{}
-	for _, kind := range []ToolKind{KLEB, PerfStat} {
+	kinds := []ToolKind{KLEB, PerfStat}
+
+	// Batch 1: per-trial baselines (both tools run the stock machine, so one
+	// baseline per trial seed serves every sweep point).
+	baseSpecs := make([]session.Spec, cfg.Trials)
+	for trial := range baseSpecs {
+		baseSpecs[trial] = baselineSpec(ProfileFor(KLEB), cfg.Seed+uint64(trial)*613, script)
+	}
+	baseRuns, err := runAll(cfg.Workers, baseSpecs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Batch 2: the (tool, period, trial) grid.
+	var specs []session.Spec
+	for _, kind := range kinds {
+		for _, period := range cfg.Periods {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				specs = append(specs, session.Spec{
+					Profile:   ProfileFor(kind),
+					Seed:      cfg.Seed + uint64(trial)*613,
+					NewTarget: targetFactory(script),
+					NewTool:   toolFactory(kind, 0),
+					Config:    monitor.Config{Events: defaultEvents(), Period: period, ExcludeKernel: true},
+				})
+			}
+		}
+	}
+	runs, err := runAll(cfg.Workers, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	i := 0
+	for _, kind := range kinds {
 		for _, period := range cfg.Periods {
 			var overheads []float64
 			var samples float64
 			var effective ktime.Duration
 			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.Seed + uint64(trial)*613
-				base, err := monitor.Run(monitor.RunSpec{
-					Profile:   ProfileFor(kind),
-					Seed:      seed,
-					NewTarget: targetFactory(script),
-				})
-				if err != nil {
-					return nil, err
-				}
-				tool, err := NewTool(kind, 0)
-				if err != nil {
-					return nil, err
-				}
-				run, err := monitor.Run(monitor.RunSpec{
-					Profile:   ProfileFor(kind),
-					Seed:      seed,
-					NewTarget: targetFactory(script),
-					Tool:      tool,
-					Config:    monitor.Config{Events: defaultEvents(), Period: period, ExcludeKernel: true},
-				})
-				if err != nil {
-					return nil, err
-				}
+				run := runs[i]
+				i++
 				overheads = append(overheads,
-					trace.OverheadPct(base.Elapsed.Seconds(), run.Elapsed.Seconds()))
+					trace.OverheadPct(baseRuns[trial].Elapsed.Seconds(), run.Elapsed.Seconds()))
 				samples += float64(len(run.Result.Samples))
 				effective = period
-				if ps, ok := tool.(interface{ EffectivePeriod() ktime.Duration }); ok {
+				if ps, ok := run.Tool.(interface{ EffectivePeriod() ktime.Duration }); ok {
 					effective = ps.EffectivePeriod()
 				}
 			}

@@ -8,6 +8,7 @@ import (
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
+	"kleb/internal/session"
 	"kleb/internal/trace"
 )
 
@@ -37,30 +38,42 @@ type TimerResult struct {
 	Rows []TimerRow
 }
 
-// RunTimers measures both facilities across a period sweep.
-func RunTimers(seed uint64) (*TimerResult, error) {
-	res := &TimerResult{}
+// RunTimers measures both facilities across a period sweep, fanning the
+// independent measurements over the scheduler's pool.
+func RunTimers(seed uint64, workers int) (*TimerResult, error) {
 	periods := []ktime.Duration{
 		100 * ktime.Microsecond,
 		ktime.Millisecond,
 		10 * ktime.Millisecond,
 		50 * ktime.Millisecond,
 	}
+	type job struct {
+		facility string
+		period   ktime.Duration
+	}
+	var jobs []job
 	for _, period := range periods {
-		row, err := measureUserTimer(seed, period)
+		jobs = append(jobs, job{"user-timer", period})
+	}
+	for _, period := range periods {
+		jobs = append(jobs, job{"hrtimer", period})
+	}
+	rows := make([]TimerRow, len(jobs))
+	errs := make([]error, len(jobs))
+	session.Scheduler{Workers: workers}.ForEach(len(jobs), func(i int) {
+		switch jobs[i].facility {
+		case "user-timer":
+			rows[i], errs[i] = measureUserTimer(seed, jobs[i].period)
+		default:
+			rows[i], errs[i] = measureHRTimer(seed, jobs[i].period)
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		res.Rows = append(res.Rows, row)
 	}
-	for _, period := range periods {
-		row, err := measureHRTimer(seed, period)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res, nil
+	return &TimerResult{Rows: rows}, nil
 }
 
 // measureUserTimer runs a process on a user-space interval timer
@@ -68,23 +81,28 @@ func RunTimers(seed uint64) (*TimerResult, error) {
 // kernel module) and measures the achieved gaps: anything below the jiffy
 // is silently degraded to 10ms.
 func measureUserTimer(seed uint64, period ktime.Duration) (TimerRow, error) {
-	m := machine.Boot(machine.Nehalem(), seed)
-	k := m.Kernel()
 	const iterations = 60
 	var fires []ktime.Time
-	n := 0
-	k.Spawn("timer-loop", kernel.ProgramFunc(func(k *kernel.Kernel, p *kernel.Process) kernel.Op {
-		if n > 0 {
-			fires = append(fires, k.Now())
-		}
-		if n >= iterations {
-			return kernel.OpExit{}
-		}
-		n++
-		next := (uint64(k.Now())/uint64(period) + 1) * uint64(period)
-		return kernel.OpSleep{Until: ktime.Time(next)}
-	}))
-	if err := k.Run(0); err != nil {
+	_, err := session.Run(session.Spec{
+		Profile:    machine.Nehalem(),
+		Seed:       seed,
+		TargetName: "timer-loop",
+		NewTarget: func() kernel.Program {
+			n := 0
+			return kernel.ProgramFunc(func(k *kernel.Kernel, p *kernel.Process) kernel.Op {
+				if n > 0 {
+					fires = append(fires, k.Now())
+				}
+				if n >= iterations {
+					return kernel.OpExit{}
+				}
+				n++
+				next := (uint64(k.Now())/uint64(period) + 1) * uint64(period)
+				return kernel.OpSleep{Until: ktime.Time(next)}
+			})
+		},
+	})
+	if err != nil {
 		return TimerRow{}, err
 	}
 	avg, std := gapStats(fires)
@@ -94,26 +112,33 @@ func measureUserTimer(seed uint64, period ktime.Duration) (TimerRow, error) {
 // measureHRTimer arms an in-kernel periodic HRTimer while a busy process
 // keeps the CPU non-idle, and measures handler-invocation gaps.
 func measureHRTimer(seed uint64, period ktime.Duration) (TimerRow, error) {
-	m := machine.Boot(machine.Nehalem(), seed)
-	k := m.Kernel()
 	const iterations = 60
 	var fires []ktime.Time
 	done := false
-	k.StartHRTimer(period, period, func(k *kernel.Kernel, t *kernel.HRTimer) bool {
-		fires = append(fires, k.Now())
-		if len(fires) >= iterations {
-			done = true
-			return false
-		}
-		return true
+	_, err := session.Run(session.Spec{
+		Profile:    machine.Nehalem(),
+		Seed:       seed,
+		TargetName: "busy",
+		OnBoot: func(m *machine.Machine) {
+			m.Kernel().StartHRTimer(period, period, func(k *kernel.Kernel, t *kernel.HRTimer) bool {
+				fires = append(fires, k.Now())
+				if len(fires) >= iterations {
+					done = true
+					return false
+				}
+				return true
+			})
+		},
+		NewTarget: func() kernel.Program {
+			return kernel.ProgramFunc(func(k *kernel.Kernel, p *kernel.Process) kernel.Op {
+				if done {
+					return kernel.OpExit{}
+				}
+				return kernel.OpExec{Block: busyBlock()}
+			})
+		},
 	})
-	k.Spawn("busy", kernel.ProgramFunc(func(k *kernel.Kernel, p *kernel.Process) kernel.Op {
-		if done {
-			return kernel.OpExit{}
-		}
-		return kernel.OpExec{Block: busyBlock()}
-	}))
-	if err := k.Run(0); err != nil {
+	if err != nil {
 		return TimerRow{}, err
 	}
 	avg, std := gapStats(fires)

@@ -3,7 +3,10 @@
 // levels, and the instruction blocks in which workloads describe their work.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Priv is the privilege level at which a stretch of work executes. The PMU
 // filters event counting by privilege exactly as the USR/OS bits of
@@ -91,12 +94,46 @@ func (e Event) String() string {
 	return fmt.Sprintf("Event(%d)", uint8(e))
 }
 
-// EventByName resolves a mnemonic back to an event class.
+// eventAliases maps common perf-style spellings onto the canonical
+// mnemonics, so CLI flags like "llc_misses" or "instructions" resolve.
+var eventAliases = map[string]Event{
+	"INSTRUCTIONS":  EvInstructions,
+	"INST":          EvInstructions,
+	"CYCLES":        EvCycles,
+	"CPU_CYCLES":    EvCycles,
+	"REF_CYCLES":    EvRefCycles,
+	"LOADS":         EvLoads,
+	"MEM_LOADS":     EvLoads,
+	"STORES":        EvStores,
+	"MEM_STORES":    EvStores,
+	"BRANCHES":      EvBranches,
+	"BRANCH_MISSES": EvBranchMisses,
+	"LLC_REFS":      EvLLCRefs,
+	"CACHE_REFS":    EvLLCRefs,
+	"CACHE_MISSES":  EvLLCMisses,
+	"L1D_MISSES":    EvL1DMisses,
+	"L2_MISSES":     EvL2Misses,
+	"MULS":          EvMulOps,
+	"FLOPS":         EvFPOps,
+	"CACHE_FLUSHES": EvCacheFlushes,
+	"CLFLUSH":       EvCacheFlushes,
+	"DTLB_MISSES":   EvDTLBMisses,
+	"LLC_REFERENCE": EvLLCRefs, // common singular typos
+	"LLC_MISS":      EvLLCMisses,
+}
+
+// EventByName resolves a mnemonic back to an event class. Matching is
+// case-insensitive, ignores surrounding whitespace, and accepts the
+// perf-style aliases above alongside the canonical names.
 func EventByName(name string) (Event, bool) {
+	name = strings.ToUpper(strings.TrimSpace(name))
 	for i, n := range eventNames {
 		if n == name {
 			return Event(i), true
 		}
+	}
+	if ev, ok := eventAliases[name]; ok {
+		return ev, true
 	}
 	return 0, false
 }

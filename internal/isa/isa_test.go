@@ -24,6 +24,49 @@ func TestEventNamesRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEventByNameLenientMatching(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Event
+	}{
+		// Case-insensitive canonical names.
+		{"llc_misses", EvLLCMisses},
+		{"Llc_Misses", EvLLCMisses},
+		{"inst_retired", EvInstructions},
+		{"mem_inst_retired.loads", EvLoads},
+		// Surrounding whitespace (e.g. "a, b" comma splits).
+		{"  LLC_MISSES ", EvLLCMisses},
+		{"\tINST_RETIRED\n", EvInstructions},
+		// Perf-style aliases.
+		{"instructions", EvInstructions},
+		{"cycles", EvCycles},
+		{"ref_cycles", EvRefCycles},
+		{"loads", EvLoads},
+		{"stores", EvStores},
+		{"branches", EvBranches},
+		{"branch_misses", EvBranchMisses},
+		{"cache_refs", EvLLCRefs},
+		{"cache_misses", EvLLCMisses},
+		{"l1d_misses", EvL1DMisses},
+		{"l2_misses", EvL2Misses},
+		{"flops", EvFPOps},
+		{"clflush", EvCacheFlushes},
+		{"dtlb_misses", EvDTLBMisses},
+		{" llc_refs ", EvLLCRefs},
+	}
+	for _, c := range cases {
+		got, ok := EventByName(c.in)
+		if !ok || got != c.want {
+			t.Errorf("EventByName(%q) = %v, %v; want %v", c.in, got, ok, c.want)
+		}
+	}
+	for _, bogus := range []string{"", "  ", "llc", "misses", "LLC MISSES"} {
+		if ev, ok := EventByName(bogus); ok {
+			t.Errorf("EventByName(%q) resolved to %v; want no match", bogus, ev)
+		}
+	}
+}
+
 func TestCountsAddSub(t *testing.T) {
 	var a, b Counts
 	a[EvLoads] = 10

@@ -11,6 +11,7 @@ import (
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/trace"
 	"kleb/internal/workload"
 )
@@ -34,17 +35,17 @@ func targetScript(instr uint64) workload.Script {
 
 // runWithKLEB runs a workload under the full K-LEB stack and returns the
 // collected result plus the module for post-mortem inspection.
-func runWithKLEB(t *testing.T, seed uint64, script workload.Script, cfg monitor.Config, tweak func(*Tool)) (*monitor.RunResult, *Tool) {
+func runWithKLEB(t *testing.T, seed uint64, script workload.Script, cfg monitor.Config, tweak func(*Tool)) (*session.Result, *Tool) {
 	t.Helper()
 	tool := New()
 	if tweak != nil {
 		tweak(tool)
 	}
-	res, err := monitor.Run(monitor.RunSpec{
+	res, err := session.Run(session.Spec{
 		Profile:   quietProfile(),
 		Seed:      seed,
 		NewTarget: func() kernel.Program { return script.Program() },
-		Tool:      tool,
+		NewTool:   session.Use(tool),
 		Config:    cfg,
 	})
 	if err != nil {
@@ -112,11 +113,11 @@ func TestLineageTracking(t *testing.T) {
 	// child's work (fork-probe lineage tracking).
 	img, _ := workload.ImageByName("golang")
 	tool := New()
-	res, err := monitor.Run(monitor.RunSpec{
+	res, err := session.Run(session.Spec{
 		Profile:   quietProfile(),
 		Seed:      4,
 		NewTarget: func() kernel.Program { return workload.DockerRun(img) },
-		Tool:      tool,
+		NewTool:   session.Use(tool),
 		Config:    stdConfig(10 * ktime.Millisecond),
 	})
 	if err != nil {
@@ -160,11 +161,11 @@ func TestIsolationFromOtherProcesses(t *testing.T) {
 	// counting is gated off whenever the target is scheduled out.
 	script := targetScript(150_000_000)
 	tool := New()
-	res, err := monitor.Run(monitor.RunSpec{
+	res, err := session.Run(session.Spec{
 		Profile:   quietProfile(),
 		Seed:      6,
 		NewTarget: func() kernel.Program { return script.Program() },
-		Tool:      tool,
+		NewTool:   session.Use(tool),
 		Config:    stdConfig(ktime.Millisecond),
 		Noise:     true,
 	})

@@ -5,11 +5,15 @@ import (
 	"testing"
 
 	"kleb/internal/isa"
-	"kleb/internal/kleb"
 	"kleb/internal/ktime"
-	"kleb/internal/machine"
 	"kleb/internal/monitor"
 )
+
+// negativePeriod is what a negative time.Duration becomes when converted
+// to the unsigned ktime.Duration (e.g. by a CLI flag).
+func negativePeriod(d ktime.Duration) ktime.Duration {
+	return ktime.Duration(-int64(d))
+}
 
 func TestConfigValidate(t *testing.T) {
 	cases := []struct {
@@ -19,6 +23,7 @@ func TestConfigValidate(t *testing.T) {
 	}{
 		{"no-events", monitor.Config{Period: ktime.Millisecond}, "no events"},
 		{"no-period", monitor.Config{Events: []isa.Event{isa.EvLoads}}, "zero"},
+		{"negative-period", monitor.Config{Events: []isa.Event{isa.EvLoads}, Period: negativePeriod(ktime.Millisecond)}, "negative"},
 		{"dup", monitor.Config{Events: []isa.Event{isa.EvLoads, isa.EvLoads}, Period: 1}, "duplicate"},
 	}
 	for _, c := range cases {
@@ -26,6 +31,12 @@ func TestConfigValidate(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: got %v", c.name, err)
 		}
+	}
+	// The negative-period error must report the offending value as the
+	// signed duration the caller wrote (e.g. a -5ms CLI flag).
+	err := monitor.Config{Events: []isa.Event{isa.EvLoads}, Period: negativePeriod(5 * ktime.Millisecond)}.Validate()
+	if err == nil || !strings.Contains(err.Error(), "-"+(5*ktime.Millisecond).String()) {
+		t.Errorf("negative period error should name the value: %v", err)
 	}
 	good := monitor.Config{Events: []isa.Event{isa.EvLoads}, Period: ktime.Millisecond}
 	if err := good.Validate(); err != nil {
@@ -43,25 +54,6 @@ func TestProgrammableEvents(t *testing.T) {
 	}
 	if prog[0] != isa.EvLoads || prog[1] != isa.EvLLCMisses {
 		t.Errorf("wrong split: %v", prog)
-	}
-}
-
-func TestRunRejectsMissingTarget(t *testing.T) {
-	_, err := monitor.Run(monitor.RunSpec{Profile: machine.Nehalem()})
-	if err == nil || !strings.Contains(err.Error(), "NewTarget") {
-		t.Errorf("got %v", err)
-	}
-}
-
-func TestRunRejectsBadConfigWithTool(t *testing.T) {
-	_, err := monitor.Run(monitor.RunSpec{
-		Profile:   machine.Nehalem(),
-		NewTarget: newTargetFactory(smallWorkload()),
-		Tool:      kleb.New(),
-		Config:    monitor.Config{}, // invalid
-	})
-	if err == nil {
-		t.Error("invalid config with a tool should fail")
 	}
 }
 
@@ -84,41 +76,5 @@ func TestResultSeriesFor(t *testing.T) {
 	}
 	if r.SeriesFor(isa.EvBranches) != nil {
 		t.Error("missing event should return nil")
-	}
-}
-
-func TestRunWithLimit(t *testing.T) {
-	// A run whose target never exits must stop at the Limit rather than
-	// hang; it then errors because the target is still alive.
-	s := smallWorkload()
-	_, err := monitor.Run(monitor.RunSpec{
-		Profile:   machine.Nehalem(),
-		NewTarget: newTargetFactory(s),
-		Limit:     ktime.Millisecond, // far too short for the workload
-	})
-	if err == nil || !strings.Contains(err.Error(), "did not exit") {
-		t.Errorf("got %v", err)
-	}
-}
-
-func TestNoiseChangesTiming(t *testing.T) {
-	base, err := monitor.Run(monitor.RunSpec{
-		Profile: machine.Nehalem(), Seed: 5, NewTarget: newTargetFactory(smallWorkload()),
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	noisy, err := monitor.Run(monitor.RunSpec{
-		Profile: machine.Nehalem(), Seed: 5, NewTarget: newTargetFactory(smallWorkload()),
-		Noise: true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if noisy.Elapsed <= base.Elapsed {
-		t.Errorf("OS noise should lengthen the run: %v vs %v", noisy.Elapsed, base.Elapsed)
-	}
-	if noisy.Target.Switches() <= base.Target.Switches() {
-		t.Error("noise should force extra context switches")
 	}
 }

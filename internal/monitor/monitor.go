@@ -1,7 +1,8 @@
 // Package monitor defines the common interface all performance-counter
 // collection tools implement (K-LEB and the perf stat / perf record / PAPI
-// / LiMiT baselines) and the harness that runs a workload under a tool on a
-// simulated machine.
+// / LiMiT baselines) and the sample/result records they produce. The
+// harness that actually boots a machine and runs a workload under a tool
+// lives one layer up, in internal/session.
 package monitor
 
 import (
@@ -11,7 +12,6 @@ import (
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
-	"kleb/internal/workload"
 )
 
 // Config is the monitoring request: which events, how often, and at what
@@ -38,6 +38,12 @@ func (c Config) Validate() error {
 	}
 	if c.Period == 0 {
 		return fmt.Errorf("monitor: zero sampling period")
+	}
+	// Duration is unsigned, so a negative period (e.g. a -5ms CLI flag
+	// converted from time.Duration) arrives wrapped into the top half of
+	// the range; report it as the signed value the caller wrote.
+	if int64(c.Period) < 0 {
+		return fmt.Errorf("monitor: negative sampling period -%v", ktime.Duration(-int64(c.Period)))
 	}
 	seen := map[isa.Event]bool{}
 	for _, ev := range c.Events {
@@ -127,105 +133,4 @@ type Tool interface {
 	Attach(m *machine.Machine, target *kernel.Process, prog kernel.Program, cfg Config) error
 	// Collect returns results after the machine's run completes.
 	Collect() Result
-}
-
-// RunSpec describes one monitored (or baseline) run.
-type RunSpec struct {
-	// Profile is the machine to boot.
-	Profile machine.Profile
-	// Seed drives all simulation noise; identical seeds replay identically.
-	Seed uint64
-	// TargetName names the monitored process.
-	TargetName string
-	// NewTarget creates the target's program.
-	NewTarget func() kernel.Program
-	// Tool is the monitor under test; nil runs an unmonitored baseline.
-	Tool Tool
-	// Config is the monitoring request (ignored when Tool is nil).
-	Config Config
-	// Noise adds the background OS-noise daemon.
-	Noise bool
-	// Limit caps simulated time as a runaway guard (0 = none).
-	Limit ktime.Duration
-	// OnBoot, when set, runs right after the machine boots and before any
-	// process is spawned — the hook for attaching debug instrumentation
-	// (syscall tracing, state dumps).
-	OnBoot func(*machine.Machine)
-}
-
-// RunResult is the outcome of one run.
-type RunResult struct {
-	// Result is the tool's collected data (zero value for baselines).
-	Result Result
-	// Elapsed is the target's wall-clock lifetime.
-	Elapsed ktime.Duration
-	// TargetUser/TargetKern are the target's CPU time split.
-	TargetUser ktime.Duration
-	TargetKern ktime.Duration
-	// Machine is the booted machine, for post-run inspection.
-	Machine *machine.Machine
-	// Target is the monitored process.
-	Target *kernel.Process
-}
-
-// Run boots the machine, spawns the target, attaches the tool, drives the
-// kernel until all processes exit, and collects results.
-func Run(spec RunSpec) (*RunResult, error) {
-	if spec.NewTarget == nil {
-		return nil, fmt.Errorf("monitor: RunSpec.NewTarget is nil")
-	}
-	if spec.Tool != nil {
-		if err := spec.Config.Validate(); err != nil {
-			return nil, err
-		}
-	}
-	m := machine.Boot(spec.Profile, spec.Seed)
-	k := m.Kernel()
-	if spec.OnBoot != nil {
-		spec.OnBoot(m)
-	}
-	if spec.Noise {
-		k.SpawnDaemon("os-noise", workload.OSNoise(spec.Seed^0x9e37))
-	}
-	name := spec.TargetName
-	if name == "" {
-		name = "target"
-	}
-	// The target is created stopped so the tool can arm itself before the
-	// target's first instruction (the `tool ./program` launch pattern),
-	// then resumed behind any tool processes already in the run queue.
-	prog := spec.NewTarget()
-	target := k.SpawnStopped(name, prog)
-	if spec.Tool != nil {
-		if err := spec.Tool.Attach(m, target, prog, spec.Config); err != nil {
-			return nil, fmt.Errorf("monitor: attach %s: %w", spec.Tool.Name(), err)
-		}
-	}
-	if tr, ok := spec.Tool.(TargetResumer); !ok || !tr.ResumesTarget() {
-		k.Resume(target)
-	}
-	if err := k.Run(spec.Limit); err != nil {
-		return nil, fmt.Errorf("monitor: run under %s: %w", toolName(spec.Tool), err)
-	}
-	if !target.Exited() {
-		return nil, fmt.Errorf("monitor: target %q did not exit (state %v)", name, target.State())
-	}
-	res := &RunResult{
-		Elapsed:    target.Runtime(),
-		TargetUser: target.UserTime(),
-		TargetKern: target.KernelTime(),
-		Machine:    m,
-		Target:     target,
-	}
-	if spec.Tool != nil {
-		res.Result = spec.Tool.Collect()
-	}
-	return res, nil
-}
-
-func toolName(t Tool) string {
-	if t == nil {
-		return "baseline"
-	}
-	return t.Name()
 }

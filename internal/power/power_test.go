@@ -10,6 +10,7 @@ import (
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/workload"
 )
 
@@ -92,11 +93,11 @@ func TestPowerTraceFromKLEBRun(t *testing.T) {
 			LoadsPerK: 350,
 			Mem:       isa.MemPattern{Base: 0x20_0000, Footprint: 64 << 20, Stride: 8, RandomFrac: 0.4}},
 	}}
-	res, err := monitor.Run(monitor.RunSpec{
+	res, err := session.Run(session.Spec{
 		Profile:   prof,
 		Seed:      2,
 		NewTarget: func() kernel.Program { return script.Program() },
-		Tool:      kleb.New(),
+		NewTool:   func() (monitor.Tool, error) { return kleb.New(), nil },
 		Config:    monitor.Config{Events: powerEvents, Period: ktime.Millisecond, ExcludeKernel: true},
 	})
 	if err != nil {

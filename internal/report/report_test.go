@@ -53,7 +53,7 @@ func TestReportRendersAllSections(t *testing.T) {
 	}
 	r.Fig9(ac)
 
-	tm, err := experiments.RunTimers(1)
+	tm, err := experiments.RunTimers(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func (w *errWriter) Write(p []byte) (int, error) {
 
 func TestReportSurfacesWriteErrors(t *testing.T) {
 	r := New(&errWriter{n: 16})
-	tm, err := experiments.RunTimers(1)
+	tm, err := experiments.RunTimers(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

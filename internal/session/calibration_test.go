@@ -1,4 +1,4 @@
-package monitor_test
+package session_test
 
 import (
 	"testing"
@@ -6,7 +6,7 @@ import (
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
-	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/workload"
 )
 
@@ -33,7 +33,7 @@ func TestWorkloadCalibrationBands(t *testing.T) {
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			res, err := monitor.Run(monitor.RunSpec{
+			res, err := session.Run(session.Spec{
 				Profile:   machine.Nehalem(),
 				Seed:      13,
 				NewTarget: func() kernel.Program { return c.script.Program() },
@@ -50,7 +50,7 @@ func TestWorkloadCalibrationBands(t *testing.T) {
 
 func TestLinpackGFLOPSCalibration(t *testing.T) {
 	lp := workload.NewLinpack(5000)
-	res, err := monitor.Run(monitor.RunSpec{
+	res, err := session.Run(session.Spec{
 		Profile:   machine.Nehalem(),
 		Seed:      13,
 		NewTarget: func() kernel.Program { return lp.Script().Program() },

@@ -1,0 +1,107 @@
+package session
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Scheduler executes batches of independent Specs across a fixed worker
+// pool. Every run in a batch is a self-contained simulation whose outcome
+// depends only on its Spec (most importantly its seed), so results are
+// bit-identical regardless of worker count or completion order; the
+// returned slice is always index-ordered to match the input.
+type Scheduler struct {
+	// Workers is the pool size; 0 or negative selects GOMAXPROCS.
+	Workers int
+}
+
+// Outcome pairs one Spec's result with its batch position. A failed run
+// carries its error here instead of aborting the rest of the batch.
+type Outcome struct {
+	// Index is the position of the originating Spec in the batch.
+	Index int
+	// Run is the result (nil when Err is set).
+	Run *Result
+	// Err is the run's failure, if any.
+	Err error
+}
+
+// workers resolves the effective pool size.
+func (s Scheduler) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every Spec in the batch over the worker pool and returns
+// the outcomes in Spec order.
+func (s Scheduler) Run(specs []Spec) []Outcome {
+	out := make([]Outcome, len(specs))
+	s.ForEach(len(specs), func(i int) {
+		r, err := Run(specs[i])
+		out[i] = Outcome{Index: i, Run: r, Err: err}
+	})
+	return out
+}
+
+// ForEach invokes fn(i) for every i in [0, n) across the worker pool and
+// returns once all invocations complete. fn is called concurrently from
+// distinct goroutines and must only touch index-private state (the pattern
+// every experiment runner follows: write results into slot i of a
+// preallocated slice). Cluster experiments and the facade fan out through
+// this when their jobs are not plain Specs.
+func (s Scheduler) ForEach(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	w := s.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// FirstErr returns the first failed outcome's error, for callers that
+// treat any failure as fatal.
+func FirstErr(outs []Outcome) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	return nil
+}
+
+// DeriveSeed deterministically derives the i'th run seed from a base seed
+// using a SplitMix64 finalizer, so neighbouring indices yield decorrelated
+// noise streams and a batch's seeds never depend on worker count or
+// completion order. DeriveSeed(base, 0) != base, so baseline and derived
+// runs do not collide.
+func DeriveSeed(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(uint64(i)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

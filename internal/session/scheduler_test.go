@@ -1,0 +1,132 @@
+package session_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kleb/internal/isa"
+	"kleb/internal/kleb"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/session"
+	"kleb/internal/trace"
+	"kleb/internal/workload"
+)
+
+func TestDeriveSeed(t *testing.T) {
+	// Distinct indices from one base must not collide, and the derivation
+	// must be a pure function of (base, index).
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := session.DeriveSeed(1, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: indices %d and %d both derive %d", prev, i, s)
+		}
+		seen[s] = i
+		if s != session.DeriveSeed(1, i) {
+			t.Fatalf("DeriveSeed(1, %d) not stable", i)
+		}
+	}
+	// Index 0 must not degenerate to the base itself.
+	if session.DeriveSeed(7, 0) == 7 {
+		t.Error("DeriveSeed(base, 0) must differ from base")
+	}
+	// Different bases diverge.
+	if session.DeriveSeed(1, 5) == session.DeriveSeed(2, 5) {
+		t.Error("bases 1 and 2 derive the same seed at index 5")
+	}
+}
+
+// batchSpecs builds a mixed batch of monitored runs whose outputs will be
+// compared byte for byte across worker counts.
+func batchSpecs(base uint64) []session.Spec {
+	periods := []ktime.Duration{ktime.Millisecond, 2 * ktime.Millisecond, 5 * ktime.Millisecond}
+	var specs []session.Spec
+	for i := 0; i < 6; i++ {
+		script := workload.Synthetic{
+			Name:       "det-target",
+			TotalInstr: 120_000_000,
+			Footprint:  128 << 10,
+		}.Script()
+		specs = append(specs, session.Spec{
+			Profile:    machine.Nehalem(),
+			Seed:       session.DeriveSeed(base, i),
+			TargetName: "det-target",
+			NewTarget:  newTargetFactory(script),
+			NewTool:    func() (monitor.Tool, error) { return kleb.New(), nil },
+			Config: monitor.Config{
+				Events:        []isa.Event{isa.EvInstructions, isa.EvLoads, isa.EvLLCMisses},
+				Period:        periods[i%len(periods)],
+				ExcludeKernel: true,
+			},
+		})
+	}
+	return specs
+}
+
+func TestSchedulerDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The acceptance bar for the parallel scheduler: the same Spec batch on
+	// a fixed base seed produces byte-identical CSV output from
+	// internal/trace no matter how many workers execute it.
+	render := func(workers int) []byte {
+		outs := session.Scheduler{Workers: workers}.Run(batchSpecs(99))
+		var buf bytes.Buffer
+		for _, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("workers=%d index=%d: %v", workers, o.Index, o.Err)
+			}
+			if err := trace.WriteCSV(&buf, o.Run.Result.Events, o.Run.Result.Samples); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	if len(serial) == 0 {
+		t.Fatal("no CSV output")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); !bytes.Equal(serial, got) {
+			t.Errorf("workers=%d: CSV output differs from serial (lens %d vs %d)",
+				workers, len(serial), len(got))
+		}
+	}
+}
+
+func TestSchedulerIndexOrderAndErrorIsolation(t *testing.T) {
+	specs := batchSpecs(5)[:3]
+	// Poison the middle spec: its failure must not abort its neighbours.
+	specs[1].NewTarget = nil
+	outs := session.Scheduler{Workers: 8}.Run(specs)
+	if len(outs) != 3 {
+		t.Fatalf("outcomes: %d", len(outs))
+	}
+	for i, o := range outs {
+		if o.Index != i {
+			t.Errorf("outcome %d carries index %d", i, o.Index)
+		}
+	}
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "NewTarget") {
+		t.Errorf("poisoned spec error: %v", outs[1].Err)
+	}
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Errorf("healthy specs failed: %v / %v", outs[0].Err, outs[2].Err)
+	}
+	if session.FirstErr(outs) != outs[1].Err {
+		t.Error("FirstErr should surface the poisoned run")
+	}
+}
+
+func TestSchedulerForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		hit := make([]int, 50)
+		session.Scheduler{Workers: workers}.ForEach(len(hit), func(i int) { hit[i]++ })
+		for i, n := range hit {
+			if n != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, n)
+			}
+		}
+	}
+}

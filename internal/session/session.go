@@ -1,0 +1,209 @@
+// Package session is the canonical run layer of the simulator (DESIGN.md
+// S23): it owns the machine-boot → tool-attach → workload-run →
+// sample-drain lifecycle that every run path shares. A Spec fully describes
+// one run; Session executes its lifecycle stage by stage; Scheduler fans a
+// batch of Specs out over a worker pool with deterministic results. The
+// public facade, all experiment runners and both binaries run through this
+// package — none of them boots machines or attaches tools directly.
+package session
+
+import (
+	"fmt"
+
+	"kleb/internal/kernel"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+	"kleb/internal/monitor"
+	"kleb/internal/workload"
+)
+
+// Spec fully describes one run: which machine, which workload, which tool,
+// which monitoring configuration, and the seed that makes it reproducible.
+type Spec struct {
+	// Profile is the machine to boot.
+	Profile machine.Profile
+	// Seed drives all simulation noise; identical seeds replay identically.
+	Seed uint64
+	// TargetName names the monitored process (default "target").
+	TargetName string
+	// NewTarget creates the target's program. It is invoked once per run,
+	// inside the worker executing the run.
+	NewTarget func() kernel.Program
+	// NewTool creates the monitor under test; nil runs an unmonitored
+	// baseline. Batches must build a fresh tool per run — tools are
+	// stateful — which is why the Spec carries a factory, not an instance.
+	NewTool func() (monitor.Tool, error)
+	// Config is the monitoring request (ignored when NewTool is nil).
+	Config monitor.Config
+	// Noise adds the background OS-noise daemon.
+	Noise bool
+	// Limit caps simulated time as a runaway guard (0 = none).
+	Limit ktime.Duration
+	// OnBoot, when set, runs right after the machine boots and before any
+	// process is spawned — the hook for attaching debug instrumentation
+	// (syscall tracing, state dumps) or arming bare kernel timers.
+	OnBoot func(*machine.Machine)
+}
+
+// Use wraps an existing tool instance as a NewTool factory, for single-run
+// specs whose caller wants to inspect the instance afterwards. Never share
+// one instance across a batch: tools are stateful.
+func Use(t monitor.Tool) func() (monitor.Tool, error) {
+	return func() (monitor.Tool, error) { return t, nil }
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Tool is the instantiated tool (nil for baselines), exposed so callers
+	// can read tool-specific state such as effective periods.
+	Tool monitor.Tool
+	// Result is the tool's collected data (zero value for baselines).
+	Result monitor.Result
+	// Elapsed is the target's wall-clock lifetime.
+	Elapsed ktime.Duration
+	// TargetUser/TargetKern are the target's CPU time split.
+	TargetUser ktime.Duration
+	TargetKern ktime.Duration
+	// Machine is the booted machine, for post-run inspection.
+	Machine *machine.Machine
+	// Target is the monitored process.
+	Target *kernel.Process
+}
+
+// Session drives one Spec through its lifecycle. The stages are exposed
+// individually (Boot, Attach, Drive, Drain) for callers that need to
+// interleave their own work; Run chains all four.
+type Session struct {
+	spec    Spec
+	machine *machine.Machine
+	tool    monitor.Tool
+	target  *kernel.Process
+}
+
+// New prepares a session for spec without booting anything yet.
+func New(spec Spec) *Session { return &Session{spec: spec} }
+
+// Boot validates the spec, boots the machine, runs the OnBoot hook and
+// starts the noise daemon. It is idempotent once successful.
+func (s *Session) Boot() (*machine.Machine, error) {
+	if s.machine != nil {
+		return s.machine, nil
+	}
+	if s.spec.NewTarget == nil {
+		return nil, fmt.Errorf("session: Spec.NewTarget is nil")
+	}
+	if s.spec.NewTool != nil {
+		if err := s.spec.Config.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	m := machine.Boot(s.spec.Profile, s.spec.Seed)
+	if s.spec.OnBoot != nil {
+		s.spec.OnBoot(m)
+	}
+	if s.spec.Noise {
+		m.Kernel().SpawnDaemon("os-noise", workload.OSNoise(s.spec.Seed^0x9e37))
+	}
+	s.machine = m
+	return m, nil
+}
+
+// Attach creates the target (stopped), instantiates and attaches the tool,
+// and resumes the target according to the tool's launch convention.
+func (s *Session) Attach() error {
+	if _, err := s.Boot(); err != nil {
+		return err
+	}
+	if s.target != nil {
+		return nil
+	}
+	name := s.spec.TargetName
+	if name == "" {
+		name = "target"
+	}
+	var tool monitor.Tool
+	if s.spec.NewTool != nil {
+		t, err := s.spec.NewTool()
+		if err != nil {
+			return err
+		}
+		tool = t
+	}
+	target, err := StartTarget(s.machine, name, s.spec.NewTarget(), tool, s.spec.Config)
+	if err != nil {
+		return err
+	}
+	s.tool = tool
+	s.target = target
+	return nil
+}
+
+// Drive runs the kernel until all processes exit (or Limit is reached) and
+// verifies the target completed.
+func (s *Session) Drive() error {
+	if err := s.Attach(); err != nil {
+		return err
+	}
+	if err := s.machine.Kernel().Run(s.spec.Limit); err != nil {
+		return fmt.Errorf("session: run under %s: %w", toolName(s.tool), err)
+	}
+	if !s.target.Exited() {
+		return fmt.Errorf("session: target %q did not exit (state %v)", s.target.Name(), s.target.State())
+	}
+	return nil
+}
+
+// Drain collects the tool's results and packages the run outcome.
+func (s *Session) Drain() *Result {
+	res := &Result{
+		Tool:       s.tool,
+		Elapsed:    s.target.Runtime(),
+		TargetUser: s.target.UserTime(),
+		TargetKern: s.target.KernelTime(),
+		Machine:    s.machine,
+		Target:     s.target,
+	}
+	if s.tool != nil {
+		res.Result = s.tool.Collect()
+	}
+	return res
+}
+
+// Run executes the whole lifecycle: boot, attach, drive, drain.
+func (s *Session) Run() (*Result, error) {
+	if err := s.Drive(); err != nil {
+		return nil, err
+	}
+	return s.Drain(), nil
+}
+
+// Run executes one Spec start to finish.
+func Run(spec Spec) (*Result, error) { return New(spec).Run() }
+
+// StartTarget spawns prog stopped under name on m, attaches tool to it
+// (when tool is non-nil) and resumes the target unless the tool's launch
+// convention has the tool resume it itself. This is the single place the
+// `tool ./program` enable-on-exec pattern lives; cluster experiments reuse
+// it to arm monitors on individual cores.
+func StartTarget(m *machine.Machine, name string, prog kernel.Program, tool monitor.Tool, cfg monitor.Config) (*kernel.Process, error) {
+	// The target is created stopped so the tool can arm itself before the
+	// target's first instruction, then resumed behind any tool processes
+	// already in the run queue.
+	target := m.Kernel().SpawnStopped(name, prog)
+	if tool != nil {
+		if err := tool.Attach(m, target, prog, cfg); err != nil {
+			return nil, fmt.Errorf("session: attach %s: %w", tool.Name(), err)
+		}
+	}
+	if tr, ok := tool.(monitor.TargetResumer); tool == nil || !ok || !tr.ResumesTarget() {
+		m.Kernel().Resume(target)
+	}
+	return target, nil
+}
+
+func toolName(t monitor.Tool) string {
+	if t == nil {
+		return "baseline"
+	}
+	return t.Name()
+}

@@ -13,6 +13,7 @@ import (
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
+	"kleb/internal/session"
 	"kleb/internal/tools/limit"
 	"kleb/internal/tools/papi"
 	"kleb/internal/tools/perfrecord"
@@ -45,15 +46,18 @@ func script(instr uint64) workload.Script {
 	}.Script()
 }
 
-func run(t *testing.T, prof machine.Profile, s workload.Script, tool monitor.Tool, cfg monitor.Config) *monitor.RunResult {
+func run(t *testing.T, prof machine.Profile, s workload.Script, tool monitor.Tool, cfg monitor.Config) *session.Result {
 	t.Helper()
-	res, err := monitor.Run(monitor.RunSpec{
+	spec := session.Spec{
 		Profile:   prof,
 		Seed:      11,
 		NewTarget: func() kernel.Program { return s.Program() },
-		Tool:      tool,
 		Config:    cfg,
-	})
+	}
+	if tool != nil {
+		spec.NewTool = session.Use(tool)
+	}
+	res, err := session.Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,11 +288,11 @@ func TestLiMiTIsolatesCountsFromOtherProcesses(t *testing.T) {
 	s := script(200_000_000)
 	tool := limit.New()
 	tool.Points = 10
-	res, err := monitor.Run(monitor.RunSpec{
+	res, err := session.Run(session.Spec{
 		Profile:   quietLimitProfile(),
 		Seed:      12,
 		NewTarget: func() kernel.Program { return s.Program() },
-		Tool:      tool,
+		NewTool:   session.Use(tool),
 		Config:    monitor.Config{Events: stdEvents(), Period: 10 * ktime.Millisecond, ExcludeKernel: true},
 		Noise:     true,
 	})

@@ -34,6 +34,7 @@ import (
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
 	"kleb/internal/power"
+	"kleb/internal/session"
 	"kleb/internal/tools/limit"
 	"kleb/internal/tools/papi"
 	"kleb/internal/tools/perfrecord"
@@ -271,6 +272,10 @@ type CollectOptions struct {
 	// DumpState, when non-nil, receives a /proc-style dump of the kernel's
 	// final state (process table, modules, devices) after the run.
 	DumpState io.Writer
+	// Workers sizes the scheduler pool used when the call needs several
+	// runs (Baseline, Compare); 0 means GOMAXPROCS. Results are identical
+	// for every worker count.
+	Workers int
 }
 
 // Report is the outcome of Collect.
@@ -402,30 +407,15 @@ func Interference(images []string, seed uint64) ([]InterferenceCell, error) {
 	return out, nil
 }
 
-// Collect boots the machine, runs the workload under the selected tool and
-// returns the collected data.
-func Collect(opts CollectOptions) (*Report, error) {
-	if opts.Workload.factory == nil {
-		return nil, fmt.Errorf("kleb: CollectOptions.Workload is required")
-	}
-	prof, err := profileFor(opts.Machine)
-	if err != nil {
-		return nil, err
-	}
-	tool, err := newTool(opts.Tool)
-	if err != nil {
-		return nil, err
-	}
-	period := opts.Period
-	if period == 0 {
-		period = 10 * Millisecond
-	}
-	spec := monitor.RunSpec{
+// monitoredSpec builds the session spec for one monitored run of the
+// workload; the strace hook attaches only here, never to baselines.
+func monitoredSpec(opts CollectOptions, prof machine.Profile, kind ToolKind, period Duration) session.Spec {
+	spec := session.Spec{
 		Profile:    prof,
 		Seed:       opts.Seed,
 		TargetName: opts.Workload.name,
 		NewTarget:  opts.Workload.factory,
-		Tool:       tool,
+		NewTool:    func() (monitor.Tool, error) { return newTool(kind) },
 		Config: monitor.Config{
 			Events:        opts.Events,
 			Period:        period,
@@ -436,15 +426,13 @@ func Collect(opts CollectOptions) (*Report, error) {
 	if opts.Strace != nil {
 		spec.OnBoot = func(m *machine.Machine) { m.Kernel().TraceSyscalls(opts.Strace) }
 	}
-	run, err := monitor.Run(spec)
-	if err != nil {
-		return nil, err
-	}
-	if opts.DumpState != nil {
-		run.Machine.Kernel().DumpState(opts.DumpState)
-	}
+	return spec
+}
+
+// reportFrom converts a finished session run into the public Report.
+func reportFrom(opts CollectOptions, kind ToolKind, run *session.Result) *Report {
 	report := &Report{
-		Tool:           opts.Tool,
+		Tool:           kind,
 		Events:         run.Result.Events,
 		Samples:        run.Result.Samples,
 		Totals:         run.Result.Totals,
@@ -461,19 +449,125 @@ func Collect(opts CollectOptions) (*Report, error) {
 	if opts.Workload.flops > 0 && run.Elapsed > 0 {
 		report.GFLOPS = float64(opts.Workload.flops) / 1e9 / run.Elapsed.Seconds()
 	}
+	return report
+}
+
+// Collect boots the machine, runs the workload under the selected tool and
+// returns the collected data. With Baseline set, the monitored and
+// unmonitored runs execute as one scheduler batch.
+func Collect(opts CollectOptions) (*Report, error) {
+	if opts.Workload.factory == nil {
+		return nil, fmt.Errorf("kleb: CollectOptions.Workload is required")
+	}
+	prof, err := profileFor(opts.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := newTool(opts.Tool); err != nil {
+		return nil, err
+	}
+	period := opts.Period
+	if period == 0 {
+		period = 10 * Millisecond
+	}
+	specs := []session.Spec{monitoredSpec(opts, prof, opts.Tool, period)}
 	if opts.Baseline {
-		base, err := monitor.Run(monitor.RunSpec{
+		specs = append(specs, session.Spec{
 			Profile:    prof,
 			Seed:       opts.Seed,
 			TargetName: opts.Workload.name,
 			NewTarget:  opts.Workload.factory,
 			Noise:      opts.OSNoise,
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	outs := session.Scheduler{Workers: opts.Workers}.Run(specs)
+	if err := session.FirstErr(outs); err != nil {
+		return nil, err
+	}
+	run := outs[0].Run
+	if opts.DumpState != nil {
+		run.Machine.Kernel().DumpState(opts.DumpState)
+	}
+	report := reportFrom(opts, opts.Tool, run)
+	if opts.Baseline {
+		base := outs[1].Run
 		report.BaselineElapsed = base.Elapsed
 		report.OverheadPct = trace.OverheadPct(base.Elapsed.Seconds(), run.Elapsed.Seconds())
 	}
 	return report, nil
+}
+
+// CompareRow is one tool's outcome in a Compare call.
+type CompareRow struct {
+	Tool ToolKind
+	// Unsupported explains why the tool cannot run on the selected machine
+	// (e.g. LiMiT needs its kernel patch); the Report is nil then.
+	Unsupported string
+	// Report is the tool's collection, with BaselineElapsed/OverheadPct
+	// filled in against the shared unmonitored baseline.
+	Report *Report
+}
+
+// Compare runs the same workload under several tools (default: all five)
+// plus one unmonitored baseline, as a single scheduler batch, and reports
+// each tool's collection and overhead side by side. Tools the selected
+// machine cannot host come back with Unsupported set rather than failing
+// the batch.
+func Compare(opts CollectOptions, tools ...ToolKind) ([]CompareRow, error) {
+	if opts.Workload.factory == nil {
+		return nil, fmt.Errorf("kleb: CollectOptions.Workload is required")
+	}
+	if len(tools) == 0 {
+		tools = []ToolKind{ToolKLEB, ToolPerfStat, ToolPerfRecord, ToolPAPI, ToolLiMiT}
+	}
+	// Several runs would interleave on a shared strace writer; per-run
+	// debug taps only make sense on Collect.
+	opts.Strace = nil
+	opts.DumpState = nil
+	prof, err := profileFor(opts.Machine)
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range tools {
+		if _, err := newTool(kind); err != nil {
+			return nil, err
+		}
+	}
+	period := opts.Period
+	if period == 0 {
+		period = 10 * Millisecond
+	}
+	specs := make([]session.Spec, 0, len(tools)+1)
+	for _, kind := range tools {
+		specs = append(specs, monitoredSpec(opts, prof, kind, period))
+	}
+	specs = append(specs, session.Spec{
+		Profile:    prof,
+		Seed:       opts.Seed,
+		TargetName: opts.Workload.name,
+		NewTarget:  opts.Workload.factory,
+		Noise:      opts.OSNoise,
+	})
+	outs := session.Scheduler{Workers: opts.Workers}.Run(specs)
+	baseOut := outs[len(tools)]
+	if baseOut.Err != nil {
+		return nil, baseOut.Err
+	}
+	base := baseOut.Run
+	rows := make([]CompareRow, len(tools))
+	for i, kind := range tools {
+		rows[i].Tool = kind
+		if kind == "" {
+			rows[i].Tool = ToolKLEB
+		}
+		if outs[i].Err != nil {
+			rows[i].Unsupported = outs[i].Err.Error()
+			continue
+		}
+		report := reportFrom(opts, kind, outs[i].Run)
+		report.BaselineElapsed = base.Elapsed
+		report.OverheadPct = trace.OverheadPct(base.Elapsed.Seconds(), outs[i].Run.Elapsed.Seconds())
+		rows[i].Report = report
+	}
+	return rows, nil
 }

@@ -8,6 +8,61 @@ import (
 	"kleb"
 )
 
+func TestCompareRacesToolsAgainstOneBaseline(t *testing.T) {
+	opts := kleb.CollectOptions{
+		Workload: kleb.Synthetic(100_000_000, 1<<20, 0.02),
+		Events:   []kleb.Event{kleb.Instructions, kleb.LLCMisses},
+		Period:   kleb.Millisecond,
+	}
+	rows, err := kleb.Compare(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("expected all five tools, got %d rows", len(rows))
+	}
+	byTool := map[kleb.ToolKind]kleb.CompareRow{}
+	for _, row := range rows {
+		byTool[row.Tool] = row
+	}
+	// LiMiT needs its kernel patch; the default Nehalem machine reports it
+	// unsupported without failing the other tools.
+	if row := byTool[kleb.ToolLiMiT]; row.Unsupported == "" || row.Report != nil {
+		t.Errorf("LiMiT on stock kernel should be unsupported, got %+v", row)
+	}
+	for _, kind := range []kleb.ToolKind{kleb.ToolKLEB, kleb.ToolPerfStat, kleb.ToolPerfRecord, kleb.ToolPAPI} {
+		row := byTool[kind]
+		if row.Report == nil {
+			t.Fatalf("%s: no report (unsupported: %q)", kind, row.Unsupported)
+		}
+		if row.Report.BaselineElapsed <= 0 {
+			t.Errorf("%s: missing shared baseline", kind)
+		}
+		if row.Report.Totals[kleb.Instructions] == 0 {
+			t.Errorf("%s: no instruction count", kind)
+		}
+	}
+	// The same call with a single worker must be bit-identical.
+	serialOpts := opts
+	serialOpts.Workers = 1
+	serial, err := kleb.Compare(serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i].Unsupported != serial[i].Unsupported {
+			t.Errorf("row %d: unsupported diverged across worker counts", i)
+		}
+		if rows[i].Report == nil || serial[i].Report == nil {
+			continue
+		}
+		if rows[i].Report.Elapsed != serial[i].Report.Elapsed ||
+			len(rows[i].Report.Samples) != len(serial[i].Report.Samples) {
+			t.Errorf("row %d (%s): results diverged across worker counts", i, rows[i].Tool)
+		}
+	}
+}
+
 func TestCollectQuickstart(t *testing.T) {
 	report, err := kleb.Collect(kleb.CollectOptions{
 		Workload: kleb.Synthetic(100_000_000, 1<<20, 0.02),
