@@ -39,6 +39,8 @@ import (
 
 	"kleb/internal/experiments"
 	"kleb/internal/report"
+	"kleb/internal/session"
+	"kleb/internal/telemetry"
 )
 
 func main() {
@@ -48,10 +50,12 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "base simulation seed")
 		workers = flag.Int("workers", 0, "scheduler pool size for each experiment's runs (0 = GOMAXPROCS)")
 		mdPath  = flag.String("md", "", "also write a Markdown report of the paper-facing results to this file")
-		jsPath  = flag.String("json", "", "with the bench command: write wall times and speedups to this file")
+		jsPath  = flag.String("json", "", "with the bench/telemetry-bench commands: write the JSON here")
+		trPath  = flag.String("trace", "", "write batch-level telemetry as Chrome trace-event JSON to this file")
+		mtPath  = flag.String("metrics", "", "write batch-level telemetry as Prometheus text to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|all|md-only|bench>\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|all|md-only|bench|telemetry-bench>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,6 +70,30 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if cmd == "telemetry-bench" {
+		if err := writeTelemetryBench(*jsPath, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments telemetry-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *trPath != "" || *mtPath != "" {
+		// Aggregate every experiment's runs into one process-wide batch sink.
+		// The batch registry merges commutatively, so the exported metrics are
+		// identical at any -workers value; the trace additionally records one
+		// run-completion event per Spec in batch order.
+		if *trPath != "" {
+			session.SetBatchTelemetry(telemetry.New())
+		} else {
+			session.SetBatchTelemetry(telemetry.MetricsOnly())
+		}
+		defer func() {
+			if err := exportBatchTelemetry(*trPath, *mtPath); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: telemetry export: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 	if *mdPath != "" {
 		if err := writeMarkdownReport(*mdPath, *trials, *rounds, *seed, *workers); err != nil {
@@ -322,5 +350,8 @@ func writeMarkdownReport(path string, trials, rounds int, seed uint64, workers i
 		return err
 	}
 	r.Sweep(sw)
+	// Batch telemetry summary (present only when -trace/-metrics installed a
+	// process-wide sink before this report ran).
+	r.Telemetry(session.BatchTelemetry())
 	return r.Err()
 }

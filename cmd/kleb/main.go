@@ -33,6 +33,9 @@ func main() {
 		outFlag      = flag.String("o", "", "write sample CSV to this file (default: summary only)")
 		straceFlag   = flag.Bool("strace", false, "trace every simulated syscall to stderr")
 		psFlag       = flag.Bool("ps", false, "dump the simulated kernel's final state to stderr")
+		traceFlag    = flag.String("trace", "", "write the run's Chrome trace-event JSON here (open in Perfetto)")
+		metricsFlag  = flag.String("metrics", "", "write the run's metrics in Prometheus text format here")
+		ctlLogFlag   = flag.String("ctl-log", "", "controller CSV log path inside the simulated FS (default /var/log/kleb.csv)")
 	)
 	flag.Parse()
 
@@ -66,9 +69,35 @@ func main() {
 	if *psFlag {
 		opts.DumpState = os.Stderr
 	}
+	opts.ControllerLog = *ctlLogFlag
+	var traceFile, metricsFile *os.File
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		traceFile = f
+		opts.Trace = f
+	}
+	if *metricsFlag != "" {
+		f, err := os.Create(*metricsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		metricsFile = f
+		opts.Metrics = f
+	}
 	report, err := kleb.Collect(opts)
 	if err != nil {
 		fatal(err)
+	}
+	if traceFile != nil {
+		fmt.Printf("wrote trace to %s (load in https://ui.perfetto.dev)\n", *traceFlag)
+	}
+	if metricsFile != nil {
+		fmt.Printf("wrote metrics to %s\n", *metricsFlag)
 	}
 
 	fmt.Printf("workload  %s on %s under %s\n", w.Name(), *machineFlag, *toolFlag)

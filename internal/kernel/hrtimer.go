@@ -79,6 +79,7 @@ func (k *Kernel) StartHRTimer(delay, period ktime.Duration, fn HRTimerFn) *HRTim
 	}
 	t.expires = t.nominal.Add(k.timerJitter())
 	heap.Push(&k.timers, t)
+	k.tel.TimerArm(k.clock.Now(), t.id, t.nominal)
 	return t
 }
 
@@ -92,6 +93,7 @@ func (k *Kernel) CancelHRTimer(t *HRTimer) {
 		heap.Remove(&k.timers, t.index)
 	}
 	k.ChargeKernel(k.costs.TimerProgram)
+	k.tel.TimerCancel(k.clock.Now(), t.id)
 }
 
 // timerJitter samples one interrupt-latency delay.
@@ -118,6 +120,7 @@ func (k *Kernel) fireTimersDue() {
 		if !t.active {
 			continue
 		}
+		k.tel.TimerFire(k.clock.Now(), t.id, t.nominal, t.expires)
 		k.ChargeKernel(k.costs.InterruptEntry)
 		k.core.Caches().L1D().EvictFraction(k.costs.IntPolluteL1)
 		restart := t.fn(k, t)
@@ -132,6 +135,7 @@ func (k *Kernel) fireTimersDue() {
 			t.expires = t.nominal.Add(k.timerJitter())
 			k.ChargeKernel(k.costs.TimerProgram)
 			heap.Push(&k.timers, t)
+			k.tel.TimerArm(k.clock.Now(), t.id, t.nominal)
 		} else {
 			t.active = false
 		}

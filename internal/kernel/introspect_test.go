@@ -1,0 +1,152 @@
+package kernel
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kleb/internal/ktime"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite introspection golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// introspectModule is the smallest module that leaves visible marks in
+// DumpState: a loaded-module entry, a device, and one probe of each kind.
+type introspectModule struct{}
+
+func (introspectModule) ModuleName() string { return "probe_mod" }
+
+func (introspectModule) Init(k *Kernel) error {
+	k.RegisterSwitchProbe(func(k *Kernel, prev, next *Process) {})
+	k.RegisterForkProbe(func(k *Kernel, parent, child *Process) {})
+	k.RegisterExitProbe(func(k *Kernel, p *Process) {})
+	return k.RegisterDevice("probe_mod", func(k *Kernel, p *Process, cmd uint32, arg any) (any, error) {
+		return nil, nil
+	})
+}
+
+func (introspectModule) Exit(k *Kernel) { k.UnregisterDevice("probe_mod") }
+
+// introspectScenario runs a fixed multi-process script: a parent spawns two
+// burner children, snapshots DumpState from syscall context (while the
+// children sit on the run queue and an HR timer is armed), then waits for
+// both and exits. Everything is seeded and noise-free, so the dumps are
+// reproducible byte for byte.
+func introspectScenario(t *testing.T) (k *Kernel, midRun *bytes.Buffer) {
+	t.Helper()
+	k = testKernel(42)
+	if err := k.LoadModule(introspectModule{}); err != nil {
+		t.Fatal(err)
+	}
+	k.StartHRTimer(ktime.Millisecond, ktime.Millisecond, func(k *Kernel, t *HRTimer) bool { return true })
+
+	midRun = new(bytes.Buffer)
+	step := 0
+	var kids [2]PID
+	parent := ProgramFunc(func(k *Kernel, p *Process) Op {
+		step++
+		switch step {
+		case 1:
+			return OpSpawn{Name: "kid-a", Prog: burner(2, 50_000)}
+		case 2:
+			kids[0], _ = p.SyscallResult.(PID)
+			return OpSpawn{Name: "kid-b", Prog: burner(2, 50_000)}
+		case 3:
+			kids[1], _ = p.SyscallResult.(PID)
+			return OpSyscall{Name: "dump", Fn: func(k *Kernel, p *Process) any {
+				k.DumpState(midRun)
+				return nil
+			}}
+		case 4:
+			return OpWait{PID: kids[0]}
+		case 5:
+			return OpWait{PID: kids[1]}
+		}
+		return OpExit{Code: 0}
+	})
+	k.Spawn("parent", parent)
+	return k, midRun
+}
+
+func TestDumpStateGolden(t *testing.T) {
+	k, midRun := introspectScenario(t)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "dump_state_midrun.golden", midRun.Bytes())
+
+	var final bytes.Buffer
+	k.DumpState(&final)
+	checkGolden(t, "dump_state_final.golden", final.Bytes())
+}
+
+func TestDumpProcGolden(t *testing.T) {
+	k, _ := introspectScenario(t)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	k.DumpProc(&buf)
+	checkGolden(t, "dump_proc.golden", buf.Bytes())
+}
+
+func TestTraceSyscallsGolden(t *testing.T) {
+	k, _ := introspectScenario(t)
+	var trace bytes.Buffer
+	stop := k.TraceSyscalls(&trace)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "strace.golden", trace.Bytes())
+
+	// After stop the sink must be detached: re-running a fresh scenario
+	// with the same writer appends nothing.
+	stop()
+	before := trace.Len()
+	k2, _ := introspectScenario(t)
+	if err := k2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() != before {
+		t.Error("stop() did not detach the strace sink")
+	}
+}
+
+// TestTraceSyscallsTwoSinks checks that multiple sinks receive identical
+// copies and detach independently.
+func TestTraceSyscallsTwoSinks(t *testing.T) {
+	k, _ := introspectScenario(t)
+	var a, b bytes.Buffer
+	stopA := k.TraceSyscalls(&a)
+	k.TraceSyscalls(&b)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("strace sinks diverged")
+	}
+	stopA() // must not disturb b's registration
+}

@@ -17,10 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"kleb/internal/cpu"
 	"kleb/internal/isa"
 	"kleb/internal/ktime"
+	"kleb/internal/telemetry"
 )
 
 // Options selects kernel build-time features.
@@ -35,6 +37,7 @@ type Options struct {
 type pmiEvent struct {
 	counter int
 	fixed   bool
+	raised  ktime.Time
 }
 
 // Kernel is one simulated OS instance bound to one core.
@@ -77,6 +80,10 @@ type Kernel struct {
 	// straceSinks receive syscall trace lines (see TraceSyscalls).
 	straceSinks []io.Writer
 
+	// tel is the observability sink (nil = disabled; every emit below is a
+	// nil-safe call that compiles to a branch).
+	tel *telemetry.Sink
+
 	idleTime ktime.Duration
 }
 
@@ -100,7 +107,7 @@ func New(core *cpu.Core, costs CostModel, rng *ktime.Rand, opts Options) *Kernel
 	k.perf = newPerfSubsystem(k)
 	k.fs = newFS(k)
 	core.PMU().SetPMIHandler(func(counter int, fixed bool) {
-		k.pmis = append(k.pmis, pmiEvent{counter, fixed})
+		k.pmis = append(k.pmis, pmiEvent{counter, fixed, k.clock.Now()})
 	})
 	k.runScale = 1
 	if costs.RunNoiseRel > 0 {
@@ -139,6 +146,25 @@ func (k *Kernel) IdleTime() ktime.Duration { return k.idleTime }
 // SetPMIDeliver installs the PMI second-stage handler (the perf subsystem
 // wires itself here; K-LEB does not use PMIs).
 func (k *Kernel) SetPMIDeliver(fn func(counter int, fixed bool)) { k.pmiDeliver = fn }
+
+// SetTelemetry attaches an observability sink. All kernel-layer events
+// (context switches, timers, kprobes, syscalls, PMIs, ioctls) are stamped
+// with virtual time; the PMU's overflow observer is wired here so the pmu
+// package stays free of the telemetry dependency. nil detaches.
+func (k *Kernel) SetTelemetry(s *telemetry.Sink) {
+	k.tel = s
+	if s == nil {
+		k.core.PMU().SetOverflowObserver(nil)
+		return
+	}
+	k.core.PMU().SetOverflowObserver(func(counter int, fixed bool) {
+		s.PMUOverflow(k.clock.Now(), counter, fixed)
+	})
+}
+
+// Telemetry returns the attached sink (nil when disabled). Modules emit
+// their own events through it.
+func (k *Kernel) Telemetry() *telemetry.Sink { return k.tel }
 
 // Spawn creates a top-level process. It is ready to run immediately.
 func (k *Kernel) Spawn(name string, prog Program) *Process {
@@ -187,6 +213,7 @@ func (k *Kernel) spawn(name string, prog Program, ppid PID) *Process {
 	k.procs[p.pid] = p
 	k.live++
 	k.runq = append(k.runq, p)
+	k.tel.ProcessName(int32(p.pid), name)
 	return p
 }
 
@@ -348,11 +375,15 @@ func (k *Kernel) fireDue() {
 	if len(woken) == 0 {
 		return
 	}
+	// procs is a map: order the simultaneous wakeups by pid so the runq (and
+	// the telemetry stream) is deterministic.
+	sort.Slice(woken, func(i, j int) bool { return woken[i].pid < woken[j].pid })
 	// One tick interrupt delivers all due wakeups.
 	k.ChargeKernel(k.costs.InterruptEntry)
 	for _, p := range woken {
 		p.state = StateReady
 		k.runq = append([]*Process{p}, k.runq...)
+		k.tel.SyscallExit(k.clock.Now(), "nanosleep", int32(p.pid))
 	}
 	k.ChargeKernel(k.costs.InterruptExit)
 	// Wakeup preemption: a freshly woken (sleep-heavy) task takes the CPU,
@@ -395,6 +426,7 @@ func (k *Kernel) switchTo(next *Process) {
 	}
 	k.current = nil // costs below are switch overhead, not owned by either side
 	k.ChargeKernel(k.costs.ContextSwitch)
+	k.tel.CtxSwitch(k.clock.Now(), int32(pidOf(prev)), int32(next.pid))
 	k.fireSwitchProbes(prev, next)
 	k.core.OnContextSwitch(k.costs.PolluteL1, k.costs.PolluteL2, k.costs.PolluteLLC)
 	k.current = next
@@ -405,6 +437,14 @@ func (k *Kernel) switchTo(next *Process) {
 		next.firstRun = k.clock.Now()
 	}
 	k.sliceEnd = k.clock.Now().Add(k.costs.Timeslice)
+}
+
+// pidOf returns p's pid, or 0 for nil (the idle task).
+func pidOf(p *Process) PID {
+	if p == nil {
+		return 0
+	}
+	return p.pid
 }
 
 // runCurrent advances the current process by at most budget.
@@ -479,6 +519,7 @@ func (k *Kernel) startSyscall(p *Process, name string, fn SyscallFn) {
 	if len(k.straceSinks) > 0 {
 		k.traceSyscall(p, name)
 	}
+	k.tel.SyscallEnter(k.clock.Now(), name, int32(p.pid))
 	entry := cpu.Costed{
 		Counts: kernelCounts(k.core.Config().Freq, k.costs.SyscallEntry),
 		Time:   k.rng.Jitter(k.costs.SyscallEntry, k.costs.NoiseRel),
@@ -493,7 +534,13 @@ func (k *Kernel) startSyscall(p *Process, name string, fn SyscallFn) {
 				Time:   k.rng.Jitter(k.costs.SyscallExit, k.costs.NoiseRel),
 				Priv:   isa.Kernel,
 			}
-			p.pending = append(p.pending, pendingWork{work: exit})
+			ew := pendingWork{work: exit}
+			if k.tel != nil {
+				ew.onDone = func(k *Kernel, p *Process) {
+					k.tel.SyscallExit(k.clock.Now(), name, int32(p.pid))
+				}
+			}
+			p.pending = append(p.pending, ew)
 		},
 	})
 }
@@ -505,6 +552,7 @@ func (k *Kernel) doSleep(p *Process, op OpSleep) {
 	if len(k.straceSinks) > 0 {
 		k.traceSyscall(p, "nanosleep")
 	}
+	k.tel.SyscallEnter(k.clock.Now(), "nanosleep", int32(p.pid))
 	k.ChargeKernel(k.costs.SyscallEntry)
 	target := k.clock.Now().Add(op.D)
 	if op.Until != 0 {
@@ -530,10 +578,12 @@ func (k *Kernel) doWait(p *Process, target PID) {
 	if len(k.straceSinks) > 0 {
 		k.traceSyscall(p, "waitpid")
 	}
+	k.tel.SyscallEnter(k.clock.Now(), "waitpid", int32(p.pid))
 	k.ChargeKernel(k.costs.SyscallEntry)
 	t, ok := k.procs[target]
 	if !ok || t.Exited() {
 		k.ChargeKernel(k.costs.SyscallExit)
+		k.tel.SyscallExit(k.clock.Now(), "waitpid", int32(p.pid))
 		return
 	}
 	p.waitingOn = target
@@ -546,6 +596,7 @@ func (k *Kernel) doWait(p *Process, target PID) {
 // and the scheduler moves on.
 func (k *Kernel) doExit(p *Process, code int) {
 	k.ChargeKernel(k.costs.SyscallEntry)
+	k.tel.CtxSwitch(k.clock.Now(), int32(p.pid), 0)
 	k.fireSwitchProbes(p, nil)
 	k.current = nil
 	p.state = StateExited
@@ -556,13 +607,20 @@ func (k *Kernel) doExit(p *Process, code int) {
 		k.live--
 	}
 	k.fireExitProbes(p)
-	// Wake any waitpid callers.
+	// Wake any waitpid callers, in pid order (procs is a map) so the runq
+	// and the telemetry stream stay deterministic.
+	var waiters []*Process
 	for _, waiter := range k.procs {
 		if waiter.state == StateSleeping && waiter.waitingOn == p.pid {
-			waiter.waitingOn = 0
-			waiter.state = StateReady
-			k.runq = append(k.runq, waiter)
+			waiters = append(waiters, waiter)
 		}
+	}
+	sort.Slice(waiters, func(i, j int) bool { return waiters[i].pid < waiters[j].pid })
+	for _, waiter := range waiters {
+		waiter.waitingOn = 0
+		waiter.state = StateReady
+		k.runq = append(k.runq, waiter)
+		k.tel.SyscallExit(k.clock.Now(), "waitpid", int32(waiter.pid))
 	}
 }
 
@@ -579,6 +637,8 @@ func (k *Kernel) drainPMIs() {
 		k.pmis = nil
 		for _, e := range q {
 			k.ChargeKernel(k.costs.InterruptEntry)
+			now := k.clock.Now()
+			k.tel.PMI(now, e.counter, e.fixed, now.Sub(e.raised))
 			if k.pmiDeliver != nil {
 				k.pmiDeliver(e.counter, e.fixed)
 			}

@@ -103,6 +103,7 @@ func (k *Kernel) fireSwitchProbes(prev, next *Process) {
 	for _, p := range k.switchProbes {
 		if !p.builtin {
 			k.ChargeKernel(k.costs.KprobeOverhead)
+			k.tel.Kprobe(k.clock.Now(), "switch", int32(pidOf(next)))
 		}
 		p.fn(k, prev, next)
 	}
@@ -111,6 +112,7 @@ func (k *Kernel) fireSwitchProbes(prev, next *Process) {
 func (k *Kernel) fireForkProbes(parent, child *Process) {
 	for _, p := range k.forkProbes {
 		k.ChargeKernel(k.costs.KprobeOverhead)
+		k.tel.Kprobe(k.clock.Now(), "fork", int32(child.pid))
 		p.fn(k, parent, child)
 	}
 }
@@ -118,6 +120,7 @@ func (k *Kernel) fireForkProbes(parent, child *Process) {
 func (k *Kernel) fireExitProbes(proc *Process) {
 	for _, p := range k.exitProbes {
 		k.ChargeKernel(k.costs.KprobeOverhead)
+		k.tel.Kprobe(k.clock.Now(), "exit", int32(proc.pid))
 		p.fn(k, proc)
 	}
 }

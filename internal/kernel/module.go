@@ -72,5 +72,6 @@ func (k *Kernel) Ioctl(p *Process, device string, cmd uint32, arg any) (any, err
 		return nil, fmt.Errorf("kernel: ioctl on unknown device %q", device)
 	}
 	k.ChargeKernel(k.costs.IoctlBase)
+	k.tel.Ioctl(k.clock.Now(), device, cmd, int32(p.pid))
 	return fn(k, p, cmd, arg)
 }

@@ -3,6 +3,7 @@ package kleb
 import (
 	"bytes"
 	"fmt"
+	"io"
 
 	"kleb/internal/isa"
 	"kleb/internal/kernel"
@@ -20,8 +21,9 @@ const DefaultDrainInterval = 50 * ktime.Millisecond
 // ReadMax bounds one drain; large enough to empty the default ring.
 const ReadMax = DefaultBufferSamples
 
-// LogPath is where the controller writes its CSV sample log.
-const LogPath = "/var/log/kleb.csv"
+// DefaultLogPath is where the controller writes its CSV sample log unless
+// Controller.LogPath overrides it.
+const DefaultLogPath = "/var/log/kleb.csv"
 
 // Controller is the user-space half of K-LEB (Fig 1's "Controller
 // Process"): it configures the module over ioctl, starts collection, wakes
@@ -30,6 +32,14 @@ const LogPath = "/var/log/kleb.csv"
 type Controller struct {
 	Cfg           ModuleConfig
 	DrainInterval ktime.Duration
+
+	// LogPath overrides where the CSV log lands in the simulated filesystem
+	// ("" = DefaultLogPath).
+	LogPath string
+	// LogWriter, if set, additionally receives every CSV chunk as it is
+	// written — the injectable sink that frees callers from fishing the log
+	// back out of the simulated FS.
+	LogWriter io.Writer
 
 	// Samples accumulates everything drained, in capture order.
 	Samples []monitor.Sample
@@ -173,9 +183,20 @@ func (c *Controller) writeOp(n int) kernel.Op {
 			}
 			buf.WriteByte('\n')
 		}
-		k.FS().Append(LogPath, buf.Bytes())
+		k.FS().Append(c.logPath(), buf.Bytes())
+		if c.LogWriter != nil {
+			c.LogWriter.Write(buf.Bytes())
+		}
 		return nil
 	}}
+}
+
+// logPath returns the effective CSV log location.
+func (c *Controller) logPath() string {
+	if c.LogPath != "" {
+		return c.LogPath
+	}
+	return DefaultLogPath
 }
 
 // ioctlOp wraps a module ioctl in a syscall op.

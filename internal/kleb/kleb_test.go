@@ -421,9 +421,9 @@ func TestControllerLogOnFilesystem(t *testing.T) {
 	script := targetScript(100_000_000)
 	res, _ := runWithKLEB(t, 30, script, stdConfig(ktime.Millisecond), nil)
 
-	raw, ok := res.Machine.Kernel().FS().ReadFile(LogPath)
+	raw, ok := res.Machine.Kernel().FS().ReadFile(DefaultLogPath)
 	if !ok {
-		t.Fatalf("controller log %s missing; files: %v", LogPath, res.Machine.Kernel().FS().Names())
+		t.Fatalf("controller log %s missing; files: %v", DefaultLogPath, res.Machine.Kernel().FS().Names())
 	}
 	events, samples, err := trace.ReadCSV(bytes.NewReader(raw))
 	if err != nil {

@@ -354,6 +354,7 @@ func (m *Module) onTimer(k *kernel.Kernel, t *kernel.HRTimer) bool {
 		m.dropped++
 		m.wrmsr(pmu.MSRGlobalCtrl, 0)
 		m.timer = nil
+		k.Telemetry().BufferPause(k.Now(), m.dropped)
 		return false
 	}
 	return true
@@ -399,6 +400,7 @@ func (m *Module) captureSample(final bool) bool {
 	}
 	copy(m.last, cur)
 	m.captured++
+	m.k.Telemetry().SampleCaptured(m.k.Now(), m.buf.len(), len(m.buf.buf))
 	return true
 }
 
@@ -413,6 +415,7 @@ func (m *Module) read(max int) []monitor.Sample {
 	}
 	out := m.buf.popN(max)
 	m.k.ChargeKernel(ktime.Duration(len(out)) * m.k.Costs().CopyPerSample)
+	m.k.Telemetry().BufferDrain(m.k.Now(), len(out), m.buf.len())
 	if m.paused && m.buf.free() >= len(m.buf.buf)/2 {
 		m.paused = false
 		// If a tracked process is running right now, resume immediately;

@@ -2,6 +2,7 @@ package kleb
 
 import (
 	"fmt"
+	"io"
 
 	"kleb/internal/isa"
 	"kleb/internal/kernel"
@@ -18,6 +19,11 @@ type Tool struct {
 	DrainInterval ktime.Duration
 	// BufferSamples overrides the kernel ring size (0 = default).
 	BufferSamples int
+	// LogPath overrides where the controller's CSV log lands in the
+	// simulated filesystem ("" = kleb.DefaultLogPath).
+	LogPath string
+	// LogWriter, if set, additionally receives the CSV log as it is written.
+	LogWriter io.Writer
 
 	cfg    monitor.Config
 	module *Module
@@ -61,6 +67,8 @@ func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, _ kernel.Progr
 	if t.DrainInterval > 0 {
 		t.ctl.DrainInterval = t.DrainInterval
 	}
+	t.ctl.LogPath = t.LogPath
+	t.ctl.LogWriter = t.LogWriter
 	m.Kernel().Spawn("kleb-controller", t.ctl)
 	return nil
 }

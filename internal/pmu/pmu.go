@@ -111,6 +111,11 @@ type PMU struct {
 	// onPMI is invoked (if set) when an overflow occurs on a counter with
 	// its PMI bit set. The kernel routes this to the local APIC handler.
 	onPMI func(counter int, fixed bool)
+
+	// onOverflow observes every 48-bit wrap, PMI-enabled or not. The kernel
+	// routes this to the telemetry sink; keeping it a plain callback keeps
+	// the pmu package free of higher-layer dependencies.
+	onOverflow func(counter int, fixed bool)
 }
 
 // New creates a PMU resolving encodings through table.
@@ -123,6 +128,11 @@ func New(table EventTable) *PMU {
 
 // SetPMIHandler installs the overflow interrupt callback.
 func (p *PMU) SetPMIHandler(fn func(counter int, fixed bool)) { p.onPMI = fn }
+
+// SetOverflowObserver installs a passive observer of counter wraps. Unlike
+// the PMI handler it sees every overflow regardless of the PMI enable bits,
+// and it must not perturb the register file.
+func (p *PMU) SetOverflowObserver(fn func(counter int, fixed bool)) { p.onOverflow = fn }
 
 // Table returns the PMU's event encoding table.
 func (p *PMU) Table() EventTable { return p.table }
@@ -256,6 +266,9 @@ func (p *PMU) AddCounts(c isa.Counts, priv isa.Priv) {
 
 func (p *PMU) overflowProg(i int) {
 	p.globalStatus |= 1 << uint(i)
+	if p.onOverflow != nil {
+		p.onOverflow(i, false)
+	}
 	if p.evtsel[i]&SelInt != 0 && p.onPMI != nil {
 		p.onPMI(i, false)
 	}
@@ -263,6 +276,9 @@ func (p *PMU) overflowProg(i int) {
 
 func (p *PMU) overflowFixed(i int) {
 	p.globalStatus |= 1 << uint(32+i)
+	if p.onOverflow != nil {
+		p.onOverflow(i, true)
+	}
 	nibble := (p.fixedCtrl >> uint(4*i)) & 0xF
 	if nibble&FixedPMI != 0 && p.onPMI != nil {
 		p.onPMI(i, true)

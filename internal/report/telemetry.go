@@ -1,0 +1,47 @@
+package report
+
+import "kleb/internal/telemetry"
+
+// Telemetry renders a sink's aggregated metrics as a Markdown section — the
+// human-facing third exporter next to the Chrome trace and the Prometheus
+// text. Nil sinks render nothing, so callers can pass their sink through
+// unconditionally.
+func (r *Writer) Telemetry(s *telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	reg := s.Registry()
+	r.section("Telemetry — aggregated observability metrics")
+	r.printf("| metric | value |\n")
+	r.printf("|---|---|\n")
+	r.printf("| context switches | %d |\n", reg.CtxSwitches.Value())
+	for _, point := range reg.KprobeHits.Labels() {
+		r.printf("| kprobe hits (%s) | %d |\n", point, reg.KprobeHits.Get(point))
+	}
+	r.printf("| hrtimer arms / fires / cancels | %d / %d / %d |\n",
+		reg.TimerArms.Value(), reg.TimerFires.Value(), reg.TimerCancels.Value())
+	if reg.TimerJitter.Count() > 0 {
+		r.printf("| timer jitter mean / p50 / p99 (ns) | %.0f / ≤%d / ≤%d |\n",
+			reg.TimerJitter.Mean(), reg.TimerJitter.Quantile(0.5), reg.TimerJitter.Quantile(0.99))
+	}
+	r.printf("| PMIs delivered | %d |\n", reg.PMIs.Value())
+	if reg.PMILatency.Count() > 0 {
+		r.printf("| PMI latency mean / p99 (ns) | %.0f / ≤%d |\n",
+			reg.PMILatency.Mean(), reg.PMILatency.Quantile(0.99))
+	}
+	r.printf("| PMU counter overflows | %d |\n", reg.PMUOverflows.Value())
+	for _, dev := range reg.Ioctls.Labels() {
+		r.printf("| ioctls (/dev/%s) | %d |\n", dev, reg.Ioctls.Get(dev))
+	}
+	r.printf("| K-LEB samples captured | %d |\n", reg.Samples.Value())
+	r.printf("| K-LEB ring high water | %d |\n", reg.RingHighWater.Value())
+	r.printf("| K-LEB ring pauses / drained | %d / %d |\n",
+		reg.RingPauses.Value(), reg.RingDrained.Value())
+	for _, stage := range reg.StageNs.Labels() {
+		r.printf("| stage %s (virtual ns) | %d |\n", stage, reg.StageNs.Get(stage))
+	}
+	if reg.Runs.Value() > 0 {
+		r.printf("| scheduler runs / failures | %d / %d |\n",
+			reg.Runs.Value(), reg.RunFailures.Value())
+	}
+}

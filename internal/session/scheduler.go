@@ -3,6 +3,8 @@ package session
 import (
 	"runtime"
 	"sync"
+
+	"kleb/internal/telemetry"
 )
 
 // Scheduler executes batches of independent Specs across a fixed worker
@@ -13,6 +15,13 @@ import (
 type Scheduler struct {
 	// Workers is the pool size; 0 or negative selects GOMAXPROCS.
 	Workers int
+	// Telemetry, when set, is the batch-level sink: each Spec lacking its
+	// own sink gets a private metrics-only sub-sink whose registry is merged
+	// here after the batch (merges are commutative, so the aggregate is
+	// worker-count independent), and one run-completion trace event is
+	// recorded per Spec in index order. Nil falls back to the process-wide
+	// sink installed with SetBatchTelemetry.
+	Telemetry *telemetry.Sink
 }
 
 // Outcome pairs one Spec's result with its batch position. A failed run
@@ -26,6 +35,38 @@ type Outcome struct {
 	Err error
 }
 
+// batchMu serializes merges into the process-wide batch sink; batchSink is
+// that sink (see SetBatchTelemetry).
+var (
+	batchMu   sync.Mutex
+	batchSink *telemetry.Sink
+)
+
+// SetBatchTelemetry installs a process-wide batch sink that every Scheduler
+// without an explicit Telemetry field aggregates into. The binaries use it
+// to observe experiment runners that construct their own Schedulers. Nil
+// uninstalls.
+func SetBatchTelemetry(s *telemetry.Sink) {
+	batchMu.Lock()
+	batchSink = s
+	batchMu.Unlock()
+}
+
+// BatchTelemetry returns the process-wide batch sink (nil when unset).
+func BatchTelemetry() *telemetry.Sink {
+	batchMu.Lock()
+	defer batchMu.Unlock()
+	return batchSink
+}
+
+// batch resolves the effective batch sink for this scheduler.
+func (s Scheduler) batch() *telemetry.Sink {
+	if s.Telemetry != nil {
+		return s.Telemetry
+	}
+	return BatchTelemetry()
+}
+
 // workers resolves the effective pool size.
 func (s Scheduler) workers() int {
 	if s.Workers > 0 {
@@ -37,11 +78,42 @@ func (s Scheduler) workers() int {
 // Run executes every Spec in the batch over the worker pool and returns
 // the outcomes in Spec order.
 func (s Scheduler) Run(specs []Spec) []Outcome {
+	batch := s.batch()
+	var subs []*telemetry.Sink
+	if batch != nil {
+		subs = make([]*telemetry.Sink, len(specs))
+	}
 	out := make([]Outcome, len(specs))
 	s.ForEach(len(specs), func(i int) {
-		r, err := Run(specs[i])
+		spec := specs[i]
+		if subs != nil && spec.Telemetry == nil {
+			subs[i] = telemetry.MetricsOnly()
+			spec.Telemetry = subs[i]
+		}
+		r, err := Run(spec)
 		out[i] = Outcome{Index: i, Run: r, Err: err}
 	})
+	if batch != nil {
+		w := s.workers()
+		if w > len(specs) {
+			w = len(specs)
+		}
+		batchMu.Lock()
+		for i := range specs {
+			if subs[i] != nil {
+				batch.Merge(subs[i])
+			} else {
+				batch.Merge(specs[i].Telemetry)
+			}
+			// Under ForEach's striped assignment, spec i ran on worker i mod w.
+			slot := 0
+			if w > 1 {
+				slot = i % w
+			}
+			batch.RunDone(i, slot, out[i].Err != nil)
+		}
+		batchMu.Unlock()
+	}
 	return out
 }
 
@@ -51,6 +123,12 @@ func (s Scheduler) Run(specs []Spec) []Outcome {
 // every experiment runner follows: write results into slot i of a
 // preallocated slice). Cluster experiments and the facade fan out through
 // this when their jobs are not plain Specs.
+//
+// The assignment is static and striped: worker g executes indices g, g+w,
+// g+2w, ... in order. Striping keeps the mapping from index to worker a
+// pure function of (n, w) — no channel race decides placement — which is
+// what lets batch telemetry report a truthful, reproducible worker slot
+// per run.
 func (s Scheduler) ForEach(n int, fn func(int)) {
 	if n <= 0 {
 		return
@@ -65,21 +143,16 @@ func (s Scheduler) ForEach(n int, fn func(int)) {
 		}
 		return
 	}
-	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
-			for i := range idx {
+			for i := g; i < n; i += w {
 				fn(i)
 			}
-		}()
+		}(g)
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 }
 

@@ -14,6 +14,7 @@ import (
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
+	"kleb/internal/telemetry"
 	"kleb/internal/workload"
 )
 
@@ -43,6 +44,11 @@ type Spec struct {
 	// process is spawned — the hook for attaching debug instrumentation
 	// (syscall tracing, state dumps) or arming bare kernel timers.
 	OnBoot func(*machine.Machine)
+	// Telemetry, when set, receives the run's trace events and metrics (see
+	// internal/telemetry). The sink is attached to the kernel at boot, before
+	// OnBoot, so every event of the run is captured. It must be private to
+	// this run: a Sink is single-owner and never synchronized.
+	Telemetry *telemetry.Sink
 }
 
 // Use wraps an existing tool instance as a NewTool factory, for single-run
@@ -78,6 +84,20 @@ type Session struct {
 	machine *machine.Machine
 	tool    monitor.Tool
 	target  *kernel.Process
+
+	// lastStage is the virtual instant the previous lifecycle stage ended,
+	// for telemetry stage spans.
+	lastStage ktime.Time
+}
+
+// stage emits the completion of one lifecycle stage to the spec's sink.
+func (s *Session) stage(name string) {
+	if s.spec.Telemetry == nil {
+		return
+	}
+	now := s.machine.Kernel().Now()
+	s.spec.Telemetry.Stage(now, name, now.Sub(s.lastStage))
+	s.lastStage = now
 }
 
 // New prepares a session for spec without booting anything yet.
@@ -98,6 +118,9 @@ func (s *Session) Boot() (*machine.Machine, error) {
 		}
 	}
 	m := machine.Boot(s.spec.Profile, s.spec.Seed)
+	if s.spec.Telemetry != nil {
+		m.Kernel().SetTelemetry(s.spec.Telemetry)
+	}
 	if s.spec.OnBoot != nil {
 		s.spec.OnBoot(m)
 	}
@@ -105,6 +128,7 @@ func (s *Session) Boot() (*machine.Machine, error) {
 		m.Kernel().SpawnDaemon("os-noise", workload.OSNoise(s.spec.Seed^0x9e37))
 	}
 	s.machine = m
+	s.stage("boot")
 	return m, nil
 }
 
@@ -135,6 +159,7 @@ func (s *Session) Attach() error {
 	}
 	s.tool = tool
 	s.target = target
+	s.stage("attach")
 	return nil
 }
 
@@ -150,6 +175,7 @@ func (s *Session) Drive() error {
 	if !s.target.Exited() {
 		return fmt.Errorf("session: target %q did not exit (state %v)", s.target.Name(), s.target.State())
 	}
+	s.stage("drive")
 	return nil
 }
 
@@ -166,6 +192,7 @@ func (s *Session) Drain() *Result {
 	if s.tool != nil {
 		res.Result = s.tool.Collect()
 	}
+	s.stage("drain")
 	return res
 }
 

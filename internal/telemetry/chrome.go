@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event pid values. The trace models the simulated machine as
+// one "process" whose threads are the simulated PIDs, plus a separate
+// scheduler process for batch-level occupancy events.
+const (
+	chromePidMachine   = 1
+	chromePidScheduler = 2
+)
+
+// WriteChromeTrace renders the recorded events as Chrome trace-event JSON
+// (the JSON Array Format wrapped in an object), loadable in Perfetto or
+// chrome://tracing. Timestamps are virtual microseconds with nanosecond
+// decimals; the output is byte-deterministic for a given event stream.
+func (s *Sink) WriteChromeTrace(w io.Writer) error {
+	cw := &chromeWriter{w: w}
+	cw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	cw.printf("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"machine\"}}", chromePidMachine)
+	cw.printf(",\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"scheduler\"}}", chromePidScheduler)
+	if s != nil {
+		for _, e := range s.rec.Events() {
+			cw.event(e)
+		}
+	}
+	cw.printf("\n]}\n")
+	return cw.err
+}
+
+type chromeWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *chromeWriter) printf(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	_, c.err = fmt.Fprintf(c.w, format, args...)
+}
+
+// ts renders a virtual-ns instant as the trace format's microsecond
+// timestamp, exactly (integer math only).
+func ts(ns uint64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// head opens one event object with the common fields.
+func (c *chromeWriter) head(ph, name string, pid int, tid int32, ns uint64) {
+	c.printf(",\n{\"ph\":%q,\"name\":%q,\"pid\":%d,\"tid\":%d,\"ts\":%s", ph, name, pid, tid, ts(ns))
+}
+
+// instant emits a thread-scoped instant event; close with args or end.
+func (c *chromeWriter) instant(name string, tid int32, ns uint64) {
+	c.head("i", name, chromePidMachine, tid, ns)
+	c.printf(",\"s\":\"t\"")
+}
+
+func (c *chromeWriter) end() { c.printf("}") }
+
+func boolStr(b uint64) string {
+	if b != 0 {
+		return "true"
+	}
+	return "false"
+}
+
+// event renders one recorded event as one (occasionally two) trace events.
+func (c *chromeWriter) event(e Event) {
+	ns := uint64(e.Time)
+	switch e.Kind {
+	case KindMeta:
+		c.printf(",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%q}}",
+			chromePidMachine, e.PID, e.Name)
+	case KindCtxSwitch:
+		c.instant("ctx-switch", e.PID, ns)
+		c.printf(",\"args\":{\"prev\":%d,\"next\":%d}", int32(uint32(e.Arg1)), e.PID)
+		c.end()
+	case KindTimerArm:
+		c.instant("hrtimer-arm", 0, ns)
+		c.printf(",\"args\":{\"timer\":%d,\"nominal_ns\":%d}", e.Arg1, e.Arg2)
+		c.end()
+	case KindTimerFire:
+		c.instant("hrtimer-fire", 0, ns)
+		c.printf(",\"args\":{\"nominal_ns\":%d,\"effective_ns\":%d,\"jitter_ns\":%d}",
+			e.Arg1, e.Arg2, e.Arg2-e.Arg1)
+		c.end()
+	case KindTimerCancel:
+		c.instant("hrtimer-cancel", 0, ns)
+		c.printf(",\"args\":{\"timer\":%d}", e.Arg1)
+		c.end()
+	case KindKprobe:
+		c.instant("kprobe:"+e.Name, e.PID, ns)
+		c.end()
+	case KindSyscallEnter:
+		c.head("B", "sys:"+e.Name, chromePidMachine, e.PID, ns)
+		c.end()
+	case KindSyscallExit:
+		c.head("E", "sys:"+e.Name, chromePidMachine, e.PID, ns)
+		c.end()
+	case KindPMI:
+		c.instant("pmi", 0, ns)
+		c.printf(",\"args\":{\"counter\":%d,\"fixed\":%s,\"latency_ns\":%d}",
+			uint32(e.Arg1), boolStr(e.Arg1>>32), e.Arg2)
+		c.end()
+	case KindOverflow:
+		c.instant("pmu-overflow", 0, ns)
+		c.printf(",\"args\":{\"counter\":%d,\"fixed\":%s}", uint32(e.Arg1), boolStr(e.Arg1>>32))
+		c.end()
+	case KindIoctl:
+		c.instant("ioctl:"+e.Name, e.PID, ns)
+		c.printf(",\"args\":{\"cmd\":%d}", e.Arg1)
+		c.end()
+	case KindStage:
+		// A completed span: ts is the stage start, dur its virtual length.
+		c.head("X", "stage:"+e.Name, chromePidMachine, 0, ns-e.Arg1)
+		c.printf(",\"dur\":%s", ts(e.Arg1))
+		c.end()
+	case KindSample:
+		// Counter track: Perfetto draws ring occupancy over time.
+		c.head("C", "kleb-ring", chromePidMachine, 0, ns)
+		c.printf(",\"args\":{\"depth\":%d}", e.Arg1)
+		c.end()
+	case KindPause:
+		c.instant("kleb-pause", 0, ns)
+		c.printf(",\"args\":{\"stops\":%d}", e.Arg1)
+		c.end()
+	case KindDrain:
+		c.instant("kleb-drain", 0, ns)
+		c.printf(",\"args\":{\"drained\":%d,\"remaining\":%d}", e.Arg1, e.Arg2)
+		c.end()
+		c.head("C", "kleb-ring", chromePidMachine, 0, ns)
+		c.printf(",\"args\":{\"depth\":%d}", e.Arg2)
+		c.end()
+	case KindRun:
+		c.head("i", "run", chromePidScheduler, e.PID, ns)
+		c.printf(",\"s\":\"t\",\"args\":{\"index\":%d,\"failed\":%s}", e.Arg1, boolStr(e.Arg2))
+		c.end()
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Metric families appear in a fixed order and
+// vector labels are sorted, so the output is byte-deterministic for a
+// given registry state. Durations are exported in virtual nanoseconds.
+func (s *Sink) WritePrometheus(w io.Writer) error {
+	pw := &promWriter{w: w}
+	if s == nil {
+		return nil
+	}
+	r := &s.reg
+	pw.counter("kleb_ctx_switches_total", "Context switches performed by the simulated scheduler.", &r.CtxSwitches)
+	pw.vec("kleb_kprobe_hits_total", "Kprobe invocations by probe point.", "point", &r.KprobeHits)
+	pw.vec("kleb_syscalls_total", "Syscalls entered, by name.", "name", &r.Syscalls)
+	pw.counter("kleb_hrtimer_arms_total", "HRTimer arm/re-arm operations.", &r.TimerArms)
+	pw.counter("kleb_hrtimer_fires_total", "HRTimer expiries delivered.", &r.TimerFires)
+	pw.counter("kleb_hrtimer_cancels_total", "HRTimer cancellations.", &r.TimerCancels)
+	pw.histogram("kleb_hrtimer_jitter_ns", "Per-fire timer jitter: effective minus nominal expiry, ns.", &r.TimerJitter)
+	pw.counter("kleb_pmis_total", "Performance-monitoring interrupts delivered.", &r.PMIs)
+	pw.histogram("kleb_pmi_latency_ns", "PMI raise-to-delivery latency, ns.", &r.PMILatency)
+	pw.counter("kleb_pmu_overflows_total", "Hardware counter 48-bit overflows.", &r.PMUOverflows)
+	pw.vec("kleb_ioctls_total", "Module ioctls, by device.", "device", &r.Ioctls)
+	pw.counter("kleb_samples_total", "Samples captured into the K-LEB kernel ring.", &r.Samples)
+	pw.gauge("kleb_ring_high_water", "Peak K-LEB kernel ring occupancy, samples.", &r.RingHighWater)
+	pw.counter("kleb_ring_pauses_total", "Buffer-full safety stops (dropped sampling periods).", &r.RingPauses)
+	pw.counter("kleb_ring_drained_total", "Samples drained from the kernel ring by the controller.", &r.RingDrained)
+	pw.vec("kleb_stage_ns_total", "Cumulative virtual ns per session lifecycle stage.", "stage", &r.StageNs)
+	pw.counter("kleb_runs_total", "Scheduler batch runs completed.", &r.Runs)
+	pw.counter("kleb_run_failures_total", "Scheduler batch runs that failed.", &r.RunFailures)
+	return pw.err
+}
+
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) counter(name, help string, c *Counter) {
+	p.header(name, help, "counter")
+	p.printf("%s %d\n", name, c.Value())
+}
+
+func (p *promWriter) gauge(name, help string, g *Gauge) {
+	p.header(name, help, "gauge")
+	p.printf("%s %d\n", name, g.Value())
+}
+
+func (p *promWriter) vec(name, help, label string, v *CounterVec) {
+	p.header(name, help, "counter")
+	for _, l := range v.Labels() {
+		p.printf("%s{%s=%q} %d\n", name, label, l, v.Get(l))
+	}
+}
+
+// histogram renders cumulative log2 buckets up to the highest non-empty
+// one, then +Inf, sum and count — the standard Prometheus histogram shape.
+func (p *promWriter) histogram(name, help string, h *Histogram) {
+	p.header(name, help, "histogram")
+	var cum uint64
+	top := h.maxBucket()
+	for i := 0; i <= top; i++ {
+		cum += h.buckets[i]
+		p.printf("%s_bucket{le=\"%d\"} %d\n", name, bucketUpper(i), cum)
+	}
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+	p.printf("%s_sum %d\n", name, h.sum)
+	p.printf("%s_count %d\n", name, h.count)
+}

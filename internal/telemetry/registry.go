@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ n uint64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge is a high-water-mark gauge (the only gauge shape the simulator
+// needs: ring occupancy peaks).
+type Gauge struct{ v uint64 }
+
+// SetMax raises the gauge to v if v is higher.
+func (g *Gauge) SetMax(v uint64) {
+	if v > g.v {
+		g.v = v
+	}
+}
+
+// Value returns the high-water mark.
+func (g *Gauge) Value() uint64 { return g.v }
+
+// histBuckets is the number of log2 buckets: bits.Len64 of any uint64 fits
+// in [0, 64], so 65 buckets cover the full range.
+const histBuckets = 65
+
+// Histogram aggregates observations into log2 buckets: bucket i holds
+// values v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Log-bucketing
+// keeps timer-jitter and PMI-latency distributions cheap to record (one
+// increment) while preserving the order-of-magnitude shape that matters at
+// sub-100µs sampling.
+type Histogram struct {
+	count   uint64
+	sum     uint64
+	buckets [histBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the average observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the upper bound of the bucket containing the q-quantile
+// observation (q in [0,1]). Log2 bucketing means the answer is exact only
+// to a factor of two — the right resolution for "is jitter ~1µs or ~10µs".
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, b := range h.buckets {
+		seen += b
+		if seen > rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// maxBucket returns the index of the highest non-empty bucket, or -1.
+func (h *Histogram) maxBucket() int {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.buckets[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// merge adds o's observations into h.
+func (h *Histogram) merge(o *Histogram) {
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// CounterVec is a family of counters keyed by one label value (syscall
+// name, probe point, stage...). Exports iterate labels sorted, so output
+// is deterministic regardless of insertion order.
+type CounterVec struct{ m map[string]uint64 }
+
+// Add increments the counter for label by d.
+func (v *CounterVec) Add(label string, d uint64) {
+	if v.m == nil {
+		v.m = make(map[string]uint64)
+	}
+	v.m[label] += d
+}
+
+// Get returns the count for label.
+func (v *CounterVec) Get(label string) uint64 { return v.m[label] }
+
+// Labels returns all labels, sorted.
+func (v *CounterVec) Labels() []string {
+	out := make([]string, 0, len(v.m))
+	for l := range v.m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// merge adds o's counts into v.
+func (v *CounterVec) merge(o *CounterVec) {
+	for l, n := range o.m {
+		v.Add(l, n)
+	}
+}
+
+// Registry aggregates the simulator's metrics. The taxonomy is fixed — a
+// struct of named metrics rather than a dynamic lookup table — so the hot
+// emit paths touch fields directly and exports walk a stable order.
+type Registry struct {
+	// Kernel scheduler activity.
+	CtxSwitches Counter
+	KprobeHits  CounterVec // by probe point: switch / fork / exit
+	Syscalls    CounterVec // by syscall name
+
+	// HRTimer behaviour: arm/fire/cancel counts and the per-fire jitter
+	// distribution (effective minus nominal expiry, ns).
+	TimerArms    Counter
+	TimerFires   Counter
+	TimerCancels Counter
+	TimerJitter  Histogram
+
+	// Interrupt and PMU activity.
+	PMIs         Counter
+	PMILatency   Histogram // raise-to-delivery, ns
+	PMUOverflows Counter
+
+	// Module traffic.
+	Ioctls CounterVec // by device
+
+	// K-LEB kernel ring behaviour.
+	Samples       Counter
+	RingHighWater Gauge
+	RingPauses    Counter // buffer-full safety stops
+	RingDrained   Counter // samples drained by the controller
+
+	// Session lifecycle: cumulative virtual ns per stage.
+	StageNs CounterVec
+
+	// Scheduler batch activity (batch-level sinks only). Deliberately
+	// worker-count independent; per-slot occupancy lives in the trace.
+	Runs        Counter
+	RunFailures Counter
+}
+
+// Merge folds o into r. All merges are commutative and associative, so a
+// batch registry assembled from per-run registries is independent of
+// completion order and worker count.
+func (r *Registry) Merge(o *Registry) {
+	if o == nil {
+		return
+	}
+	r.CtxSwitches.Add(o.CtxSwitches.n)
+	r.KprobeHits.merge(&o.KprobeHits)
+	r.Syscalls.merge(&o.Syscalls)
+	r.TimerArms.Add(o.TimerArms.n)
+	r.TimerFires.Add(o.TimerFires.n)
+	r.TimerCancels.Add(o.TimerCancels.n)
+	r.TimerJitter.merge(&o.TimerJitter)
+	r.PMIs.Add(o.PMIs.n)
+	r.PMILatency.merge(&o.PMILatency)
+	r.PMUOverflows.Add(o.PMUOverflows.n)
+	r.Ioctls.merge(&o.Ioctls)
+	r.Samples.Add(o.Samples.n)
+	r.RingHighWater.SetMax(o.RingHighWater.v)
+	r.RingPauses.Add(o.RingPauses.n)
+	r.RingDrained.Add(o.RingDrained.n)
+	r.StageNs.merge(&o.StageNs)
+	r.Runs.Add(o.Runs.n)
+	r.RunFailures.Add(o.RunFailures.n)
+}

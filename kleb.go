@@ -35,6 +35,7 @@ import (
 	"kleb/internal/monitor"
 	"kleb/internal/power"
 	"kleb/internal/session"
+	"kleb/internal/telemetry"
 	"kleb/internal/tools/limit"
 	"kleb/internal/tools/papi"
 	"kleb/internal/tools/perfrecord"
@@ -272,6 +273,21 @@ type CollectOptions struct {
 	// DumpState, when non-nil, receives a /proc-style dump of the kernel's
 	// final state (process table, modules, devices) after the run.
 	DumpState io.Writer
+	// Trace, when non-nil, receives the monitored run's event trace as
+	// Chrome trace-event JSON (loadable in Perfetto or chrome://tracing):
+	// context switches, HRTimer arm/fire (with per-fire jitter), kprobes,
+	// syscalls, PMIs, module ioctls, K-LEB ring activity and session
+	// lifecycle stages, all stamped with virtual time. Byte-identical for
+	// the same options at any Workers value.
+	Trace io.Writer
+	// Metrics, when non-nil, receives the monitored run's aggregated
+	// metrics in Prometheus text exposition format, including the timer
+	// jitter and PMI latency histograms. Deterministic like Trace.
+	Metrics io.Writer
+	// ControllerLog overrides where the K-LEB controller writes its CSV
+	// sample log in the simulated filesystem ("" = /var/log/kleb.csv).
+	// Only meaningful for ToolKLEB.
+	ControllerLog string
 	// Workers sizes the scheduler pool used when the call needs several
 	// runs (Baseline, Compare); 0 means GOMAXPROCS. Results are identical
 	// for every worker count.
@@ -415,7 +431,15 @@ func monitoredSpec(opts CollectOptions, prof machine.Profile, kind ToolKind, per
 		Seed:       opts.Seed,
 		TargetName: opts.Workload.name,
 		NewTarget:  opts.Workload.factory,
-		NewTool:    func() (monitor.Tool, error) { return newTool(kind) },
+		NewTool: func() (monitor.Tool, error) {
+			t, err := newTool(kind)
+			if err == nil && opts.ControllerLog != "" {
+				if kt, ok := t.(*klebcore.Tool); ok {
+					kt.LogPath = opts.ControllerLog
+				}
+			}
+			return t, err
+		},
 		Config: monitor.Config{
 			Events:        opts.Events,
 			Period:        period,
@@ -440,7 +464,11 @@ func reportFrom(opts CollectOptions, kind ToolKind, run *session.Result) *Report
 		Elapsed:        run.Elapsed,
 		DroppedSamples: run.Result.Dropped,
 	}
-	if log, ok := run.Machine.Kernel().FS().ReadFile(klebcore.LogPath); ok {
+	logPath := opts.ControllerLog
+	if logPath == "" {
+		logPath = klebcore.DefaultLogPath
+	}
+	if log, ok := run.Machine.Kernel().FS().ReadFile(logPath); ok {
 		report.ControllerLog = log
 	}
 	if report.Tool == "" {
@@ -471,6 +499,15 @@ func Collect(opts CollectOptions) (*Report, error) {
 		period = 10 * Millisecond
 	}
 	specs := []session.Spec{monitoredSpec(opts, prof, opts.Tool, period)}
+	var sink *telemetry.Sink
+	if opts.Trace != nil || opts.Metrics != nil {
+		if opts.Trace != nil {
+			sink = telemetry.New()
+		} else {
+			sink = telemetry.MetricsOnly()
+		}
+		specs[0].Telemetry = sink
+	}
 	if opts.Baseline {
 		specs = append(specs, session.Spec{
 			Profile:    prof,
@@ -493,6 +530,16 @@ func Collect(opts CollectOptions) (*Report, error) {
 		base := outs[1].Run
 		report.BaselineElapsed = base.Elapsed
 		report.OverheadPct = trace.OverheadPct(base.Elapsed.Seconds(), run.Elapsed.Seconds())
+	}
+	if opts.Trace != nil {
+		if err := sink.WriteChromeTrace(opts.Trace); err != nil {
+			return nil, fmt.Errorf("kleb: writing trace: %w", err)
+		}
+	}
+	if opts.Metrics != nil {
+		if err := sink.WritePrometheus(opts.Metrics); err != nil {
+			return nil, fmt.Errorf("kleb: writing metrics: %w", err)
+		}
 	}
 	return report, nil
 }
@@ -520,10 +567,12 @@ func Compare(opts CollectOptions, tools ...ToolKind) ([]CompareRow, error) {
 	if len(tools) == 0 {
 		tools = []ToolKind{ToolKLEB, ToolPerfStat, ToolPerfRecord, ToolPAPI, ToolLiMiT}
 	}
-	// Several runs would interleave on a shared strace writer; per-run
-	// debug taps only make sense on Collect.
+	// Several runs would interleave on shared strace/trace/metrics writers;
+	// per-run debug taps only make sense on Collect.
 	opts.Strace = nil
 	opts.DumpState = nil
+	opts.Trace = nil
+	opts.Metrics = nil
 	prof, err := profileFor(opts.Machine)
 	if err != nil {
 		return nil, err
