@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kleb/internal/ktime"
+	"kleb/internal/session"
+)
+
+// resetBatchTelemetry uninstalls the process-wide sink after a test so
+// the flag-plumbing tests cannot leak state into each other.
+func resetBatchTelemetry(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() { session.SetBatchTelemetry(nil) })
+}
+
+func TestSetupBatchTelemetryFlagPlumbing(t *testing.T) {
+	resetBatchTelemetry(t)
+
+	if setupBatchTelemetry("", "") {
+		t.Error("no flags should install no sink")
+	}
+	if s := session.BatchTelemetry(); s != nil {
+		t.Errorf("sink installed without flags: %v", s)
+	}
+
+	// -metrics alone: a metrics-only sink (no event ring to pay for).
+	if !setupBatchTelemetry("", "m.txt") {
+		t.Fatal("-metrics should install a sink")
+	}
+	s := session.BatchTelemetry()
+	if s == nil {
+		t.Fatal("-metrics installed no sink")
+	}
+	s.CtxSwitch(ktime.Time(1), 0, 1)
+	if got := len(s.Events()); got != 0 {
+		t.Errorf("-metrics sink recorded %d trace events, want 0 (metrics-only)", got)
+	}
+
+	// -trace (with or without -metrics): a recording sink.
+	if !setupBatchTelemetry("t.json", "m.txt") {
+		t.Fatal("-trace should install a sink")
+	}
+	s = session.BatchTelemetry()
+	s.CtxSwitch(ktime.Time(1), 0, 1)
+	if got := len(s.Events()); got != 1 {
+		t.Errorf("-trace sink recorded %d trace events, want 1", got)
+	}
+}
+
+// TestExportBatchTelemetryWritesArtifacts drives the export path end to
+// end: install the sink the flags imply, feed it through the batch
+// scheduler, and check both artifact files are written and well-formed.
+func TestExportBatchTelemetryWritesArtifacts(t *testing.T) {
+	resetBatchTelemetry(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+
+	if !setupBatchTelemetry(tracePath, metricsPath) {
+		t.Fatal("setupBatchTelemetry installed no sink")
+	}
+	sink := session.BatchTelemetry()
+	sink.CtxSwitch(ktime.Time(10), 0, 1)
+	sink.Kprobe(ktime.Time(20), "switch", 1)
+	sink.Stage(ktime.Time(30), "boot", ktime.Duration(30))
+	sink.RunDone(0, 0, false)
+
+	if err := exportBatchTelemetry(tracePath, metricsPath); err != nil {
+		t.Fatalf("exportBatchTelemetry: %v", err)
+	}
+
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace artifact: %v", err)
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace artifact is not valid trace-event JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("trace artifact has no events")
+	}
+
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics artifact: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE kleb_ctx_switches_total counter",
+		"kleb_ctx_switches_total 1",
+		`kleb_kprobe_hits_total{point="switch"} 1`,
+		`kleb_stage_ns_total{stage="boot"} 30`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics artifact missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestExportBatchTelemetryMetricsOnly checks the -metrics-only shape
+// writes no trace file and a valid exposition.
+func TestExportBatchTelemetryMetricsOnly(t *testing.T) {
+	resetBatchTelemetry(t)
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.txt")
+
+	if !setupBatchTelemetry("", metricsPath) {
+		t.Fatal("setupBatchTelemetry installed no sink")
+	}
+	session.BatchTelemetry().SyscallEnter(ktime.Time(5), "write", 1)
+	if err := exportBatchTelemetry("", metricsPath); err != nil {
+		t.Fatalf("exportBatchTelemetry: %v", err)
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics artifact: %v", err)
+	}
+	if !strings.Contains(string(metrics), `kleb_syscalls_total{name="write"} 1`) {
+		t.Errorf("metrics artifact missing syscall count:\n%s", metrics)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 1 {
+		t.Errorf("expected only the metrics artifact in %s, found %d files", dir, len(entries))
+	}
+}
+
+// TestExportBatchTelemetryNoSink checks the export is a no-op when no
+// batch sink was installed (no -trace/-metrics flags).
+func TestExportBatchTelemetryNoSink(t *testing.T) {
+	resetBatchTelemetry(t)
+	session.SetBatchTelemetry(nil)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	if err := exportBatchTelemetry(path, ""); err != nil {
+		t.Fatalf("exportBatchTelemetry without a sink: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("export without a sink created %s", path)
+	}
+}

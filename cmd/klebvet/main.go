@@ -1,0 +1,175 @@
+// Command klebvet is the simulator's static-analysis gate: it runs the
+// five internal/analysis analyzers (walltime, seededrand, maporder,
+// emitguard, lockdiscipline) over Go packages and reports determinism
+// and telemetry invariant violations.
+//
+// Two modes share one binary:
+//
+//	klebvet [-walltime] [-maporder] ... [packages]
+//
+// runs standalone over the named package patterns (default ./...),
+// loading dependencies from compiler export data so it works offline.
+// With no analyzer flags the whole suite runs.
+//
+//	go vet -vettool=$(which klebvet) ./...
+//
+// drives the same analyzers through cmd/go's vet-tool protocol: cmd/go
+// invokes the tool once per package with a JSON *.cfg file and caches
+// results keyed on the tool's -V=full fingerprint.
+//
+// Findings go to stderr as file:line:col: message; the exit status is
+// nonzero when anything is reported. Per-line suppressions use
+// //klebvet:allow <analyzer> comments (see internal/analysis).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"kleb/internal/analysis"
+	"kleb/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// cmd/go probes `tool -V=full` before anything else; answer without
+	// engaging the flag package so unknown future probes stay cheap.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full") {
+		return printVersion(os.Stdout)
+	}
+
+	fs := flag.NewFlagSet("klebvet", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: klebvet [analyzer flags] [package patterns | unit.cfg]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(fs.Output(), "  -%s\n        %s\n", a.Name, a.Doc)
+		}
+	}
+	selected := make(map[string]*bool)
+	for _, a := range analysis.All() {
+		selected[a.Name] = fs.Bool(a.Name, false, a.Doc)
+	}
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *printFlags {
+		return printFlagDefs(os.Stdout)
+	}
+
+	enabled := enabledAnalyzers(selected)
+	rest := fs.Args()
+
+	// cmd/go's unit protocol: a single argument naming a JSON config.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheck(rest[0], enabled)
+	}
+	return standalone(rest, enabled)
+}
+
+// enabledAnalyzers returns the analyzers whose flags are set, or the
+// whole suite when none are.
+func enabledAnalyzers(selected map[string]*bool) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if *selected[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return analysis.All()
+	}
+	return out
+}
+
+// skipPackage reports whether an import path is exempt from the suite:
+// the examples/ tree is pedagogical host-facing code, and testdata
+// packages are analyzer fixtures that contain violations on purpose.
+func skipPackage(importPath string) bool {
+	for _, seg := range strings.Split(importPath, "/") {
+		if seg == "examples" || seg == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+// standalone loads the package patterns from source (plus export data
+// for dependencies) and runs the suite, printing findings to stderr.
+func standalone(patterns []string, enabled []*analysis.Analyzer) int {
+	pkgs, err := load.Packages("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "klebvet: %v\n", err)
+		return 1
+	}
+	found := false
+	for _, pkg := range pkgs {
+		if skipPackage(pkg.ImportPath) {
+			continue
+		}
+		for _, a := range enabled {
+			diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "klebvet: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
+				return 1
+			}
+			for _, d := range diags {
+				found = true
+				fmt.Fprintf(os.Stderr, "%s: %s (klebvet/%s)\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+			}
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+// printVersion writes the fingerprint line cmd/go hashes into its build
+// cache key. The format mirrors x/tools' unitchecker so cached vet
+// results are invalidated whenever the klebvet binary changes.
+func printVersion(w io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "klebvet: %v\n", err)
+		return 1
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "klebvet: %v\n", err)
+		return 1
+	}
+	sum := sha256.Sum256(data)
+	fmt.Fprintf(w, "klebvet version devel comments-go-here buildID=%02x\n", sum)
+	return 0
+}
+
+// printFlagDefs answers cmd/go's `-flags` probe: a JSON array of the
+// flags the tool accepts, so `go vet -vettool=klebvet -maporder` can be
+// validated before any package is analyzed.
+func printFlagDefs(w io.Writer) int {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var defs []flagDef
+	for _, a := range analysis.All() {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.MarshalIndent(defs, "", "\t")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "klebvet: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(w, "%s\n", data)
+	return 0
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce builds the klebvet binary one time for all tests.
+var buildOnce struct {
+	sync.Once
+	bin string
+	err error
+}
+
+func klebvetBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "klebvet-test-*")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "klebvet")
+		cmd := exec.Command("go", "build", "-o", bin, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildOnce.err = err
+			t.Logf("go build: %s", out)
+			return
+		}
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatalf("building klebvet: %v", buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestStandaloneCleanTree runs the full suite over the repository: the
+// tree must be free of findings (real ones are fixed, intentional ones
+// carry //klebvet:allow comments).
+func TestStandaloneCleanTree(t *testing.T) {
+	bin := klebvetBinary(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("klebvet ./... failed: %v\n%s", err, out)
+	}
+	if len(bytes.TrimSpace(out)) != 0 {
+		t.Fatalf("klebvet ./... produced output on a clean tree:\n%s", out)
+	}
+}
+
+// TestStandaloneFindsViolations rebuilds the fireDue map-order bug and a
+// wall-clock read in a scratch module and checks both are reported.
+func TestStandaloneFindsViolations(t *testing.T) {
+	bin := klebvetBinary(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "time"
+
+type proc struct{ pid int }
+
+// fireDue reintroduces the PR 2 bug: wakeups collected in map order.
+func fireDue(procs map[int]*proc) []*proc {
+	var woken []*proc
+	for _, p := range procs {
+		woken = append(woken, p)
+	}
+	return woken
+}
+
+func main() {
+	_ = fireDue(nil)
+	_ = time.Now()
+}
+`)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("klebvet succeeded on a buggy module; output:\n%s", out)
+	}
+	for _, want := range []string{
+		"append to woken inside range over map",
+		"time.Now",
+		"klebvet/maporder",
+		"klebvet/walltime",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSelectedAnalyzerOnly checks analyzer flags narrow the suite.
+func TestSelectedAnalyzerOnly(t *testing.T) {
+	bin := klebvetBinary(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}
+`)
+	cmd := exec.Command(bin, "-maporder", "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("klebvet -maporder should ignore walltime findings: %v\n%s", err, out)
+	}
+}
+
+// TestGoVetVettool drives klebvet through cmd/go's vet-tool protocol
+// end to end on a real package.
+func TestGoVetVettool(t *testing.T) {
+	bin := klebvetBinary(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/ktime", "./internal/telemetry")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}
+
+// TestGoVetVettoolFindsViolations checks diagnostics surface through
+// cmd/go as vet errors.
+func TestGoVetVettoolFindsViolations(t *testing.T) {
+	bin := klebvetBinary(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Intn(10)
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool succeeded on a buggy module; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "math/rand.Intn") {
+		t.Errorf("output missing seededrand finding:\n%s", out)
+	}
+}
+
+func TestVersionAndFlagsProtocol(t *testing.T) {
+	bin := klebvetBinary(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[0] != "klebvet" || fields[1] != "version" {
+		t.Errorf("-V=full output %q does not match cmd/go's expected shape", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	for _, name := range []string{"walltime", "seededrand", "maporder", "emitguard", "lockdiscipline"} {
+		if !strings.Contains(string(out), `"Name": "`+name+`"`) {
+			t.Errorf("-flags output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"runtime"
+
+	"kleb/internal/analysis"
+	"kleb/internal/analysis/load"
+)
+
+// vetConfig mirrors the JSON unit file cmd/go hands a -vettool for each
+// package (the same schema x/tools' unitchecker consumes). Fields the
+// suite does not need are still declared so decoding stays strict about
+// shape without DisallowUnknownFields.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	ModuleVersion             string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package described by a cmd/go unit config.
+// The vetx facts file is written unconditionally — cmd/go treats its
+// absence as tool failure even though klebvet exchanges no facts.
+func unitcheck(cfgFile string, enabled []*analysis.Analyzer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "klebvet: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("klebvet facts v1\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "klebvet: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || skipPackage(cfg.ImportPath) || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFailed(cfg, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := types.Config{
+		Importer:  cfg.importer(fset),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailed(cfg, err)
+	}
+
+	exit := 0
+	for _, a := range enabled {
+		diags, err := analysis.Run(a, fset, files, tpkg, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "klebvet: %s: %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			exit = 2
+			fmt.Fprintf(os.Stderr, "%s: %s (klebvet/%s)\n", fset.Position(d.Pos), d.Message, a.Name)
+		}
+	}
+	return exit
+}
+
+func readVetConfig(cfgFile string) (*vetConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+	return &cfg, nil
+}
+
+// typecheckFailed handles parse/typecheck errors under the protocol:
+// cmd/go sets SucceedOnTypecheckFailure when `go vet` itself will
+// report the compile error, so the tool must stay quiet and succeed.
+func typecheckFailed(cfg *vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "klebvet: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}
+
+// importer resolves this unit's imports: source paths map through
+// ImportMap to canonical paths, whose export data files are listed in
+// PackageFile. Transitive imports reached while reading export data
+// resolve the same way.
+func (cfg *vetConfig) importer(fset *token.FileSet) types.Importer {
+	return load.ExportImporter(fset, func(path string) (string, bool) {
+		if actual, ok := cfg.ImportMap[path]; ok {
+			path = actual
+		}
+		file, ok := cfg.PackageFile[path]
+		return file, ok
+	})
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import "testing"
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//klebvet:allow walltime", []string{"walltime"}, true},
+		{"//klebvet:allow walltime -- benchmark timing", []string{"walltime"}, true},
+		{"//klebvet:allow walltime,maporder", []string{"walltime", "maporder"}, true},
+		{"//klebvet:allow walltime maporder -- both", []string{"walltime", "maporder"}, true},
+		{"//klebvet:allow", nil, false},
+		{"//klebvet:allowance walltime", nil, false},
+		{"// klebvet:allow walltime", nil, false},
+		{"//klebvet:nilsafe", nil, false},
+		{"// plain comment", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseAllow(c.text)
+		if ok != c.ok {
+			t.Errorf("parseAllow(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if len(names) != len(c.names) {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, names, c.names)
+			continue
+		}
+		for _, n := range c.names {
+			if !names[n] {
+				t.Errorf("parseAllow(%q) missing %q", c.text, n)
+			}
+		}
+	}
+}

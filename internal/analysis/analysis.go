@@ -1,0 +1,166 @@
+// Package analysis is the simulator's static-analysis suite: five
+// analyzers (klebvet) that machine-check the determinism and telemetry
+// invariants the reproduction's bit-identical-artifacts guarantee rests
+// on (DESIGN.md §7). The API deliberately mirrors a subset of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — but is
+// built only on the standard library's go/ast and go/types so the module
+// stays dependency-free; if the repo ever vendors x/tools the analyzers
+// port mechanically.
+//
+// Findings are suppressed per line with an allow comment:
+//
+//	t0 := time.Now() //klebvet:allow walltime -- real benchmark timing
+//
+// The comment names one or more analyzers (comma-separated) and applies
+// to its own line and the line directly below, so it also works as a
+// standalone comment above the offending statement. Everything after
+// " -- " is a free-form reason.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named, self-contained check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the check to one package, reporting findings via
+	// pass.Report (or pass.Reportf).
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report records one finding. Findings on lines carrying a matching
+// //klebvet:allow comment are filtered before they reach the caller.
+func (p *Pass) Report(d Diagnostic) {
+	p.report(d) //klebvet:allow emitguard -- Run installs report on every Pass it builds
+}
+
+// Reportf records a formatted finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full klebvet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Walltime, SeededRand, MapOrder, EmitGuard, LockDiscipline}
+}
+
+// ByName resolves an analyzer by its Name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies a to one type-checked package and returns the surviving
+// (non-allowlisted) diagnostics sorted by position.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	allow := buildAllowIndex(fset, files, a.Name)
+	var out []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report: func(d Diagnostic) {
+			if !allow.suppresses(fset.Position(d.Pos)) {
+				out = append(out, d)
+			}
+		},
+	}
+	//klebvet:allow emitguard -- Run is a required field of every Analyzer
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// allowPrefix introduces a suppression comment.
+const allowPrefix = "//klebvet:allow"
+
+// allowIndex records, per file, the lines on which one analyzer's
+// findings are suppressed.
+type allowIndex map[string]map[int]bool
+
+func (ai allowIndex) suppresses(pos token.Position) bool {
+	return ai[pos.Filename][pos.Line]
+}
+
+// buildAllowIndex scans every comment for //klebvet:allow directives
+// naming the analyzer and marks the comment's line plus the next line.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File, name string) allowIndex {
+	ai := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok || !names[name] {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				lines := ai[p.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					ai[p.Filename] = lines
+				}
+				lines[p.Line] = true
+				lines[p.Line+1] = true
+			}
+		}
+	}
+	return ai
+}
+
+// parseAllow extracts the analyzer names from one allow comment.
+// Accepted shape: //klebvet:allow name1,name2 [-- reason].
+func parseAllow(text string) (map[string]bool, bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	names := make(map[string]bool)
+	for _, field := range strings.Fields(rest) {
+		for _, n := range strings.Split(field, ",") {
+			if n != "" {
+				names[n] = true
+			}
+		}
+	}
+	return names, len(names) > 0
+}

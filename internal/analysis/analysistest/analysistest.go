@@ -1,0 +1,167 @@
+// Package analysistest runs one klebvet analyzer over golden-file
+// packages under testdata/src and matches its diagnostics against
+// expectations written in the sources, mirroring the conventions of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	m[k] = append(m[k], v) // nothing expected on this line
+//	out = append(out, v)   // want `append to out inside range over map`
+//
+// Each `// want` comment carries one or more quoted regular expressions
+// that must match, in order, the diagnostics reported on that line.
+// Testdata packages import only the standard library; dependency types
+// come from compiler export data (load.StdImporter), so the harness
+// works offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kleb/internal/analysis"
+	"kleb/internal/analysis/load"
+)
+
+// Run applies a to each package directory under testdata/src and reports
+// mismatches between diagnostics and // want expectations on t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		runPackage(t, a, filepath.Join(root, pkg), pkg)
+	}
+}
+
+func runPackage(t *testing.T, a *analysis.Analyzer, dir, pkg string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files in %s", pkg, dir)
+	}
+	fset := token.NewFileSet()
+	loaded, err := load.Check(fset, pkg, dir, files, load.NewStdImporter(fset))
+	if err != nil {
+		t.Fatalf("%s: %v", pkg, err)
+	}
+	diags, err := analysis.Run(a, loaded.Fset, loaded.Files, loaded.Types, loaded.Info)
+	if err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkg, a.Name, err)
+	}
+	wants := collectWants(t, loaded)
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	got := make(map[lineKey][]string)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := lineKey{p.Filename, p.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	for k, rxs := range wants {
+		msgs := got[k]
+		for _, rx := range rxs {
+			matched := -1
+			for i, m := range msgs {
+				if rx.MatchString(m) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", k.file, k.line, rx, msgs)
+				continue
+			}
+			msgs = append(msgs[:matched], msgs[matched+1:]...)
+		}
+		if len(msgs) > 0 {
+			t.Errorf("%s:%d: unexpected diagnostics %v", k.file, k.line, msgs)
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		t.Errorf("%s:%d: unexpected diagnostics %v", k.file, k.line, msgs)
+	}
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants extracts the // want expectations per (file, line).
+func collectWants(t *testing.T, pkg *load.Package) map[struct {
+	file string
+	line int
+}][]*regexp.Regexp {
+	t.Helper()
+	type lineKey = struct {
+		file string
+		line int
+	}
+	out := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				rxs, err := parseWantPatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", p.Filename, p.Line, err)
+				}
+				k := lineKey{p.Filename, p.Line}
+				out[k] = append(out[k], rxs...)
+			}
+		}
+	}
+	return out
+}
+
+// parseWantPatterns parses a sequence of Go-quoted (or backquoted)
+// regular expressions.
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		raw := s[:end+2]
+		text, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %v", raw, err)
+		}
+		rx, err := regexp.Compile(text)
+		if err != nil {
+			return nil, fmt.Errorf("compiling %s: %v", raw, err)
+		}
+		out = append(out, rx)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}

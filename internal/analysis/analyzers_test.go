@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"kleb/internal/analysis"
+	"kleb/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its golden package under testdata/src, which
+// holds at least one positive case (a // want expectation) and one
+// allowlisted negative case per rule. The maporder package reproduces
+// the PR 2 fireDue bug shape verbatim.
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, analysis.Walltime, "walltime")
+}
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, analysis.SeededRand, "seededrand")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder")
+}
+
+func TestEmitGuard(t *testing.T) {
+	analysistest.Run(t, analysis.EmitGuard, "emitguard")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, analysis.LockDiscipline, "lockdiscipline")
+}
+
+func TestAllAndByName(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing Name, Doc or Run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if analysis.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if analysis.ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EmitGuard keeps the telemetry layer's ~1.9ns disabled path honest.
+// Observability is threaded through the simulator as nil-able hooks: the
+// *telemetry.Sink whose every method tolerates a nil receiver, and
+// func-valued callback fields (PMU overflow observers, PMI delivery,
+// completion callbacks). Two invariants are enforced:
+//
+//  1. Types marked //klebvet:nilsafe must actually be nil-safe: every
+//     method that touches a receiver field must do so behind a
+//     nil-receiver guard, and methods must use pointer receivers. This
+//     is what lets call sites emit unconditionally (k.tel.CtxSwitch(…))
+//     at the cost of one predicted branch.
+//
+//  2. Calls through func-valued struct fields (and locals copied from
+//     them) must be nil-guarded at the call site — a disabled hook is a
+//     nil field, and an unguarded call is a panic the first time
+//     telemetry is off.
+var EmitGuard = &Analyzer{
+	Name: "emitguard",
+	Doc: "telemetry emit hooks must be nil-guarded: //klebvet:nilsafe types " +
+		"guard every receiver field access, and func-valued hook fields are " +
+		"only called behind a nil check",
+	Run: runEmitGuard,
+}
+
+// nilsafeMarker on a type declaration opts the type into invariant 1.
+const nilsafeMarker = "//klebvet:nilsafe"
+
+func runEmitGuard(pass *Pass) error {
+	nilsafe := nilsafeTypes(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkNilsafeMethod(pass, nilsafe, fd)
+			checkHookCalls(pass, fd)
+		}
+	}
+	return nil
+}
+
+// nilsafeTypes collects the type names in this package whose
+// declarations carry the //klebvet:nilsafe marker.
+func nilsafeTypes(pass *Pass) map[string]bool {
+	out := make(map[string]bool)
+	mark := func(doc *ast.CommentGroup, name string) {
+		if doc == nil {
+			return
+		}
+		for _, c := range doc.List {
+			if strings.HasPrefix(c.Text, nilsafeMarker) {
+				out[name] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				mark(gd.Doc, ts.Name.Name)
+				mark(ts.Doc, ts.Name.Name)
+				mark(ts.Comment, ts.Name.Name)
+			}
+		}
+	}
+	return out
+}
+
+// checkNilsafeMethod enforces invariant 1 on one method declaration.
+func checkNilsafeMethod(pass *Pass, nilsafe map[string]bool, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return
+	}
+	recvField := fd.Recv.List[0]
+	recvType := recvField.Type
+	ptr, isPtr := recvType.(*ast.StarExpr)
+	var typeName string
+	if isPtr {
+		typeName = baseTypeName(ptr.X)
+	} else {
+		typeName = baseTypeName(recvType)
+	}
+	if !nilsafe[typeName] {
+		return
+	}
+	if !isPtr {
+		pass.Reportf(fd.Pos(),
+			"method %s of nilsafe type %s has a value receiver: a nil *%s call site would dereference before the guard; use a pointer receiver",
+			fd.Name.Name, typeName, typeName)
+		return
+	}
+	if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+		return // receiver unused: trivially nil-safe
+	}
+	recvName := recvField.Names[0].Name
+	recvObj := pass.TypesInfo.Defs[recvField.Names[0]]
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recvObj {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if !nilGuarded(sel, stack, recvName) {
+			pass.Reportf(sel.Pos(),
+				"%s.%s is accessed without a nil-receiver guard in method %s of nilsafe type %s; start with `if %s == nil { return }` (the disabled-path contract)",
+				recvName, sel.Sel.Name, fd.Name.Name, typeName, recvName)
+		}
+		return true
+	})
+}
+
+// baseTypeName unwraps a receiver type expression to its named type.
+func baseTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return baseTypeName(e.X)
+	case *ast.IndexListExpr:
+		return baseTypeName(e.X)
+	}
+	return ""
+}
+
+// checkHookCalls enforces invariant 2 across one function body: every
+// call through a func-valued struct field — directly (p.onPMI(...)) or
+// via a local copy (done := w.onDone; done(...)) — is nil-guarded.
+func checkHookCalls(pass *Pass, fd *ast.FuncDecl) {
+	aliases := hookAliases(pass, fd.Body)
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if !isFuncField(pass, fun) {
+				return true
+			}
+			key := exprKey(fun)
+			if !nilGuarded(call, stack, key) {
+				pass.Reportf(call.Pos(),
+					"call through func-valued field %s is not nil-guarded: a disabled hook is nil; wrap in `if %s != nil`",
+					key, key)
+			}
+		case *ast.Ident:
+			obj, _ := pass.TypesInfo.Uses[fun].(*types.Var)
+			if obj == nil || !aliases[obj] {
+				return true
+			}
+			if !nilGuarded(call, stack, fun.Name) {
+				pass.Reportf(call.Pos(),
+					"call through %s (copied from a func-valued hook field) is not nil-guarded: wrap in `if %s != nil`",
+					fun.Name, fun.Name)
+			}
+		}
+		return true
+	})
+}
+
+// hookAliases finds local variables assigned from func-valued struct
+// fields within body (the `done := w.onDone` copy idiom).
+func hookAliases(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			sel, ok := ast.Unparen(rhs).(*ast.SelectorExpr)
+			if !ok || !isFuncField(pass, sel) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isFuncField reports whether sel selects a struct field of function
+// type (a hook slot).
+func isFuncField(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	_, isSig := s.Type().Underlying().(*types.Signature)
+	return isSig
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the small AST toolbox the analyzers share: a walker
+// that exposes the ancestor stack, a syntactic expression-identity
+// helper, and the nil-guard dominance check emitguard and lockdiscipline
+// build on.
+
+// walkStack visits every node under root in depth-first order, passing
+// the stack of ancestors (outermost first, not including n itself).
+// Returning false skips n's children.
+func walkStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := visit(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// exprKey renders an expression as a canonical source string so two
+// mentions of the same lvalue chain (s.mu, k.tel, done) compare equal.
+// Only the shapes that can name a guarded value are supported; anything
+// else yields "" and never matches.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	}
+	return ""
+}
+
+// enclosingFunc returns the innermost function declaration or literal on
+// the stack, and its body.
+func enclosingFunc(stack []ast.Node) (ast.Node, *ast.BlockStmt) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn, fn.Body
+		case *ast.FuncLit:
+			return fn, fn.Body
+		}
+	}
+	return nil, nil
+}
+
+// nilGuarded reports whether the use of the value named by key at node
+// `use` is dominated by a non-nil guard. Two patterns count:
+//
+//   - an ancestor if (or the right-hand side of its && condition) that
+//     asserts `key != nil` with the use in the then-branch or later in
+//     the same condition:  if s != nil { s.f() }  /  if s != nil && ...
+//   - an earlier statement in an enclosing block of the form
+//     `if key == nil { return/panic/continue/break }`:
+//     if s == nil { return }; ...; s.f()
+//
+// The check is intra-procedural and purely syntactic over exprKey names,
+// matching how the codebase writes its hook guards.
+func nilGuarded(use ast.Node, stack []ast.Node, key string) bool {
+	if key == "" {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		n := stack[i]
+		// Stop at the function boundary: guards outside the closure that
+		// contains the use do not dominate re-entrant calls.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.FuncDecl); ok {
+			return false
+		}
+		if ifs, ok := n.(*ast.IfStmt); ok {
+			inThen := i+1 < len(stack) && stack[i+1] == ast.Node(ifs.Body)
+			inCond := i+1 < len(stack) && stack[i+1] == ast.Node(ifs.Cond)
+			if (inThen || inCond) && condAssertsNonNil(ifs.Cond, key) {
+				return true
+			}
+		}
+		if blk, ok := n.(*ast.BlockStmt); ok {
+			// Which child of the block leads to the use?
+			var usePos = use.Pos()
+			for _, st := range blk.List {
+				if st.End() > usePos {
+					break
+				}
+				if guardReturnsOnNil(st, key) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condAssertsNonNil reports whether cond being true guarantees key != nil:
+// the condition is `key != nil`, or a && conjunction with such a branch.
+func condAssertsNonNil(cond ast.Expr, key string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condAssertsNonNil(c.X, key)
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "&&":
+			return condAssertsNonNil(c.X, key) || condAssertsNonNil(c.Y, key)
+		case "!=":
+			return isNilComparison(c, key)
+		}
+	}
+	return false
+}
+
+// guardReturnsOnNil matches `if key == nil { return/panic/... }` (the
+// condition may be an || chain with key == nil as one disjunct).
+func guardReturnsOnNil(st ast.Stmt, key string) bool {
+	ifs, ok := st.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || !condHasNilDisjunct(ifs.Cond, key) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condHasNilDisjunct reports whether key == nil appears as a top-level
+// || disjunct of cond (so cond true implies possibly-nil, and falling
+// through the guard implies key != nil).
+func condHasNilDisjunct(cond ast.Expr, key string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condHasNilDisjunct(c.X, key)
+	case *ast.BinaryExpr:
+		if c.Op.String() == "||" {
+			return condHasNilDisjunct(c.X, key) || condHasNilDisjunct(c.Y, key)
+		}
+		if c.Op.String() == "==" {
+			return isNilComparison(c, key)
+		}
+	}
+	return false
+}
+
+// isNilComparison reports whether b compares the expression named key
+// against the nil literal (either operand order).
+func isNilComparison(b *ast.BinaryExpr, key string) bool {
+	xNil := isNilIdent(b.X)
+	yNil := isNilIdent(b.Y)
+	if xNil == yNil {
+		return false
+	}
+	if xNil {
+		return exprKey(b.Y) == key
+	}
+	return exprKey(b.X) == key
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// pkgNameOf resolves the *types.PkgName a selector's qualifier refers to,
+// or nil when the expression is not a package-qualified reference.
+func pkgNameOf(info *types.Info, e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := info.Uses[id].(*types.PkgName)
+	return pn
+}

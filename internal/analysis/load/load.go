@@ -1,0 +1,223 @@
+// Package load type-checks Go packages for the klebvet analyzers using
+// only the standard library and the go command. Dependency types come
+// from compiler export data produced by `go list -deps -export`, so
+// loading works offline and never re-type-checks the world: only the
+// packages under analysis are checked from source.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one source package parsed and type-checked for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads, parses and type-checks the packages matching patterns
+// (relative to dir; empty dir = current directory). Only root packages —
+// the ones the patterns name — are returned; their dependencies are
+// consumed as export data.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := Check(fset, lp.ImportPath, lp.Dir, absFiles(lp.Dir, lp.GoFiles), imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Check parses the given files and type-checks them as one package
+// resolving imports through imp.
+func Check(fset *token.FileSet, importPath, dir string, files []string, imp types.Importer) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      asts,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// ExportImporter returns a types.Importer resolving import paths to
+// compiler export data files via resolve. "unsafe" maps to types.Unsafe.
+func ExportImporter(fset *token.FileSet, resolve func(path string) (string, bool)) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return unsafeAware{gc}
+}
+
+// unsafeAware wraps an importer to special-case package unsafe, which
+// has no export data.
+type unsafeAware struct{ next types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.next.Import(path)
+}
+
+// StdImporter resolves standard-library (and any other buildable)
+// imports lazily by shelling out to `go list -export` on first use and
+// reading the resulting export data. It backs the analysistest harness,
+// whose testdata packages import only the standard library.
+type StdImporter struct {
+	mu    sync.Mutex
+	known map[string]string
+	inner types.Importer
+}
+
+// NewStdImporter returns a StdImporter sharing fset with the caller's
+// parser.
+func NewStdImporter(fset *token.FileSet) *StdImporter {
+	si := &StdImporter{known: make(map[string]string)}
+	si.inner = ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := si.known[path]
+		return f, ok
+	})
+	return si
+}
+
+// Import implements types.Importer.
+func (si *StdImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	si.mu.Lock()
+	_, ok := si.known[path]
+	if !ok {
+		listed, err := goList("", []string{"-deps", "-export", path})
+		if err != nil {
+			si.mu.Unlock()
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				si.known[p.ImportPath] = p.Export
+			}
+		}
+	}
+	si.mu.Unlock()
+	return si.inner.Import(path)
+}
+
+// goList runs `go list -json` with args and decodes the package stream.
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, strings.TrimSpace(stderr.String()))
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		out = append(out, &p)
+	}
+	return out, nil
+}
+
+func absFiles(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if filepath.IsAbs(n) {
+			out[i] = n
+		} else {
+			out[i] = filepath.Join(dir, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockDiscipline enforces `// guarded by <mutex>` annotations: a struct
+// field or package-level variable carrying the annotation may only be
+// read or written while the named mutex is held in the enclosing
+// function. The check is intra-procedural and position-based: the
+// nearest preceding Lock/RLock/Unlock/RUnlock event on the named mutex
+// within the same function must be a lock acquisition (deferred unlocks,
+// which run at function exit, do not count as releases). Helper
+// functions that are documented to run with the lock already held opt
+// out by ending their name in "Locked".
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "fields and vars annotated `// guarded by <mutex>` must only be " +
+		"accessed with that mutex held in the enclosing function " +
+		"(…Locked-suffixed helpers are assumed to be called under the lock)",
+	Run: runLockDiscipline,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardAnnotation records one annotated object and the mutex name that
+// guards it.
+type guardAnnotation struct {
+	mutex string
+	field bool // struct field (mutex is a sibling on the same base) vs package var
+}
+
+func runLockDiscipline(pass *Pass) error {
+	guarded := collectGuards(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkFuncLocks(pass, guarded, fd)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds every `// guarded by <mutex>` annotation on struct
+// fields and package-level vars in the package.
+func collectGuards(pass *Pass) map[types.Object]guardAnnotation {
+	out := make(map[types.Object]guardAnnotation)
+	mutexFrom := func(groups ...*ast.CommentGroup) string {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			if m := guardedByRe.FindStringSubmatch(g.Text()); m != nil {
+				return m[1]
+			}
+		}
+		return ""
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := spec.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						mu := mutexFrom(field.Doc, field.Comment)
+						if mu == "" {
+							continue
+						}
+						for _, name := range field.Names {
+							if obj := pass.TypesInfo.Defs[name]; obj != nil {
+								out[obj] = guardAnnotation{mutex: mu, field: true}
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					mu := mutexFrom(spec.Doc, spec.Comment)
+					if mu == "" && len(gd.Specs) == 1 {
+						mu = mutexFrom(gd.Doc)
+					}
+					if mu == "" {
+						continue
+					}
+					for _, name := range spec.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							out[obj] = guardAnnotation{mutex: mu, field: false}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lockEvent is one mutex operation at a position in a function body.
+type lockEvent struct {
+	pos     token.Pos
+	acquire bool
+}
+
+// checkFuncLocks verifies every guarded access in fd against the lock
+// events on the relevant mutex within the same body.
+func checkFuncLocks(pass *Pass, guarded map[types.Object]guardAnnotation, fd *ast.FuncDecl) {
+	type access struct {
+		pos      token.Pos
+		name     string
+		mutexKey string
+	}
+	var accesses []access
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.Uses[n.Sel]
+			g, ok := guarded[obj]
+			if !ok || !g.field {
+				return true
+			}
+			base := exprKey(n.X)
+			if base == "" {
+				return true // unverifiable base expression; stay quiet
+			}
+			accesses = append(accesses, access{n.Pos(), exprKey(n), base + "." + g.mutex})
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			g, ok := guarded[obj]
+			if !ok || g.field {
+				return true
+			}
+			// Skip the qualifier position of a selector (handled above) —
+			// a package var is a bare ident, never a Sel.
+			accesses = append(accesses, access{n.Pos(), n.Name, g.mutex})
+		}
+		return true
+	})
+	if len(accesses) == 0 {
+		return
+	}
+	events := map[string][]lockEvent{} // mutexKey → ordered events
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var acquire bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			acquire = true
+		case "Unlock", "RUnlock":
+			acquire = false
+		default:
+			return true
+		}
+		key := exprKey(sel.X)
+		if key == "" {
+			return true
+		}
+		if !acquire && len(stack) > 0 {
+			if _, deferred := stack[len(stack)-1].(*ast.DeferStmt); deferred {
+				return true // runs at exit; the lock is held until return
+			}
+		}
+		events[key] = append(events[key], lockEvent{call.Pos(), acquire})
+		return true
+	})
+	for _, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	}
+	for _, acc := range accesses {
+		held := false
+		for _, ev := range events[acc.mutexKey] {
+			if ev.pos >= acc.pos {
+				break
+			}
+			held = ev.acquire
+		}
+		if !held {
+			pass.Reportf(acc.pos,
+				"%s is annotated `guarded by %s` but %s is accessed without holding %s in %s; lock around the access or rename the helper …Locked",
+				acc.name, lastSegment(acc.mutexKey), acc.name, acc.mutexKey, fd.Name.Name)
+		}
+	}
+}
+
+func lastSegment(key string) string {
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

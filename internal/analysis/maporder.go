@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags the exact bug class fixed twice in PR 2 (the kernel's
+// fireDue and doExit wake loops): iterating a Go map while feeding an
+// order-sensitive sink. Map iteration order is deliberately randomized
+// by the runtime, so a range over a map whose body appends to a slice,
+// writes to an output/telemetry sink, or sends on a channel produces a
+// different artifact on every run — unless the collected slice is sorted
+// before use. Order-insensitive bodies (counting, min/max selection,
+// merging into another map) are not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops that feed order-sensitive sinks " +
+		"(slice appends not sorted afterwards, io/fmt writes, telemetry " +
+		"emits, channel sends); map order is randomized and breaks " +
+		"deterministic artifacts",
+	Run: runMapOrder,
+}
+
+// sortFuncs are the package-level functions accepted as establishing a
+// deterministic order for a slice collected from a map range.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Strings": true, "Ints": true,
+		"Float64s": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// writeMethods are method names treated as writing to an ordered sink
+// (io.Writer and friends, string/byte builders, printf-style loggers).
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Printf": true, "Print": true, "Println": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			_, funcBody := enclosingFunc(stack)
+			checkMapRange(pass, rng, funcBody)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one range-over-map body for ordered sinks.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside range over map delivers values in randomized order; iterate sorted keys instead")
+		case *ast.AssignStmt:
+			checkAppend(pass, rng, funcBody, n)
+		case *ast.CallExpr:
+			checkSinkCall(pass, n)
+		}
+		return true
+	})
+}
+
+// checkAppend flags `dst = append(dst, ...)` inside a map range when dst
+// lives outside the loop and is never sorted between the loop and the
+// end of the enclosing function — the fireDue/doExit bug shape.
+func checkAppend(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[fn].(*types.Builtin); !isBuiltin {
+		return
+	}
+	target := as.Lhs[0]
+	key := exprKey(target)
+	if key == "" {
+		return // index expressions etc.: per-key writes are order-independent
+	}
+	switch t := target.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(t)
+		if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()) {
+			return // loop-local scratch
+		}
+	case *ast.SelectorExpr:
+		// Fields (k.runq, scheduler state) always outlive the loop.
+	default:
+		return
+	}
+	if sortedAfter(pass, funcBody, rng, key) {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"append to %s inside range over map accumulates in randomized order; sort %s before use (sort.Slice/sort.Strings) or iterate sorted keys",
+		key, key)
+}
+
+// sortedAfter reports whether the enclosing function sorts `key` at some
+// point after the range loop ends.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, key string) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pn := pkgNameOf(pass.TypesInfo, sel.X)
+		if pn == nil {
+			return true
+		}
+		fns, tracked := sortFuncs[pn.Imported().Path()]
+		if !tracked || !fns[sel.Sel.Name] {
+			return true
+		}
+		arg := call.Args[0]
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = conv.Args[0] // sort.Sort(byPID(slice))
+		}
+		if exprKey(arg) == key {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkSinkCall flags calls that push bytes or events to an ordered sink
+// from inside the map range body.
+func checkSinkCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// fmt.Fprintf / fmt.Print* — formatted output in map order.
+	if pn := pkgNameOf(pass.TypesInfo, sel.X); pn != nil {
+		if pn.Imported().Path() == "fmt" &&
+			(strings.HasPrefix(sel.Sel.Name, "Fprint") || strings.HasPrefix(sel.Sel.Name, "Print")) {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside range over map writes output in randomized order; iterate sorted keys instead",
+				sel.Sel.Name)
+		}
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	if writeMethods[sel.Sel.Name] {
+		pass.Reportf(call.Pos(),
+			"%s.%s inside range over map writes to a sink in randomized order; iterate sorted keys instead",
+			exprKey(sel.X), sel.Sel.Name)
+		return
+	}
+	if recvTypeName(s.Recv()) == "Sink" {
+		pass.Reportf(call.Pos(),
+			"telemetry emit %s.%s inside range over map records events in randomized order; iterate sorted keys instead",
+			exprKey(sel.X), sel.Sel.Name)
+	}
+}
+
+// recvTypeName returns the named type a method receiver resolves to,
+// stripping one pointer level.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SeededRand forbids randomness that does not flow through the
+// deterministic, explicitly seeded PRNG in internal/ktime. The global
+// math/rand source is process-seeded (and auto-seeded since Go 1.20),
+// math/rand/v2's package-level functions are always randomly seeded, and
+// crypto/rand is nondeterministic by design — any of them silently
+// breaks the bit-identical-artifacts guarantee.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid math/rand globals, math/rand/v2 globals and crypto/rand; " +
+		"all simulation randomness must come from internal/ktime's seeded Rand",
+	Run: runSeededRand,
+}
+
+// seededRandBanned maps import paths to the package members that draw
+// from an unseeded (or process-seeded) source. An empty set bans every
+// member of the package. Explicit sources (rand.NewSource(seed),
+// rand.NewPCG(a, b)) remain legal: they are seeded by construction,
+// though simulation code should still prefer ktime.Rand.
+var seededRandBanned = map[string]map[string]bool{
+	"math/rand": {
+		"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+		"Perm": true, "Shuffle": true, "Read": true,
+	},
+	"math/rand/v2": {
+		"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+		"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+		"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+		"Perm": true, "Shuffle": true, "N": true,
+	},
+	"crypto/rand": {},
+}
+
+func runSeededRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pass.TypesInfo, sel.X)
+			if pn == nil {
+				return true
+			}
+			path := pn.Imported().Path()
+			banned, tracked := seededRandBanned[path]
+			if !tracked {
+				return true
+			}
+			if len(banned) == 0 || banned[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"%s.%s is not deterministically seeded: draw randomness from the run's ktime.Rand (internal/ktime) instead",
+					path, sel.Sel.Name)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}

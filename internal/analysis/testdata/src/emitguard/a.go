@@ -1,0 +1,91 @@
+// Package emitguard exercises the emitguard analyzer: nilsafe-marked
+// types must guard receiver field accesses, and func-valued hook fields
+// must be nil-checked at call sites.
+package emitguard
+
+// Sink is nil-disabled: every method must tolerate a nil receiver.
+//
+//klebvet:nilsafe
+type Sink struct {
+	events int
+}
+
+// Good guards before touching fields.
+func (s *Sink) Good(v int) {
+	if s == nil {
+		return
+	}
+	s.events += v
+}
+
+// GoodBranch emits inside a non-nil branch.
+func (s *Sink) GoodBranch(v int) {
+	if s != nil {
+		s.events += v
+	}
+}
+
+// Bad touches a field before any guard.
+func (s *Sink) Bad(v int) {
+	s.events += v // want `s\.events is accessed without a nil-receiver guard`
+}
+
+// BadValue cannot be called on a nil pointer at all.
+func (s Sink) BadValue() int { // want `value receiver`
+	return s.events
+}
+
+// AllowedUnguarded documents an invariant the checker cannot see.
+func (s *Sink) AllowedUnguarded() int {
+	return s.events //klebvet:allow emitguard -- only reachable via guarded wrappers
+}
+
+type engine struct {
+	onDone func()
+	tel    *Sink
+}
+
+// goodGuard calls the hook behind a nil check.
+func (e *engine) goodGuard() {
+	if e.onDone != nil {
+		e.onDone()
+	}
+}
+
+// goodEarlyReturn uses the early-return guard shape.
+func (e *engine) goodEarlyReturn() {
+	if e.onDone == nil {
+		return
+	}
+	e.onDone()
+}
+
+// goodCopy copies the hook then checks the copy.
+func (e *engine) goodCopy() {
+	done := e.onDone
+	if done != nil {
+		done()
+	}
+}
+
+// goodMethodCall needs no call-site guard: methods on the nilsafe sink
+// are themselves nil-safe.
+func (e *engine) goodMethodCall() {
+	e.tel.Good(1)
+}
+
+// badDirect calls the hook unguarded.
+func (e *engine) badDirect() {
+	e.onDone() // want `call through func-valued field e\.onDone is not nil-guarded`
+}
+
+// badCopy copies then calls unguarded.
+func (e *engine) badCopy() {
+	done := e.onDone
+	done() // want `call through done \(copied from a func-valued hook field\) is not nil-guarded`
+}
+
+// allowedDirect asserts the hook is always installed.
+func (e *engine) allowedDirect() {
+	e.onDone() //klebvet:allow emitguard -- installed unconditionally by the constructor
+}

@@ -1,0 +1,65 @@
+// Package lockdiscipline exercises the lockdiscipline analyzer:
+// `guarded by <mutex>` annotations on struct fields and package vars.
+package lockdiscipline
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	// count of registered items.
+	// guarded by mu
+	count int
+}
+
+// Good locks around the access.
+func (r *registry) Good() {
+	r.mu.Lock()
+	r.count++
+	r.mu.Unlock()
+}
+
+// GoodDefer holds the lock until return.
+func (r *registry) GoodDefer() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Bad accesses the field without the lock.
+func (r *registry) Bad() int {
+	return r.count // want `accessed without holding r\.mu`
+}
+
+// BadAfterUnlock touches the field after releasing.
+func (r *registry) BadAfterUnlock() int {
+	r.mu.Lock()
+	r.mu.Unlock()
+	return r.count // want `accessed without holding r\.mu`
+}
+
+// bumpLocked is called with the lock held by its callers; the …Locked
+// suffix is the convention that says so.
+func (r *registry) bumpLocked() {
+	r.count++
+}
+
+// stateMu serializes access to the package-level state below.
+var stateMu sync.Mutex
+
+// state is the shared instance.
+// guarded by stateMu
+var state int
+
+func setState(v int) {
+	stateMu.Lock()
+	state = v
+	stateMu.Unlock()
+}
+
+func badState() int {
+	return state // want `accessed without holding stateMu`
+}
+
+func allowedState() int {
+	return state //klebvet:allow lockdiscipline -- read at init before goroutines start
+}

@@ -1,0 +1,105 @@
+// Package maporder exercises the maporder analyzer on the PR 2
+// fireDue/doExit bug class: map ranges feeding order-sensitive sinks.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Sink mimics the telemetry sink shape the analyzer special-cases.
+type Sink struct{}
+
+// Emit records one event.
+func (s *Sink) Emit(k string) {}
+
+type proc struct {
+	pid      int
+	sleeping bool
+}
+
+// fireDueBug is the PR 2 bug shape: wakeups collected in map iteration
+// order feed the run queue unsorted.
+func fireDueBug(procs map[int]*proc) []*proc {
+	var woken []*proc
+	for _, p := range procs {
+		if p.sleeping {
+			woken = append(woken, p) // want `append to woken inside range over map`
+		}
+	}
+	return woken
+}
+
+// fireDueFixed collects then sorts — the PR 2 fix.
+func fireDueFixed(procs map[int]*proc) []*proc {
+	var woken []*proc
+	for _, p := range procs {
+		if p.sleeping {
+			woken = append(woken, p)
+		}
+	}
+	sort.Slice(woken, func(i, j int) bool { return woken[i].pid < woken[j].pid })
+	return woken
+}
+
+func printBug(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map`
+	}
+}
+
+func sendBug(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+func emitBug(m map[string]int, s *Sink) {
+	for k := range m {
+		s.Emit(k) // want `telemetry emit s\.Emit inside range over map`
+	}
+}
+
+func writerBug(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `sb\.WriteString inside range over map`
+	}
+}
+
+// countGood accumulates commutatively: not flagged.
+func countGood(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// mergeGood writes into another map keyed by the range key: per-key
+// writes are order-independent.
+func mergeGood(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// keysSorted is the canonical iterate-sorted-keys idiom.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// allowedAppend defers ordering to its caller, with the escape hatch.
+func allowedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //klebvet:allow maporder -- caller sorts
+	}
+	return keys
+}

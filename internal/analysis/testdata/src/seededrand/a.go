@@ -1,0 +1,29 @@
+// Package seededrand exercises the seededrand analyzer: globally seeded
+// randomness is a finding, explicitly seeded sources are not.
+package seededrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func bad() {
+	_ = rand.Intn(10)   // want `math/rand\.Intn`
+	rand.Seed(42)       // want `math/rand\.Seed`
+	_ = randv2.IntN(10) // want `math/rand/v2\.IntN`
+	var b [8]byte
+	_, _ = crand.Read(b[:]) // want `crypto/rand\.Read`
+}
+
+// good draws from an explicitly seeded source — deterministic, though
+// simulation code should still prefer ktime.Rand.
+func good() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// allowed documents a legitimate use the analyzer cannot judge.
+func allowed() int {
+	return rand.Intn(10) //klebvet:allow seededrand -- outside any simulated run
+}

@@ -1,0 +1,33 @@
+// Package walltime exercises the walltime analyzer: wall-clock reads
+// are findings, virtual-time arithmetic and allowlisted benchmark
+// timing are not.
+package walltime
+
+import "time"
+
+func bad() {
+	t0 := time.Now()                  // want `time\.Now`
+	_ = time.Since(t0)                // want `time\.Since`
+	time.Sleep(time.Millisecond)      // want `time\.Sleep`
+	<-time.After(time.Second)         // want `time\.After`
+	tk := time.NewTicker(time.Second) // want `time\.NewTicker`
+	_ = tk
+	var tm *time.Timer // want `time\.Timer`
+	_ = tm
+}
+
+// good performs pure duration arithmetic — deterministic and legal.
+func good() time.Duration {
+	return 3 * time.Microsecond
+}
+
+// allowed carries the escape hatch for real harness timing.
+func allowed() time.Time {
+	return time.Now() //klebvet:allow walltime -- harness timing, not simulation
+}
+
+// allowedAbove uses the standalone-comment form.
+func allowedAbove() time.Time {
+	//klebvet:allow walltime -- harness timing, not simulation
+	return time.Now()
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Walltime forbids reading the host's wall clock inside the simulator.
+// Every event in a run is stamped with virtual ktime; a single time.Now
+// on a simulation path makes traces, metrics and seeded experiments
+// non-reproducible. Legitimate uses — real benchmark timing in cmd/
+// binaries or _test.go files — carry a //klebvet:allow walltime comment.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time sources (time.Now, time.Since, time.Sleep, " +
+		"time.After, time.Tick, tickers and timers); the ktime virtual clock " +
+		"is the simulator's only time source",
+	Run: runWalltime,
+}
+
+// walltimeBanned are the members of package time that observe or wait on
+// the wall clock. Pure arithmetic (time.Duration, unit constants,
+// time.Date construction from literals) stays legal.
+var walltimeBanned = map[string]string{
+	"Now":       "read the wall clock",
+	"Since":     "measure wall time",
+	"Until":     "measure wall time",
+	"Sleep":     "block on the wall clock",
+	"After":     "block on the wall clock",
+	"AfterFunc": "schedule on the wall clock",
+	"Tick":      "tick on the wall clock",
+	"NewTicker": "tick on the wall clock",
+	"NewTimer":  "schedule on the wall clock",
+	"Ticker":    "tick on the wall clock",
+	"Timer":     "schedule on the wall clock",
+}
+
+func runWalltime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pass.TypesInfo, sel.X)
+			if pn == nil || pn.Imported().Path() != "time" {
+				return true
+			}
+			if why, bad := walltimeBanned[sel.Sel.Name]; bad {
+				pass.Reportf(sel.Pos(),
+					"time.%s would %s: simulation code must use the ktime virtual clock (internal/ktime)",
+					sel.Sel.Name, why)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -123,7 +123,10 @@ func (k *Kernel) fireTimersDue() {
 		k.tel.TimerFire(k.clock.Now(), t.id, t.nominal, t.expires)
 		k.ChargeKernel(k.costs.InterruptEntry)
 		k.core.Caches().L1D().EvictFraction(k.costs.IntPolluteL1)
-		restart := t.fn(k, t)
+		restart := false
+		if t.fn != nil {
+			restart = t.fn(k, t)
+		}
 		k.ChargeKernel(k.costs.InterruptExit)
 		if restart && t.period > 0 {
 			t.nominal = t.nominal.Add(t.period)

@@ -105,7 +105,9 @@ func (k *Kernel) fireSwitchProbes(prev, next *Process) {
 			k.ChargeKernel(k.costs.KprobeOverhead)
 			k.tel.Kprobe(k.clock.Now(), "switch", int32(pidOf(next)))
 		}
-		p.fn(k, prev, next)
+		if p.fn != nil {
+			p.fn(k, prev, next)
+		}
 	}
 }
 
@@ -113,7 +115,9 @@ func (k *Kernel) fireForkProbes(parent, child *Process) {
 	for _, p := range k.forkProbes {
 		k.ChargeKernel(k.costs.KprobeOverhead)
 		k.tel.Kprobe(k.clock.Now(), "fork", int32(child.pid))
-		p.fn(k, parent, child)
+		if p.fn != nil {
+			p.fn(k, parent, child)
+		}
 	}
 }
 
@@ -121,6 +125,8 @@ func (k *Kernel) fireExitProbes(proc *Process) {
 	for _, p := range k.exitProbes {
 		k.ChargeKernel(k.costs.KprobeOverhead)
 		k.tel.Kprobe(k.clock.Now(), "exit", int32(proc.pid))
-		p.fn(k, proc)
+		if p.fn != nil {
+			p.fn(k, proc)
+		}
 	}
 }

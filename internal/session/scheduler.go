@@ -1,6 +1,7 @@
 package session
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 
@@ -39,7 +40,7 @@ type Outcome struct {
 // that sink (see SetBatchTelemetry).
 var (
 	batchMu   sync.Mutex
-	batchSink *telemetry.Sink
+	batchSink *telemetry.Sink // guarded by batchMu
 )
 
 // SetBatchTelemetry installs a process-wide batch sink that every Scheduler
@@ -100,10 +101,15 @@ func (s Scheduler) Run(specs []Spec) []Outcome {
 		}
 		batchMu.Lock()
 		for i := range specs {
-			if subs[i] != nil {
-				batch.Merge(subs[i])
-			} else {
-				batch.Merge(specs[i].Telemetry)
+			sub := subs[i]
+			if sub == nil {
+				sub = specs[i].Telemetry
+			}
+			// A label-dimension conflict means run i's sink disagrees with
+			// the batch taxonomy; surface it on that run's outcome instead
+			// of silently blending its counts.
+			if err := batch.Merge(sub); err != nil {
+				out[i].Err = errors.Join(out[i].Err, err)
 			}
 			// Under ForEach's striped assignment, spec i ran on worker i mod w.
 			slot := 0

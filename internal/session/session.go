@@ -153,6 +153,9 @@ func (s *Session) Attach() error {
 		}
 		tool = t
 	}
+	if s.spec.NewTarget == nil {
+		return fmt.Errorf("session: spec for target %q has no NewTarget factory", name)
+	}
 	target, err := StartTarget(s.machine, name, s.spec.NewTarget(), tool, s.spec.Config)
 	if err != nil {
 		return err

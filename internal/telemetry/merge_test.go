@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"kleb/internal/ktime"
+)
+
+// TestMergeCompatibleKeys checks the normal path: vecs stamped with the
+// same dimension merge silently and an unstamped vec adopts the donor's.
+func TestMergeCompatibleKeys(t *testing.T) {
+	a, b := MetricsOnly(), MetricsOnly()
+	a.Kprobe(ktime.Time(1), "switch", 1)
+	b.Kprobe(ktime.Time(2), "fork", 2)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merging same-keyed sinks: %v", err)
+	}
+	reg := a.Registry()
+	if got := reg.KprobeHits.Get("switch") + reg.KprobeHits.Get("fork"); got != 2 {
+		t.Fatalf("merged kprobe hits = %d, want 2", got)
+	}
+	if key := reg.KprobeHits.Key(); key != "point" {
+		t.Fatalf("merged vec key = %q, want %q", key, "point")
+	}
+
+	var empty Registry
+	if err := empty.Merge(reg); err != nil {
+		t.Fatalf("merging into empty registry: %v", err)
+	}
+	if key := empty.KprobeHits.Key(); key != "point" {
+		t.Fatalf("empty registry did not adopt key: got %q", key)
+	}
+}
+
+// TestMergeConflictingKeys checks that folding a registry whose vec was
+// stamped with a different label dimension is refused with an error that
+// names the field, while scalar counters still merge.
+func TestMergeConflictingKeys(t *testing.T) {
+	var dst, src Registry
+	dst.KprobeHits.AddKeyed("point", "switch", 1)
+	src.KprobeHits.AddKeyed("name", "write", 1)
+	src.CtxSwitches.Add(7)
+
+	err := dst.Merge(&src)
+	if err == nil {
+		t.Fatal("merging conflicting label dimensions succeeded")
+	}
+	for _, want := range []string{"KprobeHits", `"name"`, `"point"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+	if got := dst.CtxSwitches.Value(); got != 7 {
+		t.Errorf("scalar counters should merge despite the vec conflict; ctx switches = %d, want 7", got)
+	}
+}
+
+// TestAddKeyedConflictSurfaces checks a vec poisoned by two dimensions
+// reports through Err, Merge and WritePrometheus.
+func TestAddKeyedConflictSurfaces(t *testing.T) {
+	var v CounterVec
+	v.AddKeyed("point", "switch", 1)
+	v.AddKeyed("name", "write", 1)
+	if v.Err() == nil {
+		t.Fatal("conflicted vec reports no error")
+	}
+	if got := v.Get("switch") + v.Get("write"); got != 2 {
+		t.Fatalf("counts lost on conflict: %d, want 2", got)
+	}
+
+	var dst CounterVec
+	if err := dst.merge(&v); err == nil {
+		t.Fatal("merging a conflicted vec succeeded")
+	}
+
+	s := MetricsOnly()
+	s.Registry().KprobeHits.AddKeyed("name", "write", 1)
+	var sb strings.Builder
+	err := s.WritePrometheus(&sb)
+	if err == nil {
+		t.Fatal("WritePrometheus accepted a vec keyed under the wrong dimension")
+	}
+	if !strings.Contains(err.Error(), "kleb_kprobe_hits_total") {
+		t.Errorf("exporter error %q does not name the metric family", err)
+	}
+}
+
+// TestWritePrometheusKeyedOutput checks a healthy keyed registry still
+// renders, with the stamped dimension matching the exposition labels.
+func TestWritePrometheusKeyedOutput(t *testing.T) {
+	s := MetricsOnly()
+	s.Kprobe(ktime.Time(1), "switch", 1)
+	s.SyscallEnter(ktime.Time(2), "write", 1)
+	s.Ioctl(ktime.Time(3), "kleb", 7, 1)
+	s.Stage(ktime.Time(4), "boot", ktime.Duration(100))
+	var sb strings.Builder
+	if err := s.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus on a healthy sink: %v", err)
+	}
+	for _, want := range []string{
+		`kleb_kprobe_hits_total{point="switch"} 1`,
+		`kleb_syscalls_total{name="write"} 1`,
+		`kleb_ioctls_total{device="kleb"} 1`,
+		`kleb_stage_ns_total{stage="boot"} 100`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}

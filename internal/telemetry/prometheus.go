@@ -10,10 +10,10 @@ import (
 // vector labels are sorted, so the output is byte-deterministic for a
 // given registry state. Durations are exported in virtual nanoseconds.
 func (s *Sink) WritePrometheus(w io.Writer) error {
-	pw := &promWriter{w: w}
 	if s == nil {
 		return nil
 	}
+	pw := &promWriter{w: w}
 	r := &s.reg
 	pw.counter("kleb_ctx_switches_total", "Context switches performed by the simulated scheduler.", &r.CtxSwitches)
 	pw.vec("kleb_kprobe_hits_total", "Kprobe invocations by probe point.", "point", &r.KprobeHits)
@@ -62,7 +62,22 @@ func (p *promWriter) gauge(name, help string, g *Gauge) {
 	p.printf("%s %d\n", name, g.Value())
 }
 
+// vec renders one counter family after verifying the vec really counts
+// under the label dimension the exposition claims: a stamped key that
+// disagrees with label (or an internally conflicted vec) turns into an
+// error instead of publishing counts under the wrong label name.
 func (p *promWriter) vec(name, help, label string, v *CounterVec) {
+	if p.err != nil {
+		return
+	}
+	if err := v.Err(); err != nil {
+		p.err = fmt.Errorf("%s: %w", name, err)
+		return
+	}
+	if key := v.Key(); key != "" && key != label {
+		p.err = fmt.Errorf("%s: vec counts label dimension %q, exposition asks for %q", name, key, label)
+		return
+	}
 	p.header(name, help, "counter")
 	for _, l := range v.Labels() {
 		p.printf("%s{%s=%q} %d\n", name, label, l, v.Get(l))

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"errors"
+	"fmt"
 	"math/bits"
 	"sort"
 )
@@ -118,7 +120,18 @@ func (h *Histogram) merge(o *Histogram) {
 // CounterVec is a family of counters keyed by one label value (syscall
 // name, probe point, stage...). Exports iterate labels sorted, so output
 // is deterministic regardless of insertion order.
-type CounterVec struct{ m map[string]uint64 }
+//
+// A vec additionally remembers which label dimension it counts under —
+// "point", "name", "device", "stage" — stamped by the first AddKeyed.
+// Mixing dimensions in one vec (a programming error: two emit paths
+// writing the same field with different meanings) is tracked rather than
+// panicking on the hot path, and surfaces as an error from Merge and the
+// exporters, which would otherwise silently blend unrelated label sets.
+type CounterVec struct {
+	key      string // label dimension; "" until the first keyed add or merge
+	conflict string // first disagreeing dimension observed, "" if none
+	m        map[string]uint64
+}
 
 // Add increments the counter for label by d.
 func (v *CounterVec) Add(label string, d uint64) {
@@ -126,6 +139,36 @@ func (v *CounterVec) Add(label string, d uint64) {
 		v.m = make(map[string]uint64)
 	}
 	v.m[label] += d
+}
+
+// AddKeyed increments the counter for label by d and stamps the vec's
+// label dimension. The first keyed add fixes the dimension; a later add
+// under a different key marks the vec conflicted (see Err).
+func (v *CounterVec) AddKeyed(key, label string, d uint64) {
+	v.stampKey(key)
+	v.Add(label, d)
+}
+
+// Key returns the vec's label dimension ("" until stamped).
+func (v *CounterVec) Key() string { return v.key }
+
+// Err reports a label-dimension conflict recorded by AddKeyed or merge.
+func (v *CounterVec) Err() error {
+	if v.conflict == "" {
+		return nil
+	}
+	return fmt.Errorf("telemetry: counter vec mixes label dimensions %q and %q", v.key, v.conflict)
+}
+
+// stampKey fixes (or checks) the vec's label dimension.
+func (v *CounterVec) stampKey(key string) {
+	switch {
+	case key == "" || v.key == key:
+	case v.key == "":
+		v.key = key
+	case v.conflict == "":
+		v.conflict = key
+	}
 }
 
 // Get returns the count for label.
@@ -141,11 +184,23 @@ func (v *CounterVec) Labels() []string {
 	return out
 }
 
-// merge adds o's counts into v.
-func (v *CounterVec) merge(o *CounterVec) {
+// merge adds o's counts into v. Merging vecs stamped with different
+// label dimensions is refused: the counts would be meaningless blended.
+func (v *CounterVec) merge(o *CounterVec) error {
+	if err := v.Err(); err != nil {
+		return err
+	}
+	if err := o.Err(); err != nil {
+		return err
+	}
+	if v.key != "" && o.key != "" && v.key != o.key {
+		return fmt.Errorf("telemetry: cannot merge %q-keyed counters into %q-keyed vec", o.key, v.key)
+	}
+	v.stampKey(o.key)
 	for l, n := range o.m {
 		v.Add(l, n)
 	}
+	return nil
 }
 
 // Registry aggregates the simulator's metrics. The taxonomy is fixed — a
@@ -189,14 +244,21 @@ type Registry struct {
 
 // Merge folds o into r. All merges are commutative and associative, so a
 // batch registry assembled from per-run registries is independent of
-// completion order and worker count.
-func (r *Registry) Merge(o *Registry) {
+// completion order and worker count. The error (nil in any healthy
+// process) reports vec fields whose label dimensions conflict; scalar
+// metrics are merged regardless, so a conflict loses no counts — only
+// the guarantee that vec labels mean one thing.
+func (r *Registry) Merge(o *Registry) error {
 	if o == nil {
-		return
+		return nil
 	}
 	r.CtxSwitches.Add(o.CtxSwitches.n)
-	r.KprobeHits.merge(&o.KprobeHits)
-	r.Syscalls.merge(&o.Syscalls)
+	err := errors.Join(
+		mergeVec("KprobeHits", &r.KprobeHits, &o.KprobeHits),
+		mergeVec("Syscalls", &r.Syscalls, &o.Syscalls),
+		mergeVec("Ioctls", &r.Ioctls, &o.Ioctls),
+		mergeVec("StageNs", &r.StageNs, &o.StageNs),
+	)
 	r.TimerArms.Add(o.TimerArms.n)
 	r.TimerFires.Add(o.TimerFires.n)
 	r.TimerCancels.Add(o.TimerCancels.n)
@@ -204,12 +266,19 @@ func (r *Registry) Merge(o *Registry) {
 	r.PMIs.Add(o.PMIs.n)
 	r.PMILatency.merge(&o.PMILatency)
 	r.PMUOverflows.Add(o.PMUOverflows.n)
-	r.Ioctls.merge(&o.Ioctls)
 	r.Samples.Add(o.Samples.n)
 	r.RingHighWater.SetMax(o.RingHighWater.v)
 	r.RingPauses.Add(o.RingPauses.n)
 	r.RingDrained.Add(o.RingDrained.n)
-	r.StageNs.merge(&o.StageNs)
 	r.Runs.Add(o.Runs.n)
 	r.RunFailures.Add(o.RunFailures.n)
+	return err
+}
+
+// mergeVec merges one vec field, naming it in any conflict error.
+func mergeVec(field string, dst, src *CounterVec) error {
+	if err := dst.merge(src); err != nil {
+		return fmt.Errorf("%s: %w", field, err)
+	}
+	return nil
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# lint.sh — the repository's static gate, runnable locally and in CI:
+#
+#   1. gofmt       every tracked Go file must be gofmt-clean
+#   2. go vet      the standard analyzer suite
+#   3. klebvet     the simulator's determinism/telemetry analyzers,
+#                  driven through go vet's -vettool protocol
+#
+# Exits non-zero on the first failing stage. Run from anywhere inside
+# the repository.
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel 2>/dev/null || dirname "$0")/."
+
+echo "==> gofmt"
+# Testdata under internal/analysis is excluded: analyzer fixtures are
+# allowed any formatting their test cases need.
+unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> klebvet (go vet -vettool)"
+klebvet_bin=$(mktemp -d)/klebvet
+trap 'rm -rf "$(dirname "$klebvet_bin")"' EXIT
+go build -o "$klebvet_bin" ./cmd/klebvet
+go vet -vettool="$klebvet_bin" ./...
+
+echo "lint: OK"
