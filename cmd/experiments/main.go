@@ -26,7 +26,12 @@
 // rendered as a Markdown report (the regenerable EXPERIMENTS record); the
 // pseudo-command "md-only" writes the report and exits. With -json FILE,
 // the pseudo-command "bench" times a representative experiment set serially
-// and at -workers and writes the wall times and speedups as JSON.
+// and at -workers and writes the wall times and speedups as JSON. The
+// pseudo-command "kernel-bench" micro-benchmarks the scheduler's event
+// queue and execute loop and writes BENCH_kernel.json; with -baseline FILE
+// it additionally fails on a >25% ns/op regression (the CI gate driven by
+// scripts/bench_kernel.sh). The -cpuprofile / -memprofile flags capture
+// host pprof profiles of any command.
 package main
 
 import (
@@ -38,23 +43,38 @@ import (
 	"time"
 
 	"kleb/internal/experiments"
+	"kleb/internal/prof"
 	"kleb/internal/report"
 	"kleb/internal/session"
 )
 
+// stopProfiles flushes any active -cpuprofile / -memprofile capture; fail
+// calls it so profiles survive error exits too.
+var stopProfiles = func() error { return nil }
+
+// fail reports a fatal error and exits, flushing profiles first.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format, args...)
+	stopProfiles()
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		trials  = flag.Int("trials", 0, "override trial count (0 = per-experiment default)")
-		rounds  = flag.Int("rounds", 25, "meltdown averaging rounds")
-		seed    = flag.Uint64("seed", 1, "base simulation seed")
-		workers = flag.Int("workers", 0, "scheduler pool size for each experiment's runs (0 = GOMAXPROCS)")
-		mdPath  = flag.String("md", "", "also write a Markdown report of the paper-facing results to this file")
-		jsPath  = flag.String("json", "", "with the bench/telemetry-bench commands: write the JSON here")
-		trPath  = flag.String("trace", "", "write batch-level telemetry as Chrome trace-event JSON to this file")
-		mtPath  = flag.String("metrics", "", "write batch-level telemetry as Prometheus text to this file")
+		trials   = flag.Int("trials", 0, "override trial count (0 = per-experiment default)")
+		rounds   = flag.Int("rounds", 25, "meltdown averaging rounds")
+		seed     = flag.Uint64("seed", 1, "base simulation seed")
+		workers  = flag.Int("workers", 0, "scheduler pool size for each experiment's runs (0 = GOMAXPROCS)")
+		mdPath   = flag.String("md", "", "also write a Markdown report of the paper-facing results to this file")
+		jsPath   = flag.String("json", "", "with the bench/telemetry-bench commands: write the JSON here")
+		trPath   = flag.String("trace", "", "write batch-level telemetry as Chrome trace-event JSON to this file")
+		mtPath   = flag.String("metrics", "", "write batch-level telemetry as Prometheus text to this file")
+		basePath = flag.String("baseline", "", "with kernel-bench: compare against this BENCH_kernel.json and fail on regression")
+		cpuProf  = flag.String("cpuprofile", "", "write a host CPU profile (pprof) to this file")
+		memProf  = flag.String("memprofile", "", "write a host heap profile (pprof) to this file on exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|all|md-only|bench|telemetry-bench>\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|all|md-only|bench|telemetry-bench|kernel-bench>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,33 +82,45 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail("experiments: %v\n", err)
+	}
+	stopProfiles = stop
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: profile: %v\n", err)
+		}
+	}()
 	cmd := flag.Arg(0)
 	if cmd == "bench" {
 		if err := writeBench(*jsPath, *trials, *rounds, *seed, *workers); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments bench: %v\n", err)
-			os.Exit(1)
+			fail("experiments bench: %v\n", err)
 		}
 		return
 	}
 	if cmd == "telemetry-bench" {
 		if err := writeTelemetryBench(*jsPath, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments telemetry-bench: %v\n", err)
-			os.Exit(1)
+			fail("experiments telemetry-bench: %v\n", err)
+		}
+		return
+	}
+	if cmd == "kernel-bench" {
+		if err := writeKernelBench(*jsPath, *basePath, *seed); err != nil {
+			fail("experiments kernel-bench: %v\n", err)
 		}
 		return
 	}
 	if setupBatchTelemetry(*trPath, *mtPath) {
 		defer func() {
 			if err := exportBatchTelemetry(*trPath, *mtPath); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: telemetry export: %v\n", err)
-				os.Exit(1)
+				fail("experiments: telemetry export: %v\n", err)
 			}
 		}()
 	}
 	if *mdPath != "" {
 		if err := writeMarkdownReport(*mdPath, *trials, *rounds, *seed, *workers); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: markdown report: %v\n", err)
-			os.Exit(1)
+			fail("experiments: markdown report: %v\n", err)
 		}
 		fmt.Printf("wrote Markdown report to %s\n", *mdPath)
 		if cmd == "md-only" {
@@ -97,8 +129,7 @@ func main() {
 	}
 	run := func(name string) {
 		if err := dispatch(name, *trials, *rounds, *seed, *workers); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments %s: %v\n", name, err)
-			os.Exit(1)
+			fail("experiments %s: %v\n", name, err)
 		}
 	}
 	if cmd == "all" {

@@ -17,7 +17,12 @@ import (
 	"time"
 
 	"kleb"
+	"kleb/internal/prof"
 )
+
+// stopProfiles flushes any active -cpuprofile / -memprofile capture; fatal
+// exits call it so profiles survive error paths too.
+var stopProfiles = func() error { return nil }
 
 func main() {
 	var (
@@ -36,8 +41,21 @@ func main() {
 		traceFlag    = flag.String("trace", "", "write the run's Chrome trace-event JSON here (open in Perfetto)")
 		metricsFlag  = flag.String("metrics", "", "write the run's metrics in Prometheus text format here")
 		ctlLogFlag   = flag.String("ctl-log", "", "controller CSV log path inside the simulated FS (default /var/log/kleb.csv)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a host CPU profile (pprof) to this file")
+		memProfile   = flag.String("memprofile", "", "write a host heap profile (pprof) to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "kleb: profile:", err)
+		}
+	}()
 
 	w, err := resolveWorkload(*workloadName)
 	if err != nil {
@@ -166,6 +184,7 @@ func resolveWorkload(name string) (kleb.Workload, error) {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "kleb:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,133 @@
+package kernel
+
+import (
+	"container/heap"
+
+	"kleb/internal/ktime"
+)
+
+// This file implements the kernel's unified event queue: one binary heap
+// holding every pending time-driven event — HR timer expiries and sleeper
+// wakeups — ordered by the deterministic key (time, kind, id). Folding the
+// sleepers into the timer heap is what turns the scheduler loop from a
+// poll-driven O(P) process scan per iteration into an event-driven
+// O(log P) pop, and the composite key is what keeps simultaneous events
+// ordered identically across runs and worker counts:
+//
+//   - time  — earlier events first;
+//   - kind  — at the same instant, timer expiries fire before sleeper
+//     wakeups (the historical fireTimersDue-then-wake order the telemetry
+//     goldens encode);
+//   - id    — within a kind, the arming sequence number for timers and the
+//     pid for sleepers.
+//
+// Nodes are intrusive: HRTimer and Process each embed their eventNode, so
+// arming, cancelling and firing events never allocates.
+
+// eventKind discriminates the unified queue's entries. The numeric order is
+// load-bearing: it is the tie-break between kinds at the same instant.
+type eventKind uint8
+
+const (
+	// evTimer is an HR timer expiry; fires before wakeups at the same time.
+	evTimer eventKind = iota
+	// evWake is a sleeping process's wakeup instant.
+	evWake
+)
+
+// eventNode is the intrusive handle every schedulable entity embeds.
+// Exactly one of timer/proc is set, matching kind.
+type eventNode struct {
+	at    ktime.Time
+	kind  eventKind
+	id    uint64 // timer arming sequence or pid — the within-kind tie-break
+	index int    // heap position, -1 when unqueued
+	timer *HRTimer
+	proc  *Process
+}
+
+// queued reports whether the node is currently in the event heap.
+func (n *eventNode) queued() bool { return n.index >= 0 }
+
+// eventHeap is the container/heap backing store.
+type eventHeap []*eventNode
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].id < h[j].id
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	n := x.(*eventNode)
+	n.index = len(*h)
+	*h = append(*h, n)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	last := len(old) - 1
+	n := old[last]
+	old[last] = nil
+	n.index = -1
+	*h = old[:last]
+	return n
+}
+
+// armEvent queues n and refreshes the cached next-event time. n.at, n.kind
+// and n.id must already be set.
+func (k *Kernel) armEvent(n *eventNode) {
+	heap.Push(&k.events, n)
+	k.refreshNext()
+}
+
+// cancelEvent removes n from the queue if present and refreshes the cache.
+func (k *Kernel) cancelEvent(n *eventNode) {
+	if !n.queued() {
+		return
+	}
+	heap.Remove(&k.events, n.index)
+	k.refreshNext()
+}
+
+// popEvent removes and returns the earliest event. The heap must be
+// non-empty.
+func (k *Kernel) popEvent() *eventNode {
+	n := heap.Pop(&k.events).(*eventNode)
+	k.refreshNext()
+	return n
+}
+
+// refreshNext re-derives the cached next-event time from the heap top. It
+// runs only when the heap mutates (arm/cancel/pop), so the scheduler loop
+// reads nextAt/nextOk without touching the heap at all.
+func (k *Kernel) refreshNext() {
+	if len(k.events) == 0 {
+		k.nextAt, k.nextOk = 0, false
+		return
+	}
+	k.nextAt, k.nextOk = k.events[0].at, true
+}
+
+// armedTimers counts queued timer events (the introspection surface).
+func (k *Kernel) armedTimers() int {
+	n := 0
+	for _, e := range k.events {
+		if e.kind == evTimer {
+			n++
+		}
+	}
+	return n
+}

@@ -1,8 +1,6 @@
 package kernel
 
 import (
-	"container/heap"
-
 	"kleb/internal/ktime"
 )
 
@@ -19,48 +17,18 @@ type HRTimer struct {
 	fn      HRTimerFn
 	period  ktime.Duration
 	nominal ktime.Time // drift-free expiry grid position
-	expires ktime.Time // nominal + sampled latency jitter
 	active  bool
-	index   int // heap position, -1 when not queued
+	node    eventNode // unified event queue handle; node.at is the jittered expiry
 }
 
 // Period returns the timer's period (0 for one-shot).
 func (t *HRTimer) Period() ktime.Duration { return t.period }
 
 // Expires returns the effective (jittered) expiry instant.
-func (t *HRTimer) Expires() ktime.Time { return t.expires }
+func (t *HRTimer) Expires() ktime.Time { return t.node.at }
 
 // Active reports whether the timer is armed.
 func (t *HRTimer) Active() bool { return t.active }
-
-type timerHeap []*HRTimer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].expires != h[j].expires {
-		return h[i].expires < h[j].expires
-	}
-	return h[i].id < h[j].id
-}
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *timerHeap) Push(x any) {
-	t := x.(*HRTimer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
-}
 
 // StartHRTimer arms a timer firing first at now+delay, then every period if
 // period > 0. The arming itself costs TimerProgram. The effective expiry
@@ -74,11 +42,11 @@ func (k *Kernel) StartHRTimer(delay, period ktime.Duration, fn HRTimerFn) *HRTim
 		fn:      fn,
 		period:  period,
 		nominal: k.clock.Now().Add(delay),
-		index:   -1,
 		active:  true,
 	}
-	t.expires = t.nominal.Add(k.timerJitter())
-	heap.Push(&k.timers, t)
+	t.node = eventNode{kind: evTimer, id: t.id, index: -1, timer: t}
+	t.node.at = t.nominal.Add(k.timerJitter())
+	k.armEvent(&t.node)
 	k.tel.TimerArm(k.clock.Now(), t.id, t.nominal)
 	return t
 }
@@ -89,9 +57,7 @@ func (k *Kernel) CancelHRTimer(t *HRTimer) {
 		return
 	}
 	t.active = false
-	if t.index >= 0 {
-		heap.Remove(&k.timers, t.index)
-	}
+	k.cancelEvent(&t.node)
 	k.ChargeKernel(k.costs.TimerProgram)
 	k.tel.TimerCancel(k.clock.Now(), t.id)
 }
@@ -101,46 +67,34 @@ func (k *Kernel) timerJitter() ktime.Duration {
 	return k.rng.Jitter(k.costs.InterruptLatency, k.costs.TimerJitterRel)
 }
 
-// nextTimerExpiry returns the earliest armed timer expiry, or ok=false.
-func (k *Kernel) nextTimerExpiry() (ktime.Time, bool) {
-	if len(k.timers) == 0 {
-		return 0, false
+// fireTimer runs one expired timer: a hardware interrupt charges its
+// entry/exit costs, the handler runs in kernel context, and a periodic
+// timer is re-armed on its nominal grid so sampling does not drift. The
+// caller has already popped the timer's node off the event queue.
+func (k *Kernel) fireTimer(t *HRTimer) {
+	if !t.active {
+		return
 	}
-	return k.timers[0].expires, true
-}
-
-// fireTimersDue runs every timer whose effective expiry is ≤ now. Each
-// firing is a hardware interrupt: entry/exit costs are charged, the handler
-// runs in kernel context, and a periodic timer is re-armed on its nominal
-// grid so sampling does not drift.
-func (k *Kernel) fireTimersDue() {
-	now := k.clock.Now()
-	for len(k.timers) > 0 && k.timers[0].expires <= now {
-		t := heap.Pop(&k.timers).(*HRTimer)
-		if !t.active {
-			continue
+	k.tel.TimerFire(k.clock.Now(), t.id, t.nominal, t.node.at)
+	k.ChargeKernel(k.costs.InterruptEntry)
+	k.core.Caches().L1D().EvictFraction(k.costs.IntPolluteL1)
+	restart := false
+	if t.fn != nil {
+		restart = t.fn(k, t)
+	}
+	k.ChargeKernel(k.costs.InterruptExit)
+	if restart && t.period > 0 {
+		t.nominal = t.nominal.Add(t.period)
+		// A handler that overran its own period fires next period from
+		// now instead of trying to catch up a backlog.
+		if !t.nominal.After(k.clock.Now()) {
+			t.nominal = k.clock.Now().Add(t.period)
 		}
-		k.tel.TimerFire(k.clock.Now(), t.id, t.nominal, t.expires)
-		k.ChargeKernel(k.costs.InterruptEntry)
-		k.core.Caches().L1D().EvictFraction(k.costs.IntPolluteL1)
-		restart := false
-		if t.fn != nil {
-			restart = t.fn(k, t)
-		}
-		k.ChargeKernel(k.costs.InterruptExit)
-		if restart && t.period > 0 {
-			t.nominal = t.nominal.Add(t.period)
-			// A handler that overran its own period fires next period from
-			// now instead of trying to catch up a backlog.
-			if !t.nominal.After(k.clock.Now()) {
-				t.nominal = k.clock.Now().Add(t.period)
-			}
-			t.expires = t.nominal.Add(k.timerJitter())
-			k.ChargeKernel(k.costs.TimerProgram)
-			heap.Push(&k.timers, t)
-			k.tel.TimerArm(k.clock.Now(), t.id, t.nominal)
-		} else {
-			t.active = false
-		}
+		t.node.at = t.nominal.Add(k.timerJitter())
+		k.ChargeKernel(k.costs.TimerProgram)
+		k.armEvent(&t.node)
+		k.tel.TimerArm(k.clock.Now(), t.id, t.nominal)
+	} else {
+		t.active = false
 	}
 }

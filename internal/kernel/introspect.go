@@ -32,11 +32,11 @@ func (k *Kernel) DumpState(w io.Writer) {
 	}
 	fmt.Fprintf(w, "running %s\n", cur)
 	var rq []string
-	for _, p := range k.runq {
-		rq = append(rq, p.Name())
+	for i := 0; i < k.runq.Len(); i++ {
+		rq = append(rq, k.runq.At(i).Name())
 	}
 	fmt.Fprintf(w, "runq    [%s]\n", strings.Join(rq, " "))
-	fmt.Fprintf(w, "timers  %d armed\n", len(k.timers))
+	fmt.Fprintf(w, "timers  %d armed\n", k.armedTimers())
 	names := make([]string, 0, len(k.modules))
 	for name := range k.modules {
 		names = append(names, name)

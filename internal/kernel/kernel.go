@@ -11,13 +11,19 @@
 // (timer expiry, wakeup, end of timeslice), interrupts charge their costs
 // and run handlers, and everything that executes feeds the PMU — which is
 // how monitoring overhead becomes measurable rather than asserted.
+//
+// The engine is event-driven end to end: timer expiries and sleeper
+// wakeups live in one unified event heap (see event.go) keyed by
+// (time, kind, id), the next-event time is cached and refreshed only when
+// the heap mutates, and the run queue is a ring-buffer deque — so the
+// scheduler loop does no per-iteration scans and, in steady state, no
+// allocations.
 package kernel
 
 import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 
 	"kleb/internal/cpu"
 	"kleb/internal/isa"
@@ -49,15 +55,27 @@ type Kernel struct {
 	opts  Options
 
 	procs   map[PID]*Process
+	byPID   []*Process // every process ever spawned, pid-ascending
 	nextPID PID
 	live    int
 
-	runq     []*Process
+	runq     runQueue
 	current  *Process
 	sliceEnd ktime.Time
 
-	timers  timerHeap
+	// events is the unified pending-event queue (timer expiries + sleeper
+	// wakeups); nextAt/nextOk cache its top so the scheduler loop reads the
+	// next-event time without touching the heap. The cache is refreshed
+	// only when the heap mutates (arm/cancel/pop).
+	events  eventHeap
+	nextAt  ktime.Time
+	nextOk  bool
 	timerID uint64
+
+	// woken and deferred are fireDue's reusable scratch buffers; steady
+	// state wakeup batches allocate nothing.
+	woken    []*Process
+	deferred []*eventNode
 
 	switchProbes []switchProbe
 	forkProbes   []forkProbe
@@ -186,7 +204,7 @@ func (k *Kernel) SpawnDaemon(name string, prog Program) *Process {
 func (k *Kernel) SpawnStopped(name string, prog Program) *Process {
 	p := k.spawn(name, prog, 0)
 	p.state = StateStopped
-	k.runq = k.runq[:len(k.runq)-1]
+	k.runq.PopBack()
 	return p
 }
 
@@ -197,7 +215,7 @@ func (k *Kernel) Resume(p *Process) {
 	}
 	p.state = StateReady
 	p.startTime = k.clock.Now()
-	k.runq = append(k.runq, p)
+	k.runq.PushBack(p)
 }
 
 func (k *Kernel) spawn(name string, prog Program, ppid PID) *Process {
@@ -210,9 +228,11 @@ func (k *Kernel) spawn(name string, prog Program, ppid PID) *Process {
 		prog:      prog,
 		startTime: k.clock.Now(),
 	}
+	p.wake = eventNode{kind: evWake, id: uint64(p.pid), index: -1, proc: p}
 	k.procs[p.pid] = p
+	k.byPID = append(k.byPID, p)
 	k.live++
-	k.runq = append(k.runq, p)
+	k.runq.PushBack(p)
 	k.tel.ProcessName(int32(p.pid), name)
 	return p
 }
@@ -225,12 +245,8 @@ func (k *Kernel) Process(pid PID) (*Process, bool) {
 
 // Processes returns all processes ever spawned, in PID order.
 func (k *Kernel) Processes() []*Process {
-	out := make([]*Process, 0, len(k.procs))
-	for pid := PID(1); pid <= k.nextPID; pid++ {
-		if p, ok := k.procs[pid]; ok {
-			out = append(out, p)
-		}
-	}
+	out := make([]*Process, len(k.byPID))
+	copy(out, k.byPID)
 	return out
 }
 
@@ -303,7 +319,7 @@ func (k *Kernel) runUntil(deadline ktime.Time) error {
 			return nil
 		}
 		now := k.clock.Now()
-		next, hasNext := k.nextEvent()
+		next, hasNext := k.nextAt, k.nextOk
 
 		// Fire anything already due.
 		if hasNext && next <= now {
@@ -312,7 +328,7 @@ func (k *Kernel) runUntil(deadline ktime.Time) error {
 		}
 
 		if k.current == nil {
-			if len(k.runq) > 0 {
+			if k.runq.Len() > 0 {
 				k.schedule()
 				continue
 			}
@@ -347,45 +363,71 @@ func (k *Kernel) runUntil(deadline ktime.Time) error {
 	}
 }
 
-// nextEvent returns the earliest pending kernel event: a timer expiry or a
-// sleeper wakeup.
-func (k *Kernel) nextEvent() (ktime.Time, bool) {
-	t, ok := k.nextTimerExpiry()
-	for _, p := range k.procs {
-		if p.state == StateSleeping && p.waitingOn == 0 {
-			if !ok || p.wakeAt < t {
-				t, ok = p.wakeAt, true
-			}
-		}
-	}
-	return t, ok
-}
-
-// fireDue processes all events due at the current instant: timer handlers
-// and sleeper wakeups (which preempt the current process).
+// fireDue processes all events due at the current instant by popping them
+// off the unified event queue: timer handlers run first, then sleeper
+// wakeups batch into one tick interrupt (which preempts the current
+// process). Ordering matches the historical two-phase scan exactly:
+//
+//   - every timer due at entry time fires in (expiry, id) order, including
+//     re-arms that land back inside the window;
+//   - sleepers due once the timer handlers have run — their handling may
+//     advance the clock — wake in pid order;
+//   - timers that became due only because handlers advanced the clock do
+//     NOT fire in this round; they are set aside and re-queued for the next
+//     loop iteration.
 func (k *Kernel) fireDue() {
-	k.fireTimersDue()
 	now := k.clock.Now()
-	var woken []*Process
-	for _, p := range k.procs {
-		if p.state == StateSleeping && p.waitingOn == 0 && p.wakeAt <= now {
-			woken = append(woken, p)
+	woken := k.woken[:0]
+	for k.nextOk && k.nextAt <= now {
+		n := k.popEvent()
+		if n.kind == evWake {
+			woken = append(woken, n.proc)
+			continue
 		}
+		k.fireTimer(n.timer)
 	}
+	// Timer handlers advanced the clock: sleepers now due join this wakeup
+	// batch; newly due timers are deferred to the next round.
+	now = k.clock.Now()
+	deferred := k.deferred[:0]
+	for k.nextOk && k.nextAt <= now {
+		n := k.popEvent()
+		if n.kind == evWake {
+			woken = append(woken, n.proc)
+			continue
+		}
+		deferred = append(deferred, n)
+	}
+	for _, n := range deferred {
+		k.armEvent(n)
+	}
+	k.deferred = deferred[:0]
 	if len(woken) == 0 {
+		k.woken = woken
 		return
 	}
-	// procs is a map: order the simultaneous wakeups by pid so the runq (and
-	// the telemetry stream) is deterministic.
-	sort.Slice(woken, func(i, j int) bool { return woken[i].pid < woken[j].pid })
-	// One tick interrupt delivers all due wakeups.
+	// The queue yields wakeups in (time, pid) order; the wakeup batch
+	// contract is pid order regardless of nominal wake time. Insertion
+	// sort: batches are tiny and the scratch must not allocate.
+	for i := 1; i < len(woken); i++ {
+		p := woken[i]
+		j := i - 1
+		for j >= 0 && woken[j].pid > p.pid {
+			woken[j+1] = woken[j]
+			j--
+		}
+		woken[j+1] = p
+	}
+	// One tick interrupt delivers all due wakeups. Front-loading in pid
+	// order leaves the highest woken pid at the head of the run queue.
 	k.ChargeKernel(k.costs.InterruptEntry)
 	for _, p := range woken {
 		p.state = StateReady
-		k.runq = append([]*Process{p}, k.runq...)
+		k.runq.PushFront(p)
 		k.tel.SyscallExit(k.clock.Now(), "nanosleep", int32(p.pid))
 	}
 	k.ChargeKernel(k.costs.InterruptExit)
+	k.woken = woken[:0]
 	// Wakeup preemption: a freshly woken (sleep-heavy) task takes the CPU,
 	// as CFS would grant it. This gives interval-based tools their cadence
 	// and charges the monitored process the context switches they cause.
@@ -396,21 +438,19 @@ func (k *Kernel) fireDue() {
 
 // schedule switches to the first runnable process.
 func (k *Kernel) schedule() {
-	next := k.runq[0]
-	k.runq = k.runq[1:]
-	k.switchTo(next)
+	k.switchTo(k.runq.PopFront())
 }
 
 // tickSlice handles timeslice expiry: round-robin to the next waiter, or
 // extend the slice if the current process is alone.
 func (k *Kernel) tickSlice() {
-	if len(k.runq) == 0 {
+	if k.runq.Len() == 0 {
 		k.sliceEnd = k.clock.Now().Add(k.costs.Timeslice)
 		return
 	}
 	prev := k.current
 	prev.state = StateReady
-	k.runq = append(k.runq, prev)
+	k.runq.PushBack(prev)
 	// k.current stays set so switchTo sees the true prev for its probes.
 	k.schedule()
 }
@@ -450,7 +490,7 @@ func pidOf(p *Process) PID {
 // runCurrent advances the current process by at most budget.
 func (k *Kernel) runCurrent(budget ktime.Duration) {
 	p := k.current
-	if len(p.pending) == 0 {
+	if p.pendingLen() == 0 {
 		op := p.prog.Next(k, p)
 		if op == nil {
 			op = OpExit{}
@@ -460,7 +500,7 @@ func (k *Kernel) runCurrent(budget ktime.Duration) {
 			if op.Block.Empty() {
 				return
 			}
-			p.pending = append(p.pending, pendingWork{work: k.core.Execute(op.Block)})
+			p.pushPending(pendingWork{work: k.core.Execute(op.Block)})
 		case OpSleep:
 			k.doSleep(p, op)
 			return
@@ -481,16 +521,16 @@ func (k *Kernel) runCurrent(budget ktime.Duration) {
 		default:
 			panic(fmt.Sprintf("kernel: unknown op %T", op))
 		}
-		if len(p.pending) == 0 {
+		if p.pendingLen() == 0 {
 			return
 		}
 	}
-	w := &p.pending[0]
+	w := p.frontPending()
 	head, tail := w.work.Split(budget)
 	k.applyWork(p, head)
 	if tail.Empty() {
 		done := w.onDone
-		p.pending = p.pending[1:]
+		p.popPending()
 		if done != nil {
 			done(k, p)
 		}
@@ -525,7 +565,7 @@ func (k *Kernel) startSyscall(p *Process, name string, fn SyscallFn) {
 		Time:   k.rng.Jitter(k.costs.SyscallEntry, k.costs.NoiseRel),
 		Priv:   isa.Kernel,
 	}
-	p.pending = append(p.pending, pendingWork{
+	p.pushPending(pendingWork{
 		work: entry,
 		onDone: func(k *Kernel, p *Process) {
 			p.SyscallResult = fn(k, p)
@@ -540,14 +580,14 @@ func (k *Kernel) startSyscall(p *Process, name string, fn SyscallFn) {
 					k.tel.SyscallExit(k.clock.Now(), name, int32(p.pid))
 				}
 			}
-			p.pending = append(p.pending, ew)
+			p.pushPending(ew)
 		},
 	})
 }
 
 // doSleep blocks p. Jiffy sleeps round the wakeup up to the next jiffy
 // boundary — the 10 ms user-timer floor; HR sleeps wake precisely (plus
-// interrupt latency jitter).
+// interrupt latency jitter). The wakeup is queued as a unified event.
 func (k *Kernel) doSleep(p *Process, op OpSleep) {
 	if len(k.straceSinks) > 0 {
 		k.traceSyscall(p, "nanosleep")
@@ -569,11 +609,15 @@ func (k *Kernel) doSleep(p *Process, op OpSleep) {
 		p.wakeAt = k.clock.Now() + 1
 	}
 	p.state = StateSleeping
+	p.wake.at = p.wakeAt
+	k.armEvent(&p.wake)
 	k.current = nil
 }
 
 // doWait blocks p until the waited-on process exits (waitpid). If it is
 // already gone, the caller continues immediately after the syscall cost.
+// The wakeup comes from the exit path, not from time, so no event is
+// queued.
 func (k *Kernel) doWait(p *Process, target PID) {
 	if len(k.straceSinks) > 0 {
 		k.traceSyscall(p, "waitpid")
@@ -602,25 +646,21 @@ func (k *Kernel) doExit(p *Process, code int) {
 	p.state = StateExited
 	p.exitCode = code
 	p.exitTime = k.clock.Now()
-	p.pending = nil
+	p.clearPending()
 	if !p.daemon {
 		k.live--
 	}
 	k.fireExitProbes(p)
-	// Wake any waitpid callers, in pid order (procs is a map) so the runq
-	// and the telemetry stream stay deterministic.
-	var waiters []*Process
-	for _, waiter := range k.procs {
+	// Wake any waitpid callers. byPID is pid-ascending, so a single walk
+	// wakes them in pid order — the runq and the telemetry stream stay
+	// deterministic without collecting or sorting.
+	for _, waiter := range k.byPID {
 		if waiter.state == StateSleeping && waiter.waitingOn == p.pid {
-			waiters = append(waiters, waiter)
+			waiter.waitingOn = 0
+			waiter.state = StateReady
+			k.runq.PushBack(waiter)
+			k.tel.SyscallExit(k.clock.Now(), "waitpid", int32(waiter.pid))
 		}
-	}
-	sort.Slice(waiters, func(i, j int) bool { return waiters[i].pid < waiters[j].pid })
-	for _, waiter := range waiters {
-		waiter.waitingOn = 0
-		waiter.state = StateReady
-		k.runq = append(k.runq, waiter)
-		k.tel.SyscallExit(k.clock.Now(), "waitpid", int32(waiter.pid))
 	}
 }
 

@@ -1,0 +1,143 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"kleb/internal/ktime"
+)
+
+// Micro-benchmarks for the scheduler's hot path. These are the bodies
+// behind scripts/bench_kernel.sh / BENCH_kernel.json: the sleeper storm is
+// the regression gate's headline number (it is the shape that made table2
+// O(P)-scan-bound before the unified event queue), the steady-state
+// benchmark guards the zero-allocation execute loop, and the timer churn
+// benchmark prices one full arm→fire→re-arm cycle.
+
+// benchSleepers is the storm width: large enough that a per-event O(P)
+// process scan dominates, small enough that the run queue stays realistic.
+const benchSleepers = 64
+
+// BenchmarkSleeperStorm drives benchSleepers processes through repeated
+// 100µs HR sleeps; one op is one sleep→wake cycle. Every wakeup is a
+// kernel event, so ns/op prices the nextEvent/fireDue path.
+func BenchmarkSleeperStorm(b *testing.B) {
+	k := testKernel(1)
+	iters := b.N/benchSleepers + 1
+	var sleep Op = OpSleep{D: 100 * ktime.Microsecond, HR: true} // preboxed: measure the kernel, not the program
+	for i := 0; i < benchSleepers; i++ {
+		count := 0
+		k.Spawn(fmt.Sprintf("sleeper%02d", i), ProgramFunc(func(k *Kernel, p *Process) Op {
+			count++
+			if count > iters {
+				return OpExit{}
+			}
+			return sleep
+		}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerChurn prices the HR timer arm→fire→re-arm cycle with eight
+// periodic timers live (the K-LEB + perf-mux shape); one op is one firing.
+func BenchmarkTimerChurn(b *testing.B) {
+	k := testKernel(2)
+	fired := 0
+	for i := 0; i < 8; i++ {
+		k.StartHRTimer(10*ktime.Microsecond, 100*ktime.Microsecond, func(k *Kernel, t *HRTimer) bool {
+			fired++
+			return fired < b.N
+		})
+	}
+	k.Spawn("spin", ProgramFunc(func(k *Kernel, p *Process) Op {
+		if fired >= b.N {
+			return OpExit{}
+		}
+		return OpExec{Block: workBlock(50_000)}
+	}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSteadyRunCurrent measures the pure execute loop: one process,
+// no timers, no sleepers; one op is one instruction block through
+// runCurrent/applyWork. The steady state must not allocate.
+func BenchmarkSteadyRunCurrent(b *testing.B) {
+	k := testKernel(3)
+	n := 0
+	var op Op = OpExec{Block: workBlock(10_000)}
+	k.Spawn("spin", ProgramFunc(func(k *Kernel, p *Process) Op {
+		n++
+		if n > b.N {
+			return OpExit{}
+		}
+		return op
+	}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcessTable prices one pid-ordered walk of a 384-entry process
+// table, 256 exited and 128 live — the shape doExit's waiter scan and the
+// Processes snapshot share since the table moved from a map to the
+// pid-ascending byPID slice.
+func BenchmarkProcessTable(b *testing.B) {
+	k := testKernel(5)
+	for i := 0; i < 256; i++ {
+		k.Spawn(fmt.Sprintf("done%03d", i), burner(0, 0))
+	}
+	if err := k.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		k.Spawn(fmt.Sprintf("live%03d", i), burner(1, 1_000))
+	}
+	exited := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exited = 0
+		for _, p := range k.Processes() {
+			if p.Exited() {
+				exited++
+			}
+		}
+	}
+	if exited != 256 {
+		b.Fatalf("exited = %d, want 256", exited)
+	}
+}
+
+// TestSteadyRunCurrentNoAlloc is the hard zero-allocation gate on the
+// steady-state scheduler loop: once warm, advancing a compute-bound
+// process must not allocate at all. (Skipped under the race detector,
+// which instruments allocations.)
+func TestSteadyRunCurrentNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	k := testKernel(4)
+	var op Op = OpExec{Block: workBlock(10_000)}
+	k.Spawn("spin", ProgramFunc(func(k *Kernel, p *Process) Op { return op }))
+	cursor := ktime.Time(0)
+	step := func() {
+		cursor = cursor.Add(ktime.Millisecond)
+		if err := k.RunUntil(cursor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // warm up: first blocks grow the pending queue and cache cursors
+	if avg := testing.AllocsPerRun(10, step); avg != 0 {
+		t.Errorf("steady-state runCurrent allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -127,9 +127,17 @@ type Process struct {
 	prog   Program
 	daemon bool
 
-	pending []pendingWork
+	// pending is the process's queued work, consumed from pendingHead.
+	// Pop/push rewind to the start of the backing array whenever the queue
+	// drains, so the steady-state execute loop reuses one entry forever
+	// instead of allocating per block.
+	pending     []pendingWork
+	pendingHead int
 
 	wakeAt ktime.Time
+	// wake is the process's unified-event-queue node, armed while the
+	// process is in a timed sleep (kind evWake, id = pid).
+	wake eventNode
 	// waitingOn is the PID this process is blocked on (OpWait), 0 if none.
 	waitingOn PID
 
@@ -146,6 +154,41 @@ type Process struct {
 	kernTime  ktime.Duration
 	switches  uint64
 	exitCode  int
+}
+
+// pendingLen returns the number of queued work items.
+func (p *Process) pendingLen() int { return len(p.pending) - p.pendingHead }
+
+// pushPending queues w. A drained queue rewinds to the start of its
+// backing array first, so pushes stop allocating once the array has grown
+// to the process's steady-state depth.
+func (p *Process) pushPending(w pendingWork) {
+	if p.pendingHead > 0 && p.pendingHead == len(p.pending) {
+		p.pending = p.pending[:0]
+		p.pendingHead = 0
+	}
+	p.pending = append(p.pending, w)
+}
+
+// frontPending returns the work item at the queue's head. The queue must
+// be non-empty.
+func (p *Process) frontPending() *pendingWork { return &p.pending[p.pendingHead] }
+
+// popPending drops the head item, releasing its completion closure, and
+// rewinds the queue when it drains.
+func (p *Process) popPending() {
+	p.pending[p.pendingHead] = pendingWork{}
+	p.pendingHead++
+	if p.pendingHead == len(p.pending) {
+		p.pending = p.pending[:0]
+		p.pendingHead = 0
+	}
+}
+
+// clearPending drops all queued work (process exit).
+func (p *Process) clearPending() {
+	p.pending = nil
+	p.pendingHead = 0
 }
 
 // PID returns the process identifier.

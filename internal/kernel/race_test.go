@@ -1,0 +1,7 @@
+//go:build race
+
+package kernel
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// gates skip under it (instrumentation allocates).
+const raceEnabled = true

@@ -1,0 +1,78 @@
+package kernel
+
+// runQueue is the scheduler's run queue: an index-based ring-buffer deque
+// of runnable processes. The previous slice representation paid an O(n)
+// copy plus an allocation every time a wakeup front-loaded a task
+// (append([]*Process{p}, runq...)); the ring buffer makes PushFront,
+// PushBack and both pops O(1) and allocation-free once warm. Capacity is
+// kept a power of two so position arithmetic is a mask, and the queue only
+// ever grows — process counts are small and bounded per simulation.
+type runQueue struct {
+	buf  []*Process
+	head int // position of the front element when n > 0
+	n    int
+}
+
+// Len returns the number of queued processes.
+func (q *runQueue) Len() int { return q.n }
+
+// At returns the i-th queued process from the front (0-based). The caller
+// must keep i < Len.
+func (q *runQueue) At(i int) *Process {
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+// grow doubles capacity (or makes the initial allocation), re-linearising
+// the ring at position 0.
+func (q *runQueue) grow() {
+	cap := len(q.buf) * 2
+	if cap == 0 {
+		cap = 8
+	}
+	buf := make([]*Process, cap)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.At(i)
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// PushBack appends p at the tail (round-robin requeue, new spawns).
+func (q *runQueue) PushBack(p *Process) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
+	q.n++
+}
+
+// PushFront prepends p at the head (wakeup front-loading: a freshly woken
+// task runs ahead of the round-robin tail, as CFS would grant it).
+func (q *runQueue) PushFront(p *Process) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = p
+	q.n++
+}
+
+// PopFront removes and returns the front process. The queue must be
+// non-empty.
+func (q *runQueue) PopFront() *Process {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return p
+}
+
+// PopBack removes and returns the tail process (used to unqueue a process
+// spawned stopped). The queue must be non-empty.
+func (q *runQueue) PopBack() *Process {
+	i := (q.head + q.n - 1) & (len(q.buf) - 1)
+	p := q.buf[i]
+	q.buf[i] = nil
+	q.n--
+	return p
+}

@@ -1,0 +1,171 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"kleb/internal/ktime"
+	"kleb/internal/telemetry"
+)
+
+// This file pins the kernel's event-ordering semantics at an instant where
+// everything collides: a high-resolution timer expiry, two sleeper wakeups
+// and the running process's timeslice expiry all landing on the same
+// nanosecond. The contract — timers fire first, then simultaneous wakeups
+// wake in pid order (front-loading the run queue so the highest woken pid
+// runs first), then the preempted process rotates to the back — is what the
+// telemetry goldens of the determinism suite are built on, so any event
+// queue rewrite must reproduce it byte for byte.
+
+// tieCosts zeroes every charge so event instants are exact: a timer armed
+// for T expires at precisely T, an HR sleep with Until=T wakes at precisely
+// T, and a timeslice started at t ends at precisely t+Timeslice.
+func tieCosts() CostModel {
+	return CostModel{
+		Timeslice: ktime.Millisecond,
+		Jiffy:     10 * ktime.Millisecond,
+	}
+}
+
+// tieSwitch is one observed context-switch probe firing.
+type tieSwitch struct {
+	at         ktime.Time
+	prev, next PID
+}
+
+// tieArtifacts is everything one tie-scenario run produces.
+type tieArtifacts struct {
+	strace   []byte
+	state    []byte
+	trace    []byte
+	switches []tieSwitch
+}
+
+// tieCollisionT is the engineered collision instant: the spinner's second
+// slice, the one-shot timer and both sleepers' Until deadlines all end here.
+const tieCollisionT = ktime.Time(2 * ktime.Millisecond)
+
+// tieScenario drives the collision and returns the artifacts that pin its
+// ordering: the strace text, the final DumpState text, the Chrome trace
+// bytes and the switch-probe log.
+func tieScenario() (tieArtifacts, error) {
+	var out tieArtifacts
+	k := New(testCPU(1), tieCosts(), ktime.NewRand(1), Options{})
+	sink := telemetry.New()
+	k.SetTelemetry(sink)
+	var straceBuf bytes.Buffer
+	stop := k.TraceSyscalls(&straceBuf)
+	defer stop()
+	k.RegisterSwitchProbe(func(k *Kernel, prev, next *Process) {
+		out.switches = append(out.switches, tieSwitch{k.Now(), pidOf(prev), pidOf(next)})
+	})
+
+	// One-shot HR timer expiring exactly at the collision instant.
+	k.StartHRTimer(ktime.Duration(tieCollisionT), 0, func(k *Kernel, t *HRTimer) bool { return false })
+
+	// pid 1 spins through its first slice [0, 1ms), is rescheduled at 1ms
+	// once both sleepers block, and its second slice ends exactly at T.
+	k.Spawn("spinner", burner(4, 4_000_000))
+	sleeper := func(name string) {
+		step := 0
+		k.Spawn(name, ProgramFunc(func(k *Kernel, p *Process) Op {
+			step++
+			if step == 1 {
+				return OpSleep{Until: tieCollisionT, HR: true}
+			}
+			return OpExit{}
+		}))
+	}
+	sleeper("sleeper-a") // pid 2
+	sleeper("sleeper-b") // pid 3
+
+	if err := k.Run(0); err != nil {
+		return out, err
+	}
+	var stateBuf, traceBuf bytes.Buffer
+	k.DumpState(&stateBuf)
+	if err := sink.WriteChromeTrace(&traceBuf); err != nil {
+		return out, err
+	}
+	out.strace = straceBuf.Bytes()
+	out.state = stateBuf.Bytes()
+	out.trace = traceBuf.Bytes()
+	return out, nil
+}
+
+func TestTieBreakOrdering(t *testing.T) {
+	const T = tieCollisionT
+	art, err := tieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Extract the switch sequence at the collision instant. The timer fires
+	// first (no switch), then the wakeup batch front-loads the run queue in
+	// pid order ([3 2] ahead of the preempted spinner), so the rotation at T
+	// must run pid 3, then pid 2, then hand back to pid 1.
+	var atT []tieSwitch
+	for _, s := range art.switches {
+		if s.at == T {
+			atT = append(atT, s)
+		}
+	}
+	want := []tieSwitch{
+		{T, 1, 3}, // wakeup preemption: highest woken pid takes the CPU
+		{T, 3, 0}, // pid 3 exits immediately
+		{T, 0, 2}, // next woken sleeper
+		{T, 2, 0}, // pid 2 exits
+		{T, 0, 1}, // the preempted spinner resumes
+	}
+	if len(atT) != len(want) {
+		t.Fatalf("switches at T = %+v, want %+v", atT, want)
+	}
+	for i := range want {
+		if atT[i] != want[i] {
+			t.Errorf("switch[%d] at T = %+v, want %+v", i, atT[i], want[i])
+		}
+	}
+}
+
+func TestTieBreakGolden(t *testing.T) {
+	art, err := tieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "tiebreak_strace.golden", art.strace)
+	checkGolden(t, "tiebreak_state.golden", art.state)
+	checkGolden(t, "tiebreak_trace.golden", art.trace)
+}
+
+// TestTieBreakGoldenParallel re-runs the tie scenario on 1, 2 and 8
+// concurrent goroutines (the worker counts the session-layer determinism
+// suite uses) and requires every copy to reproduce the goldens byte for
+// byte: kernels share no mutable state, so the event queue must order
+// identically no matter how many siblings run beside it.
+func TestTieBreakGoldenParallel(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var wg sync.WaitGroup
+			results := make([]tieArtifacts, workers)
+			errs := make([]error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					results[w], errs[w] = tieScenario()
+				}(w)
+			}
+			wg.Wait()
+			for w := 0; w < workers; w++ {
+				if errs[w] != nil {
+					t.Fatal(errs[w])
+				}
+				checkGolden(t, "tiebreak_strace.golden", results[w].strace)
+				checkGolden(t, "tiebreak_state.golden", results[w].state)
+				checkGolden(t, "tiebreak_trace.golden", results[w].trace)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ package pmu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"kleb/internal/isa"
 )
@@ -116,6 +117,51 @@ type PMU struct {
 	// routes this to the telemetry sink; keeping it a plain callback keeps
 	// the pmu package free of higher-layer dependencies.
 	onOverflow func(counter int, fixed bool)
+
+	// activeProg/activeFixed cache, per privilege level, the bitmask of
+	// counters that are globally enabled, locally enabled and (for
+	// programmable counters) carry a table-resolved event; progEvent holds
+	// that resolution. They are recomputed on writes to the control
+	// registers, so AddCounts — the hottest call in the simulator, fed on
+	// every work slice — touches only live counters instead of probing all
+	// eight enable paths per call.
+	activeProg  [2]uint8
+	activeFixed [2]uint8
+	progEvent   [NumProgrammable]isa.Event
+}
+
+// privIdx maps a privilege level onto the active-mask index.
+func privIdx(priv isa.Priv) int {
+	if priv == isa.User {
+		return 0
+	}
+	return 1
+}
+
+// recomputeActive re-derives the active-counter masks from the register
+// file. Called whenever an enable-affecting MSR is written.
+func (p *PMU) recomputeActive() {
+	p.activeProg = [2]uint8{}
+	p.activeFixed = [2]uint8{}
+	for i := 0; i < NumProgrammable; i++ {
+		ev, ok := p.table.Lookup(p.evtsel[i])
+		if !ok {
+			continue
+		}
+		p.progEvent[i] = ev
+		for pi, priv := range [2]isa.Priv{isa.User, isa.Kernel} {
+			if p.progEnabled(i, priv) {
+				p.activeProg[pi] |= 1 << uint(i)
+			}
+		}
+	}
+	for i := 0; i < NumFixed; i++ {
+		for pi, priv := range [2]isa.Priv{isa.User, isa.Kernel} {
+			if p.fixedEnabled(i, priv) {
+				p.activeFixed[pi] |= 1 << uint(i)
+			}
+		}
+	}
 }
 
 // New creates a PMU resolving encodings through table.
@@ -144,12 +190,15 @@ func (p *PMU) WriteMSR(addr uint32, val uint64) error {
 		p.pmc[addr-MSRPmc0] = val & counterMask
 	case addr >= MSRPerfEvtSel0 && addr < MSRPerfEvtSel0+NumProgrammable:
 		p.evtsel[addr-MSRPerfEvtSel0] = val
+		p.recomputeActive()
 	case addr >= MSRFixedCtr0 && addr < MSRFixedCtr0+NumFixed:
 		p.fixed[addr-MSRFixedCtr0] = val & counterMask
 	case addr == MSRFixedCtrCtrl:
 		p.fixedCtrl = val
+		p.recomputeActive()
 	case addr == MSRGlobalCtrl:
 		p.globalCtrl = val
+		p.recomputeActive()
 	case addr == MSRGlobalOvf:
 		// Writing 1 bits clears the corresponding status bits.
 		p.globalStatus &^= val
@@ -228,17 +277,14 @@ func (p *PMU) fixedEnabled(i int, priv isa.Priv) bool {
 // AddCounts feeds a batch of ground-truth event counts, produced at the
 // given privilege level, into every enabled counter. Overflows set global
 // status bits and raise PMIs where requested. This is the single point
-// through which all simulated "hardware" event activity flows.
+// through which all simulated "hardware" event activity flows, so it walks
+// only the precomputed active-counter bitmasks: with nothing enabled (the
+// common unmonitored stretch) it is two loads and two branches.
 func (p *PMU) AddCounts(c isa.Counts, priv isa.Priv) {
-	for i := 0; i < NumProgrammable; i++ {
-		if !p.progEnabled(i, priv) {
-			continue
-		}
-		ev, ok := p.table.Lookup(p.evtsel[i])
-		if !ok {
-			continue
-		}
-		n := c[ev]
+	pi := privIdx(priv)
+	for m := p.activeProg[pi]; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros8(m)
+		n := c[p.progEvent[i]]
 		if n == 0 {
 			continue
 		}
@@ -248,10 +294,8 @@ func (p *PMU) AddCounts(c isa.Counts, priv isa.Priv) {
 			p.overflowProg(i)
 		}
 	}
-	for i := 0; i < NumFixed; i++ {
-		if !p.fixedEnabled(i, priv) {
-			continue
-		}
+	for m := p.activeFixed[pi]; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros8(m)
 		n := c[fixedEvents[i]]
 		if n == 0 {
 			continue

@@ -1,0 +1,61 @@
+// Package prof wires the standard runtime/pprof CPU and heap profilers
+// behind the -cpuprofile / -memprofile flags shared by the kleb and
+// experiments commands. Profiling is host-side observability only: it
+// never touches the simulation's virtual clock or RNG streams.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (when non-empty). The stop function is idempotent, so fatal
+// exit paths can flush profiles without double-stopping the happy path's
+// deferred call. With both paths empty, Start is a no-op and stop does
+// nothing.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	stop = func() error {
+		if done {
+			return nil
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			// Collect garbage first so the heap profile reflects live
+			// data, not whatever the last GC cycle left behind.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}
+	return stop, nil
+}

@@ -5,6 +5,9 @@
 #   2. go vet      the standard analyzer suite
 #   3. klebvet     the simulator's determinism/telemetry analyzers,
 #                  driven through go vet's -vettool protocol
+#   4. bench smoke the kernel/PMU micro-benchmarks compile and survive one
+#                  iteration (the full regression gate runs in CI through
+#                  scripts/bench_kernel.sh)
 #
 # Exits non-zero on the first failing stage. Run from anywhere inside
 # the repository.
@@ -30,5 +33,8 @@ klebvet_bin=$(mktemp -d)/klebvet
 trap 'rm -rf "$(dirname "$klebvet_bin")"' EXIT
 go build -o "$klebvet_bin" ./cmd/klebvet
 go vet -vettool="$klebvet_bin" ./...
+
+echo "==> kernel bench smoke (1 iteration)"
+go test ./internal/kernel ./internal/pmu -run 'NONE' -bench . -benchtime 1x >/dev/null
 
 echo "lint: OK"
