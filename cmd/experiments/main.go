@@ -18,7 +18,10 @@
 //	experiments suite    — characterization fingerprints of the synthetic suite
 //	experiments placement — 4-container placement study (§IV-B's rule, measured)
 //	experiments contention — online cross-core contention detection
-//	experiments all      — everything above
+//	experiments chaos    — fault-plan chaos sweep (-seeds plans; exits non-zero
+//	                       if any run hangs or loses samples unaccounted)
+//	experiments all      — everything above (chaos excluded: it is a CI gate,
+//	                       not a paper artifact)
 //
 // Every experiment fans its independent simulated runs over a worker pool
 // (-workers, default GOMAXPROCS); results are bit-identical for any pool
@@ -55,7 +58,7 @@ var stopProfiles = func() error { return nil }
 // fail reports a fatal error and exits, flushing profiles first.
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format, args...)
-	stopProfiles()
+	_ = stopProfiles() // best-effort flush on the way out
 	os.Exit(1)
 }
 
@@ -65,6 +68,7 @@ func main() {
 		rounds   = flag.Int("rounds", 25, "meltdown averaging rounds")
 		seed     = flag.Uint64("seed", 1, "base simulation seed")
 		workers  = flag.Int("workers", 0, "scheduler pool size for each experiment's runs (0 = GOMAXPROCS)")
+		seeds    = flag.Int("seeds", 32, "with the chaos command: how many fault plans to sweep")
 		mdPath   = flag.String("md", "", "also write a Markdown report of the paper-facing results to this file")
 		jsPath   = flag.String("json", "", "with the bench/telemetry-bench commands: write the JSON here")
 		trPath   = flag.String("trace", "", "write batch-level telemetry as Chrome trace-event JSON to this file")
@@ -74,7 +78,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a host heap profile (pprof) to this file on exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|all|md-only|bench|telemetry-bench|kernel-bench>\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|chaos|all|md-only|bench|telemetry-bench|kernel-bench>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -128,7 +132,7 @@ func main() {
 		}
 	}
 	run := func(name string) {
-		if err := dispatch(name, *trials, *rounds, *seed, *workers); err != nil {
+		if err := dispatch(name, *trials, *rounds, *seed, *workers, *seeds); err != nil {
 			fail("experiments %s: %v\n", name, err)
 		}
 	}
@@ -142,7 +146,7 @@ func main() {
 	run(cmd)
 }
 
-func dispatch(name string, trials, rounds int, seed uint64, workers int) error {
+func dispatch(name string, trials, rounds int, seed uint64, workers, seeds int) error {
 	w := os.Stdout
 	switch name {
 	case "table1", "fig4":
@@ -242,6 +246,16 @@ func dispatch(name string, trials, rounds int, seed uint64, workers int) error {
 			return err
 		}
 		res.Render(w)
+	case "chaos":
+		res, err := experiments.RunChaos(experiments.ChaosConfig{
+			Seeds: seeds, BaseSeed: seed, Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+		// The sweep is a gate: a violated invariant fails the command.
+		return res.Check()
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -284,12 +298,12 @@ func writeBench(path string, trials, rounds int, seed uint64, workers int) error
 	defer func() { os.Stdout = stdout }()
 	for _, name := range cases {
 		t0 := time.Now() //klebvet:allow walltime -- host-side benchmark harness timing
-		if err := dispatch(name, trials, rounds, seed, 1); err != nil {
+		if err := dispatch(name, trials, rounds, seed, 1, 0); err != nil {
 			return err
 		}
 		serial := time.Since(t0).Seconds() //klebvet:allow walltime -- host-side benchmark harness timing
 		t0 = time.Now()                    //klebvet:allow walltime -- host-side benchmark harness timing
-		if err := dispatch(name, trials, rounds, seed, workers); err != nil {
+		if err := dispatch(name, trials, rounds, seed, workers, 0); err != nil {
 			return err
 		}
 		parallel := time.Since(t0).Seconds() //klebvet:allow walltime -- host-side benchmark harness timing

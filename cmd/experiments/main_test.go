@@ -6,7 +6,7 @@ import (
 )
 
 func TestDispatchRejectsUnknownExperiment(t *testing.T) {
-	err := dispatch("fig99", 0, 0, 1, 0)
+	err := dispatch("fig99", 0, 0, 1, 0, 0)
 	if err == nil || !strings.Contains(err.Error(), "unknown") {
 		t.Errorf("got %v", err)
 	}

@@ -47,7 +47,7 @@ func exportBatchTelemetry(tracePath, metricsPath string) error {
 			return err
 		}
 		if err := render(f); err != nil {
-			f.Close()
+			_ = f.Close() // the render failure is the error worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -184,7 +184,7 @@ func resolveWorkload(name string) (kleb.Workload, error) {
 }
 
 func fatal(err error) {
-	stopProfiles()
+	_ = stopProfiles() // best-effort flush on the way out
 	fmt.Fprintln(os.Stderr, "kleb:", err)
 	os.Exit(1)
 }

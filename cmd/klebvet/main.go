@@ -1,7 +1,7 @@
 // Command klebvet is the simulator's static-analysis gate: it runs the
-// five internal/analysis analyzers (walltime, seededrand, maporder,
-// emitguard, lockdiscipline) over Go packages and reports determinism
-// and telemetry invariant violations.
+// six internal/analysis analyzers (walltime, seededrand, maporder,
+// emitguard, lockdiscipline, droppederr) over Go packages and reports
+// determinism and telemetry invariant violations.
 //
 // Two modes share one binary:
 //

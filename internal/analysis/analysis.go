@@ -67,7 +67,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full klebvet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, SeededRand, MapOrder, EmitGuard, LockDiscipline}
+	return []*Analyzer{Walltime, SeededRand, MapOrder, EmitGuard, LockDiscipline, DroppedErr}
 }
 
 // ByName resolves an analyzer by its Name, or nil.

@@ -32,10 +32,14 @@ func TestLockDiscipline(t *testing.T) {
 	analysistest.Run(t, analysis.LockDiscipline, "lockdiscipline")
 }
 
+func TestDroppedErr(t *testing.T) {
+	analysistest.Run(t, analysis.DroppedErr, "droppederr")
+}
+
 func TestAllAndByName(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("All() returned %d analyzers, want 6", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags the bug class PR 5 fixed in the K-LEB controller: a call
+// whose result set includes an error, used as a bare statement so the error
+// vanishes. In a simulator whose failure paths are themselves deterministic
+// artifacts (fault injection, degraded-run accounting), a silently dropped
+// error turns an injected fault into missing data with no trace. Writers
+// that cannot fail by contract (fmt formatting, bytes.Buffer,
+// strings.Builder) are exempt; everything else must handle the error or
+// discard it explicitly with `_ =`.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc: "flag expression statements that call a function returning an " +
+		"error and drop it on the floor; handle the error or assign it to _ " +
+		"(fmt and bytes.Buffer/strings.Builder writers are exempt — they " +
+		"cannot fail by contract)",
+	Run: runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !callReturnsError(pass, call) || droppedErrExempt(pass, call) {
+				return true
+			}
+			pass.Reportf(stmt.Pos(),
+				"%s returns an error that is silently discarded; handle it or assign it to _",
+				droppedErrCallName(call))
+			return true
+		})
+	}
+	return nil
+}
+
+// callReturnsError reports whether the call's result set includes error.
+func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// droppedErrExempt accepts callees that cannot meaningfully fail: anything
+// in package fmt (Fprintf to an in-memory buffer is the repo's renderer
+// idiom) and methods on bytes.Buffer / strings.Builder, whose Write methods
+// are documented to always return a nil error.
+func droppedErrExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pn := pkgNameOf(pass.TypesInfo, sel.X); pn != nil {
+		return pn.Imported().Path() == "fmt"
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// droppedErrCallName renders the callee for the diagnostic.
+func droppedErrCallName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if k := exprKey(f); k != "" {
+			return k
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

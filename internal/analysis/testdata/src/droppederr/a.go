@@ -1,0 +1,56 @@
+// Package droppederr exercises the droppederr analyzer: bare call
+// statements that drop an error result are findings; explicit `_ =`
+// discards, handled errors, fmt formatting and never-fail buffer writers
+// are not.
+package droppederr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func pure() int { return 1 }
+
+type dev struct{}
+
+func (d *dev) Close() error      { return nil }
+func (d *dev) Write(p []byte) (int, error) { return len(p), nil }
+
+func bad(d *dev) {
+	mayFail() // want `silently discarded`
+	pair()    // want `silently discarded`
+	d.Close() // want `silently discarded`
+	func() error { return nil }() // want `silently discarded`
+}
+
+func good(d *dev) {
+	_ = mayFail() // explicit discard is a decision, not an accident
+	if err := mayFail(); err != nil {
+		return
+	}
+	if _, err := pair(); err != nil {
+		return
+	}
+	pure() // no error in the result set
+
+	// fmt formatting and in-memory builders cannot fail by contract.
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "x=%d", 1)
+	buf.WriteString("tail")
+	var sb strings.Builder
+	sb.WriteString("tail")
+
+	// defer/go statements are not expression statements; the analyzer
+	// leaves cleanup-path convention to reviewers.
+	defer d.Close()
+}
+
+func allowed() {
+	mayFail() //klebvet:allow droppederr -- exercising the suppression path
+}

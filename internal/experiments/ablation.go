@@ -45,10 +45,11 @@ func (c *BufferAblationConfig) defaults() {
 // BufferAblationRow is one ring size's outcome.
 type BufferAblationRow struct {
 	Size int
-	// Collected counts samples kept; Pauses counts buffer-full safety
-	// stops (each stop suspends collection until the next drain).
+	// Collected counts samples kept; Dropped counts sampling periods lost
+	// to the buffer-full safety pause (collection suspends until the next
+	// drain but the period clock keeps running).
 	Collected int
-	Pauses    uint64
+	Dropped   uint64
 	// CoveragePct is collected samples over the periods the run offered
 	// (elapsed/period) — what the safety pauses cost in visibility.
 	CoveragePct float64
@@ -104,7 +105,7 @@ func RunBufferAblation(cfg BufferAblationConfig) (*BufferAblationResult, error) 
 		row := BufferAblationRow{
 			Size:        size,
 			Collected:   len(run.Result.Samples),
-			Pauses:      run.Result.Dropped,
+			Dropped:     run.Result.Dropped,
 			OverheadPct: trace.OverheadPct(base.Elapsed.Seconds(), run.Elapsed.Seconds()),
 		}
 		if expected := float64(run.Elapsed) / float64(cfg.Period); expected > 0 {
@@ -122,10 +123,10 @@ func RunBufferAblation(cfg BufferAblationConfig) (*BufferAblationResult, error) 
 func (r *BufferAblationResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Buffer-size ablation — %v sampling, %v drains (safety-pause behaviour)\n",
 		r.Period, r.DrainInterval)
-	fmt.Fprintf(w, "%10s %10s %10s %10s %10s\n", "ring", "collected", "pauses", "coverage%", "overhead%")
+	fmt.Fprintf(w, "%10s %10s %10s %10s %10s\n", "ring", "collected", "dropped", "coverage%", "overhead%")
 	for _, row := range r.Rows {
 		fmt.Fprintf(w, "%10d %10d %10d %10.1f %10.2f\n",
-			row.Size, row.Collected, row.Pauses, row.CoveragePct, row.OverheadPct)
+			row.Size, row.Collected, row.Dropped, row.CoveragePct, row.OverheadPct)
 	}
 }
 

@@ -436,11 +436,11 @@ func TestBufferAblation(t *testing.T) {
 		t.Fatal(err)
 	}
 	small, big := res.Rows[0], res.Rows[2]
-	if small.Pauses == 0 {
+	if small.Dropped == 0 {
 		t.Error("a 64-sample ring at 100µs with 50ms drains must trip the safety pause")
 	}
-	if big.Pauses != 0 {
-		t.Errorf("the shipped ring size must keep the pause dormant, paused %d times", big.Pauses)
+	if big.Dropped != 0 {
+		t.Errorf("the shipped ring size must keep the pause dormant, dropped %d periods", big.Dropped)
 	}
 	if big.CoveragePct < 85 {
 		t.Errorf("full-ring coverage %.1f%%", big.CoveragePct)

@@ -1,0 +1,254 @@
+// Package fault is the simulator's deterministic fault-injection layer
+// (DESIGN.md §9): a seeded Plan of module/kernel-boundary failures threaded
+// through the kernel the same way telemetry is — as a nil-able hook that
+// costs one predicted branch when disabled. A nil *Plan injects nothing,
+// consumes no randomness and charges no virtual time, so an uninjected run
+// is byte-identical to one on a kernel that has never heard of faults.
+//
+// A Plan carries its own ktime.Rand stream, split off the run seed, so the
+// injection decisions never perturb the kernel's scheduling/jitter noise:
+// two runs with the same seed and different plans diverge only where a
+// fault actually fires.
+//
+// The fault classes mirror the ways a real K-LEB deployment degrades:
+// ioctl failures (transient EINTR-style and permanent dead-module style),
+// ring-drain starvation (short reads), HRTimer misfires and jitter storms,
+// spurious PMIs, corrupted counter reads, mid-run module unload, and
+// filesystem write failures. Each injection is observable: the injecting
+// layer emits telemetry.FaultInjected with the kind strings below.
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"kleb/internal/ktime"
+)
+
+// Fault kind strings, used for telemetry (kleb_faults_injected_total{kind})
+// and trace events.
+const (
+	KindIoctlTransient = "ioctl-transient"
+	KindIoctlPermanent = "ioctl-permanent"
+	KindDrainStarve    = "drain-starve"
+	KindTimerMisfire   = "timer-misfire"
+	KindJitterStorm    = "jitter-storm"
+	KindSpuriousPMI    = "spurious-pmi"
+	KindReadCorrupt    = "read-corrupt"
+	KindModuleUnload   = "module-unload"
+	KindFSWrite        = "fs-write"
+)
+
+// ErrTransient marks an injected failure as retryable. Consumers classify
+// with IsTransient; everything else is treated as permanent.
+var ErrTransient = errors.New("transient fault")
+
+// IsTransient reports whether err is (or wraps) an injected transient
+// fault, the class the controller's bounded retry policy covers.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// ImplausibleDelta is the per-period delta threshold above which the K-LEB
+// module's plausibility screen discards a counter read as corrupted. Real
+// per-100µs deltas top out around 2^19 even on the hottest event; simulated
+// runs are far too short for a healthy 48-bit counter to accumulate 2^40,
+// so the screen has no false positives.
+const ImplausibleDelta = uint64(1) << 40
+
+// corruptBit is OR-ed into a corrupted counter read; it sits above
+// ImplausibleDelta so every injected corruption is detectable.
+const corruptBit = uint64(1) << 43
+
+// Plan is one run's fault schedule. The zero value (or a nil pointer)
+// injects nothing; FromSeed draws a randomized mix. All decision methods
+// are nil-receiver safe, mirroring telemetry.Sink's disabled-path contract.
+//
+//klebvet:nilsafe
+type Plan struct {
+	// PIoctl is the per-ioctl probability of a transient failure.
+	PIoctl float64
+	// IoctlFailFirst fails the first N ioctls with transient errors — the
+	// deterministic shape retry tests pin against.
+	IoctlFailFirst uint64
+	// IoctlDeadAfter, when non-zero, makes every ioctl after the N-th fail
+	// permanently (the module died mid-run).
+	IoctlDeadAfter uint64
+	// OnlyCmd, when non-zero, restricts ioctl injection to one command
+	// number (targeted tests: fail only KLEB_STATUS).
+	OnlyCmd uint32
+	// PStarve is the per-drain probability the module returns no samples
+	// despite having some buffered.
+	PStarve float64
+	// PMisfire is the per-period probability the sampling handler loses its
+	// capture (a missed timer interrupt).
+	PMisfire float64
+	// PJitter is the per-arm probability of a jitter storm: the timer's
+	// interrupt latency is multiplied 10–100×.
+	PJitter float64
+	// PSpuriousPMI is the per-timer-fire probability of raising a PMI no
+	// counter overflow asked for.
+	PSpuriousPMI float64
+	// PCorrupt is the per-counter-read probability of flipping a high bit
+	// in the returned value.
+	PCorrupt float64
+	// PFSWrite is the per-append probability the simulated filesystem
+	// rejects a write.
+	PFSWrite float64
+	// Unload, when non-zero, schedules the module's removal (rmmod) that
+	// long after the tool attaches.
+	Unload ktime.Duration
+
+	rng    *ktime.Rand
+	ioctls uint64 // ioctl decisions taken so far (drives FailFirst/DeadAfter)
+}
+
+// NewPlan returns an empty plan (no faults enabled) with its own decision
+// stream for seed; callers set the knobs they want.
+func NewPlan(seed uint64) *Plan {
+	return &Plan{rng: ktime.NewRand(seed ^ 0xfa417)}
+}
+
+// FromSeed derives a randomized chaos mix: roughly half the fault classes
+// enabled, each with a rate drawn from its plausible range. Identical seeds
+// yield identical plans — the chaos sweep's determinism rests on this.
+func FromSeed(seed uint64) *Plan {
+	p := NewPlan(seed)
+	r := p.rng
+	if r.Intn(2) == 0 {
+		p.PIoctl = 0.02 + 0.10*r.Float64()
+	}
+	if r.Intn(8) == 0 {
+		p.IoctlFailFirst = 1 + r.Uint64n(3)
+	}
+	if r.Intn(8) == 0 {
+		p.IoctlDeadAfter = 8 + r.Uint64n(64)
+	}
+	if r.Intn(2) == 0 {
+		p.PStarve = 0.05 + 0.20*r.Float64()
+	}
+	if r.Intn(2) == 0 {
+		p.PMisfire = 0.01 + 0.05*r.Float64()
+	}
+	if r.Intn(2) == 0 {
+		p.PJitter = 0.02 + 0.10*r.Float64()
+	}
+	if r.Intn(2) == 0 {
+		p.PSpuriousPMI = 0.01 + 0.05*r.Float64()
+	}
+	if r.Intn(2) == 0 {
+		p.PCorrupt = 0.01 + 0.05*r.Float64()
+	}
+	if r.Intn(2) == 0 {
+		p.PFSWrite = 0.05 + 0.20*r.Float64()
+	}
+	if r.Intn(8) == 0 {
+		p.Unload = ktime.Duration(20+r.Uint64n(200)) * ktime.Millisecond
+	}
+	return p
+}
+
+// chance draws one Bernoulli decision at probability prob.
+func (p *Plan) chance(prob float64) bool {
+	if p == nil {
+		return false
+	}
+	if p.rng == nil || prob <= 0 {
+		return false
+	}
+	return p.rng.Float64() < prob
+}
+
+// IoctlError decides whether this ioctl fails. It returns nil, a
+// transient error (IsTransient) or a permanent one. Each call advances the
+// plan's ioctl count, which drives the deterministic FailFirst/DeadAfter
+// shapes.
+func (p *Plan) IoctlError(device string, cmd uint32) error {
+	if p == nil {
+		return nil
+	}
+	if p.OnlyCmd != 0 && cmd != p.OnlyCmd {
+		return nil
+	}
+	p.ioctls++
+	if p.IoctlDeadAfter != 0 && p.ioctls > p.IoctlDeadAfter {
+		return fmt.Errorf("fault: device %q cmd %d: module not responding", device, cmd)
+	}
+	if p.ioctls <= p.IoctlFailFirst || p.chance(p.PIoctl) {
+		return fmt.Errorf("fault: device %q cmd %d: %w", device, cmd, ErrTransient)
+	}
+	return nil
+}
+
+// StarveDrain decides whether one buffer drain returns nothing despite
+// buffered samples (a short read).
+func (p *Plan) StarveDrain() bool {
+	if p == nil {
+		return false
+	}
+	return p.chance(p.PStarve)
+}
+
+// TimerMisfire decides whether one sampling period's capture is lost to a
+// missed timer interrupt.
+func (p *Plan) TimerMisfire() bool {
+	if p == nil {
+		return false
+	}
+	return p.chance(p.PMisfire)
+}
+
+// TimerExtraJitter decides whether one timer arm lands in a jitter storm;
+// when it does, the returned extra latency (10–100× base) is added to the
+// effective expiry.
+func (p *Plan) TimerExtraJitter(base ktime.Duration) (ktime.Duration, bool) {
+	if p == nil {
+		return 0, false
+	}
+	if !p.chance(p.PJitter) {
+		return 0, false
+	}
+	mult := 10 + p.rng.Uint64n(91) // 10–100×
+	return base * ktime.Duration(mult), true
+}
+
+// SpuriousPMI decides whether one timer fire additionally raises a PMI no
+// overflow asked for.
+func (p *Plan) SpuriousPMI() bool {
+	if p == nil {
+		return false
+	}
+	return p.chance(p.PSpuriousPMI)
+}
+
+// CorruptRead decides whether one counter read is corrupted; when it is,
+// the returned value has a high bit set that the module's plausibility
+// screen (ImplausibleDelta) is guaranteed to catch.
+func (p *Plan) CorruptRead(v uint64) (uint64, bool) {
+	if p == nil {
+		return v, false
+	}
+	if !p.chance(p.PCorrupt) {
+		return v, false
+	}
+	return v | corruptBit, true
+}
+
+// UnloadDelay returns how long after attach the module should be unloaded
+// (0 = never).
+func (p *Plan) UnloadDelay() ktime.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.Unload
+}
+
+// FSWriteError decides whether one filesystem append fails. Injected FS
+// errors are transient: a later retry of the same write may succeed.
+func (p *Plan) FSWriteError(name string) error {
+	if p == nil {
+		return nil
+	}
+	if !p.chance(p.PFSWrite) {
+		return nil
+	}
+	return fmt.Errorf("fault: write %s: %w", name, ErrTransient)
+}

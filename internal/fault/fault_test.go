@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"kleb/internal/ktime"
+)
+
+// TestNilPlanInjectsNothing pins the disabled-path contract: every decision
+// method on a nil *Plan is a no-op, so an uninjected run cannot diverge.
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if err := p.IoctlError("kleb", 1); err != nil {
+		t.Errorf("nil plan IoctlError = %v, want nil", err)
+	}
+	if p.StarveDrain() || p.TimerMisfire() || p.SpuriousPMI() {
+		t.Error("nil plan fired a probabilistic fault")
+	}
+	if extra, ok := p.TimerExtraJitter(ktime.Microsecond); ok || extra != 0 {
+		t.Errorf("nil plan TimerExtraJitter = %v, %v", extra, ok)
+	}
+	if v, bad := p.CorruptRead(42); bad || v != 42 {
+		t.Errorf("nil plan CorruptRead = %v, %v", v, bad)
+	}
+	if d := p.UnloadDelay(); d != 0 {
+		t.Errorf("nil plan UnloadDelay = %v, want 0", d)
+	}
+	if err := p.FSWriteError("/var/log/kleb.csv"); err != nil {
+		t.Errorf("nil plan FSWriteError = %v, want nil", err)
+	}
+}
+
+// TestFromSeedDeterministic pins that identical seeds yield identical plans
+// and identical decision streams — the chaos sweep's reproducibility.
+func TestFromSeedDeterministic(t *testing.T) {
+	drive := func(seed uint64) (Plan, []bool) {
+		p := FromSeed(seed)
+		var decisions []bool
+		for i := 0; i < 200; i++ {
+			decisions = append(decisions,
+				p.IoctlError("kleb", uint32(i%5+1)) != nil,
+				p.StarveDrain(),
+				p.TimerMisfire(),
+				p.SpuriousPMI(),
+			)
+			_, storm := p.TimerExtraJitter(ktime.Microsecond)
+			_, bad := p.CorruptRead(uint64(i))
+			decisions = append(decisions, storm, bad,
+				p.FSWriteError("f") != nil)
+		}
+		snapshot := *p
+		snapshot.rng = nil // compare knobs, not generator state
+		return snapshot, decisions
+	}
+	p1, d1 := drive(7)
+	p2, d2 := drive(7)
+	if p1 != p2 {
+		t.Errorf("FromSeed(7) knobs differ:\n%+v\n%+v", p1, p2)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Error("FromSeed(7) decision streams differ")
+	}
+	p3, _ := drive(8)
+	if p1 == p3 {
+		t.Error("FromSeed(7) and FromSeed(8) drew identical knobs (suspicious)")
+	}
+}
+
+// TestTransientClassification pins the retry policy's error taxonomy.
+func TestTransientClassification(t *testing.T) {
+	p := NewPlan(1)
+	p.IoctlFailFirst = 2
+	p.IoctlDeadAfter = 4
+	var errs []error
+	for i := 0; i < 6; i++ {
+		errs = append(errs, p.IoctlError("kleb", 1))
+	}
+	for i, want := range []struct {
+		fail, transient bool
+	}{
+		{true, true},   // FailFirst 1
+		{true, true},   // FailFirst 2
+		{false, false}, // healthy
+		{false, false}, // healthy (DeadAfter boundary is exclusive)
+		{true, false},  // dead
+		{true, false},  // dead
+	} {
+		got := errs[i]
+		if (got != nil) != want.fail {
+			t.Fatalf("ioctl %d: err = %v, want fail=%v", i+1, got, want.fail)
+		}
+		if got != nil && IsTransient(got) != want.transient {
+			t.Errorf("ioctl %d: IsTransient(%v) = %v, want %v", i+1, got, IsTransient(got), want.transient)
+		}
+	}
+}
+
+// TestOnlyCmdFilter pins targeted injection: only the named command fails,
+// and other commands do not advance the deterministic ioctl count.
+func TestOnlyCmdFilter(t *testing.T) {
+	p := NewPlan(3)
+	p.OnlyCmd = 5
+	p.IoctlFailFirst = 1
+	if err := p.IoctlError("kleb", 1); err != nil {
+		t.Errorf("cmd 1 failed under OnlyCmd=5: %v", err)
+	}
+	if err := p.IoctlError("kleb", 5); err == nil || !IsTransient(err) {
+		t.Errorf("first cmd-5 ioctl: err = %v, want transient", err)
+	}
+	if err := p.IoctlError("kleb", 5); err != nil {
+		t.Errorf("second cmd-5 ioctl: err = %v, want nil", err)
+	}
+}
+
+// TestCorruptReadIsImplausible pins that every injected corruption clears
+// the module's plausibility threshold, so no corruption slips through.
+func TestCorruptReadIsImplausible(t *testing.T) {
+	p := NewPlan(9)
+	p.PCorrupt = 1
+	v, bad := p.CorruptRead(12345)
+	if !bad {
+		t.Fatal("PCorrupt=1 did not corrupt")
+	}
+	if v-12345 < ImplausibleDelta {
+		t.Errorf("corrupted delta %d below ImplausibleDelta %d", v-12345, ImplausibleDelta)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"kleb/internal/fault"
 	"kleb/internal/ktime"
 )
 
@@ -35,10 +36,17 @@ func newFS(k *Kernel) *FS {
 func (k *Kernel) FS() *FS { return k.fs }
 
 // Append writes data to the end of the named file (creating it), charging
-// the VFS cost. It must be called from syscall context.
-func (f *FS) Append(name string, data []byte) {
+// the VFS cost. It must be called from syscall context. The VFS cost is
+// charged even on an injected failure (the kernel did the work of
+// rejecting the write); on error nothing is appended.
+func (f *FS) Append(name string, data []byte) error {
 	f.k.ChargeKernel(fsWriteBase + ktime.Duration(len(data))*fsWritePerByte)
+	if err := f.k.faults.FSWriteError(name); err != nil {
+		f.k.tel.FaultInjected(f.k.clock.Now(), fault.KindFSWrite)
+		return err
+	}
 	f.files[name] = append(f.files[name], data...)
+	return nil
 }
 
 // ReadFile returns a file's contents (nil if absent). Free: post-run

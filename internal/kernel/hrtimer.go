@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"kleb/internal/fault"
 	"kleb/internal/ktime"
 )
 
@@ -62,9 +63,16 @@ func (k *Kernel) CancelHRTimer(t *HRTimer) {
 	k.tel.TimerCancel(k.clock.Now(), t.id)
 }
 
-// timerJitter samples one interrupt-latency delay.
+// timerJitter samples one interrupt-latency delay. An injected jitter
+// storm multiplies the base latency 10–100× — the pathological interrupt
+// weather the paper warns about at sub-100µs periods.
 func (k *Kernel) timerJitter() ktime.Duration {
-	return k.rng.Jitter(k.costs.InterruptLatency, k.costs.TimerJitterRel)
+	j := k.rng.Jitter(k.costs.InterruptLatency, k.costs.TimerJitterRel)
+	if extra, storm := k.faults.TimerExtraJitter(j); storm {
+		k.tel.FaultInjected(k.clock.Now(), fault.KindJitterStorm)
+		j += extra
+	}
+	return j
 }
 
 // fireTimer runs one expired timer: a hardware interrupt charges its
@@ -81,6 +89,12 @@ func (k *Kernel) fireTimer(t *HRTimer) {
 	restart := false
 	if t.fn != nil {
 		restart = t.fn(k, t)
+	}
+	// An injected spurious PMI rides the interrupt path: the queued event is
+	// delivered (entry/exit costs, telemetry) by the next drainPMIs pass.
+	if k.faults.SpuriousPMI() {
+		k.tel.FaultInjected(k.clock.Now(), fault.KindSpuriousPMI)
+		k.pmis = append(k.pmis, pmiEvent{counter: 0, fixed: false, raised: k.clock.Now()})
 	}
 	k.ChargeKernel(k.costs.InterruptExit)
 	if restart && t.period > 0 {

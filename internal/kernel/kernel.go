@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"kleb/internal/cpu"
+	"kleb/internal/fault"
 	"kleb/internal/isa"
 	"kleb/internal/ktime"
 	"kleb/internal/telemetry"
@@ -101,6 +102,10 @@ type Kernel struct {
 	// tel is the observability sink (nil = disabled; every emit below is a
 	// nil-safe call that compiles to a branch).
 	tel *telemetry.Sink
+
+	// faults is the run's fault-injection plan (nil = none; every decision
+	// below is a nil-safe call that compiles to a branch, mirroring tel).
+	faults *fault.Plan
 
 	idleTime ktime.Duration
 }
@@ -183,6 +188,15 @@ func (k *Kernel) SetTelemetry(s *telemetry.Sink) {
 // Telemetry returns the attached sink (nil when disabled). Modules emit
 // their own events through it.
 func (k *Kernel) Telemetry() *telemetry.Sink { return k.tel }
+
+// SetFaults installs the run's fault-injection plan (nil disables
+// injection). Like SetTelemetry it must be called before the run starts so
+// every boundary of the run sees the same plan.
+func (k *Kernel) SetFaults(p *fault.Plan) { k.faults = p }
+
+// Faults returns the kernel's fault plan; nil (the common case) means no
+// injection, and every decision method on a nil plan is a cheap no-op.
+func (k *Kernel) Faults() *fault.Plan { return k.faults }
 
 // Spawn creates a top-level process. It is ready to run immediately.
 func (k *Kernel) Spawn(name string, prog Program) *Process {

@@ -802,9 +802,18 @@ func TestFilesystem(t *testing.T) {
 		if stage == 0 {
 			stage = 1
 			return OpSyscall{Name: "write", Fn: func(k *Kernel, p *Process) any {
-				k.FS().Append("/var/log/a.csv", []byte("hello,"))
-				k.FS().Append("/var/log/a.csv", []byte("world"))
-				k.FS().Append("/tmp/b", []byte{1, 2, 3})
+				for _, w := range []struct {
+					path string
+					data []byte
+				}{
+					{"/var/log/a.csv", []byte("hello,")},
+					{"/var/log/a.csv", []byte("world")},
+					{"/tmp/b", []byte{1, 2, 3}},
+				} {
+					if err := k.FS().Append(w.path, w.data); err != nil {
+						t.Errorf("append %s: %v", w.path, err)
+					}
+				}
 				return nil
 			}}
 		}

@@ -1,6 +1,10 @@
 package kernel
 
-import "fmt"
+import (
+	"fmt"
+
+	"kleb/internal/fault"
+)
 
 // Module is a loadable kernel module. K-LEB is the canonical example: it is
 // loaded into an already-running kernel (no patch, no reboot), registers a
@@ -73,5 +77,16 @@ func (k *Kernel) Ioctl(p *Process, device string, cmd uint32, arg any) (any, err
 	}
 	k.ChargeKernel(k.costs.IoctlBase)
 	k.tel.Ioctl(k.clock.Now(), device, cmd, int32(p.pid))
+	// Injected ioctl failures happen at the boundary, before the handler:
+	// the module never sees the command, so a retried transient cannot
+	// double-apply it.
+	if err := k.faults.IoctlError(device, cmd); err != nil {
+		kind := fault.KindIoctlPermanent
+		if fault.IsTransient(err) {
+			kind = fault.KindIoctlTransient
+		}
+		k.tel.FaultInjected(k.clock.Now(), kind)
+		return nil, err
+	}
 	return fn(k, p, cmd, arg)
 }

@@ -343,13 +343,13 @@ func TestDeterministicReplay(t *testing.T) {
 // --- ring buffer unit & property tests ---
 
 func TestRingBasicFIFO(t *testing.T) {
-	r := newRing(4)
+	r := newRing(4, 1)
 	for i := 0; i < 4; i++ {
-		if !r.push(monitor.Sample{Time: ktime.Time(i)}) {
+		if !r.push(ktime.Time(i), []uint64{uint64(i) * 10}) {
 			t.Fatalf("push %d failed", i)
 		}
 	}
-	if r.push(monitor.Sample{}) {
+	if r.push(99, []uint64{0}) {
 		t.Fatal("push into full ring succeeded")
 	}
 	if r.len() != 4 || r.free() != 0 {
@@ -359,11 +359,14 @@ func TestRingBasicFIFO(t *testing.T) {
 	if len(out) != 2 || out[0].Time != 0 || out[1].Time != 1 {
 		t.Fatalf("popN order: %v", out)
 	}
-	if !r.push(monitor.Sample{Time: 9}) {
+	if out[0].Deltas[0] != 0 || out[1].Deltas[0] != 10 {
+		t.Fatalf("popN deltas: %v", out)
+	}
+	if !r.push(9, []uint64{90}) {
 		t.Fatal("push after drain failed")
 	}
 	rest := r.popN(100)
-	if len(rest) != 3 || rest[2].Time != 9 {
+	if len(rest) != 3 || rest[2].Time != 9 || rest[2].Deltas[0] != 90 {
 		t.Fatalf("wraparound order: %v", rest)
 	}
 	if r.popN(1) != nil {
@@ -375,8 +378,27 @@ func TestRingBasicFIFO(t *testing.T) {
 }
 
 func TestRingDefaultCapacity(t *testing.T) {
-	if got := len(newRing(0).buf); got != DefaultBufferSamples {
+	if got := len(newRing(0, 1).buf); got != DefaultBufferSamples {
 		t.Errorf("default capacity %d", got)
+	}
+}
+
+func TestRingPopCopiesOutOfSlab(t *testing.T) {
+	// popN must hand back samples that survive the slot being reused:
+	// the returned deltas cannot alias the ring's backing slab.
+	r := newRing(2, 2)
+	scratch := []uint64{1, 2}
+	if !r.push(1, scratch) {
+		t.Fatal("push failed")
+	}
+	got := r.popN(1)
+	// Refill the now-free slot with different data via the same scratch.
+	scratch[0], scratch[1] = 77, 88
+	if !r.push(2, scratch) {
+		t.Fatal("second push failed")
+	}
+	if got[0].Deltas[0] != 1 || got[0].Deltas[1] != 2 {
+		t.Fatalf("popped sample mutated by slot reuse: %v", got[0].Deltas)
 	}
 }
 
@@ -384,25 +406,25 @@ func TestRingFIFOProperty(t *testing.T) {
 	// Any interleaving of pushes and pops preserves FIFO order and never
 	// loses or duplicates accepted samples.
 	prop := func(ops []uint8) bool {
-		r := newRing(8)
+		r := newRing(8, 1)
 		next := uint64(0)
 		wantNext := uint64(0)
 		for _, op := range ops {
 			if op%3 == 0 { // pop
 				for _, s := range r.popN(int(op%5) + 1) {
-					if uint64(s.Time) != wantNext {
+					if uint64(s.Time) != wantNext || s.Deltas[0] != wantNext {
 						return false
 					}
 					wantNext++
 				}
 			} else { // push
-				if r.push(monitor.Sample{Time: ktime.Time(next)}) {
+				if r.push(ktime.Time(next), []uint64{next}) {
 					next++
 				}
 			}
 		}
 		for _, s := range r.popN(r.len()) {
-			if uint64(s.Time) != wantNext {
+			if uint64(s.Time) != wantNext || s.Deltas[0] != wantNext {
 				return false
 			}
 			wantNext++

@@ -20,6 +20,7 @@ package kleb
 import (
 	"fmt"
 
+	"kleb/internal/fault"
 	"kleb/internal/isa"
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
@@ -75,7 +76,9 @@ type Status struct {
 	Available int
 	// Paused reports the buffer-full safety stop is in effect.
 	Paused bool
-	// Dropped counts buffer-full safety stops.
+	// Dropped counts sampling periods lost to the buffer-full safety pause:
+	// while paused the counters are gated off but the period clock keeps
+	// running, and every elapsed period is one dropped sample.
 	Dropped uint64
 	// Samples counts all samples ever captured.
 	Samples uint64
@@ -99,16 +102,52 @@ type Module struct {
 
 	tracked map[kernel.PID]bool
 
-	running  bool
-	paused   bool
-	done     bool
-	timer    *kernel.HRTimer
-	buf      *ring
-	last     []uint64 // per-cfg.Events counter snapshot
-	dropped  uint64
-	captured uint64
+	running   bool
+	paused    bool
+	done      bool
+	timer     *kernel.HRTimer
+	buf       *ring
+	last      []uint64 // per-cfg.Events counter snapshot
+	fires     uint64   // timer-handler invocations while running
+	dropped   uint64   // periods lost to the buffer-full safety pause
+	lostFault uint64   // periods lost to injected faults
+	captured  uint64
+
+	// Interrupt-handler scratch, sized at configure time so the hot path
+	// never allocates (enforced by TestCaptureSampleNoAlloc).
+	scratchCur, scratchDelta []uint64
 
 	switchProbe, forkProbe, exitProbe kernel.ProbeID
+}
+
+// Accounting is the module's period-conservation ledger. Every timer-handler
+// invocation while the module runs ends in exactly one bucket, so
+// Fires == Captured + Dropped + LostFault always holds — the invariant the
+// chaos sweep asserts across fault plans.
+type Accounting struct {
+	// Fires counts HRTimer handler invocations (plus final flushes that
+	// produced or attempted a sample).
+	Fires uint64
+	// Captured counts samples pushed into the ring.
+	Captured uint64
+	// Dropped counts periods lost to the buffer-full safety pause.
+	Dropped uint64
+	// LostFault counts periods lost to injected faults (timer misfires,
+	// corrupted counter reads, a full ring at final flush).
+	LostFault uint64
+	// Buffered is the number of samples still in the ring, not yet drained.
+	Buffered int
+}
+
+// Accounting returns the module's current ledger.
+func (m *Module) Accounting() Accounting {
+	return Accounting{
+		Fires:     m.fires,
+		Captured:  m.captured,
+		Dropped:   m.dropped,
+		LostFault: m.lostFault,
+		Buffered:  m.buflen(),
+	}
 }
 
 var _ kernel.Module = (*Module)(nil)
@@ -222,9 +261,11 @@ func (m *Module) configure(cfg ModuleConfig) error {
 	m.progEvents = prog
 	m.fixedEvents = fixed
 	m.evOrder = append([]isa.Event(nil), cfg.Events...)
-	m.buf = newRing(cfg.BufferSamples)
+	m.buf = newRing(cfg.BufferSamples, len(cfg.Events))
 	m.last = make([]uint64, len(cfg.Events))
-	m.dropped, m.captured = 0, 0
+	m.scratchCur = make([]uint64, len(cfg.Events))
+	m.scratchDelta = make([]uint64, len(cfg.Events))
+	m.fires, m.dropped, m.lostFault, m.captured = 0, 0, 0, 0
 	m.paused, m.done = false, false
 	return nil
 }
@@ -305,9 +346,17 @@ func (m *Module) onSwitch(k *kernel.Kernel, prev, next *kernel.Process) {
 			m.timer = nil
 		}
 	}
-	if next != nil && m.tracked[next.PID()] && !m.paused {
-		m.wrmsr(pmu.MSRGlobalCtrl, m.globalEnableMask())
-		m.timer = k.StartHRTimer(m.cfg.Period, m.cfg.Period, m.onTimer)
+	if next != nil && m.tracked[next.PID()] {
+		if !m.paused {
+			m.wrmsr(pmu.MSRGlobalCtrl, m.globalEnableMask())
+		}
+		// The timer is armed even while paused so elapsed periods keep being
+		// counted as dropped (period accounting, not just a pause flag). The
+		// m.timer == nil guard prevents double-arming when the probe fires
+		// for a tracked→tracked switch.
+		if m.timer == nil {
+			m.timer = k.StartHRTimer(m.cfg.Period, m.cfg.Period, m.onTimer)
+		}
 	}
 }
 
@@ -330,7 +379,7 @@ func (m *Module) onExit(k *kernel.Kernel, p *kernel.Process) {
 	}
 	delete(m.tracked, p.PID())
 	if len(m.tracked) == 0 {
-		m.captureSample(true)
+		m.finalFlush()
 		m.running = false
 		m.done = true
 		if m.timer != nil {
@@ -341,34 +390,67 @@ func (m *Module) onExit(k *kernel.Kernel, p *kernel.Process) {
 	}
 }
 
-// onTimer is the HRTimer handler: read counters, push deltas, pause when
-// the buffer fills.
+// onTimer is the HRTimer handler: every invocation while running is one
+// sampling period, accounted to exactly one of captured / dropped /
+// lost-to-fault so the ledger stays balanced under any fault plan.
 func (m *Module) onTimer(k *kernel.Kernel, t *kernel.HRTimer) bool {
-	if !m.running || m.paused {
+	if !m.running {
 		return false
 	}
-	if !m.captureSample(false) {
-		// Buffer full: engage the safety mechanism. Collection (counters
-		// and timer) stops until the controller drains the buffer.
+	m.fires++
+	if m.paused {
+		// Accounting mode: the counters are gated off but the timer keeps
+		// firing so each elapsed period is counted as dropped, turning the
+		// pause flag into a measure of how much data the safety mechanism
+		// cost.
+		m.dropped++
+		return true
+	}
+	if k.Faults().TimerMisfire() {
+		m.lostFault++
+		k.Telemetry().FaultInjected(k.Now(), fault.KindTimerMisfire)
+		return true
+	}
+	switch m.captureSample(false) {
+	case capCorrupt:
+		m.lostFault++
+	case capFull:
+		// Buffer full: engage the safety mechanism. Counting stops until
+		// the controller drains the buffer; the timer stays armed to keep
+		// the period ledger running.
 		m.paused = true
 		m.dropped++
 		m.wrmsr(pmu.MSRGlobalCtrl, 0)
-		m.timer = nil
 		k.Telemetry().BufferPause(k.Now(), m.dropped)
-		return false
 	}
 	return true
 }
 
-// captureSample reads all planned counters and appends one delta sample.
-// When final is set, an all-zero delta is suppressed. Returns false if the
-// ring was full.
-func (m *Module) captureSample(final bool) bool {
+// capResult classifies one captureSample attempt.
+type capResult int
+
+const (
+	// capPushed: a sample landed in the ring.
+	capPushed capResult = iota
+	// capSkipped: nothing to record (all-zero final flush, or unconfigured).
+	capSkipped
+	// capCorrupt: a counter read failed the plausibility screen; the sample
+	// was discarded and the last-snapshot left untouched, so the true counts
+	// surface in the next period's delta.
+	capCorrupt
+	// capFull: the ring had no space.
+	capFull
+)
+
+// captureSample reads all planned counters into preallocated scratch and
+// appends one delta sample. When final is set, an all-zero delta is
+// suppressed. The hot path allocates nothing: push copies the scratch into
+// the ring's slab.
+func (m *Module) captureSample(final bool) capResult {
 	if m.buf == nil {
-		return true
+		return capSkipped
 	}
-	deltas := make([]uint64, len(m.evOrder))
-	cur := make([]uint64, len(m.evOrder))
+	cur, deltas := m.scratchCur, m.scratchDelta
 	pi, fi := 0, 0
 	for i, ev := range m.evOrder {
 		switch ev {
@@ -379,7 +461,19 @@ func (m *Module) captureSample(final bool) bool {
 			cur[i] = m.rdmsr(pmu.MSRPmc0 + uint32(pi))
 			pi++
 		}
+		if v, bad := m.k.Faults().CorruptRead(cur[i]); bad {
+			cur[i] = v
+			m.k.Telemetry().FaultInjected(m.k.Now(), fault.KindReadCorrupt)
+		}
 		deltas[i] = (cur[i] - m.last[i]) & pmu.CounterMask()
+	}
+	// Plausibility screen: a delta this large cannot come from one sampling
+	// period on real hardware, so the sample is a corrupted read. Discard it
+	// without advancing m.last — the genuine counts land in the next delta.
+	for _, d := range deltas {
+		if d >= fault.ImplausibleDelta {
+			return capCorrupt
+		}
 	}
 	if final {
 		allZero := true
@@ -390,18 +484,34 @@ func (m *Module) captureSample(final bool) bool {
 			}
 		}
 		if allZero {
-			return true
+			return capSkipped
 		}
 	}
 	// The per-sample store into the kernel buffer.
 	m.k.ChargeKernel(300 * ktime.Nanosecond)
-	if !m.buf.push(monitor.Sample{Time: m.k.Now(), Deltas: deltas}) {
-		return false
+	if !m.buf.push(m.k.Now(), deltas) {
+		return capFull
 	}
 	copy(m.last, cur)
 	m.captured++
 	m.k.Telemetry().SampleCaptured(m.k.Now(), m.buf.len(), len(m.buf.buf))
-	return true
+	return capPushed
+}
+
+// finalFlush captures the trailing partial sample at lineage exit or stop,
+// keeping the period ledger balanced: a flush that produced (or attempted)
+// a sample counts as one more fire in the matching bucket.
+func (m *Module) finalFlush() {
+	switch m.captureSample(true) {
+	case capPushed:
+		m.fires++
+	case capCorrupt:
+		m.fires++
+		m.lostFault++
+	case capFull:
+		m.fires++
+		m.dropped++
+	}
 }
 
 // read drains up to max samples (CmdRead). Copying to user space costs
@@ -412,6 +522,13 @@ func (m *Module) read(max int) []monitor.Sample {
 	}
 	if max <= 0 {
 		max = m.buf.len()
+	}
+	if m.k.Faults().StarveDrain() {
+		// Injected drain starvation: the read returns empty as if the
+		// buffer copy raced collection. The samples stay buffered; only
+		// this drain's yield is lost.
+		m.k.Telemetry().FaultInjected(m.k.Now(), fault.KindDrainStarve)
+		return nil
 	}
 	out := m.buf.popN(max)
 	m.k.ChargeKernel(ktime.Duration(len(out)) * m.k.Costs().CopyPerSample)
@@ -432,7 +549,7 @@ func (m *Module) stop() {
 		return
 	}
 	if m.running {
-		m.captureSample(true)
+		m.finalFlush()
 	}
 	m.running = false
 	if m.timer != nil {

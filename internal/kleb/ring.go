@@ -1,36 +1,61 @@
 package kleb
 
-import "kleb/internal/monitor"
+import (
+	"kleb/internal/ktime"
+	"kleb/internal/monitor"
+)
 
 // ring is the fixed-capacity sample buffer the K-LEB module keeps in kernel
 // memory. The module fills it from the HRTimer interrupt handler; the
 // controller drains it with periodic read syscalls. When it fills up, the
 // module pauses collection (the paper's safety mechanism) instead of
 // overwriting data.
+//
+// The interrupt handler must not allocate (PR 4's zero-alloc discipline),
+// so every slot's delta slice is carved out of one slab allocated at
+// configure time and push copies into it; only popN — the controller's
+// cold syscall path — allocates, because drained samples outlive the slot
+// they came from.
 type ring struct {
-	buf   []monitor.Sample
-	head  int // next slot to pop
-	count int
+	buf     []monitor.Sample
+	backing []uint64 // one slab, width deltas per slot
+	head    int      // next slot to pop
+	count   int
 }
 
-func newRing(capacity int) *ring {
+// newRing builds a ring of capacity slots, each able to hold width deltas.
+func newRing(capacity, width int) *ring {
 	if capacity <= 0 {
 		capacity = DefaultBufferSamples
 	}
-	return &ring{buf: make([]monitor.Sample, capacity)}
+	r := &ring{buf: make([]monitor.Sample, capacity)}
+	if width > 0 {
+		r.backing = make([]uint64, capacity*width)
+		for i := range r.buf {
+			// Three-index slice: len 0, cap width — append stays in place.
+			r.buf[i].Deltas = r.backing[i*width : i*width : (i+1)*width]
+		}
+	}
+	return r
 }
 
-// push appends a sample; it reports false (and stores nothing) when full.
-func (r *ring) push(s monitor.Sample) bool {
+// push appends one sample, copying deltas into the slot's preallocated
+// backing; it reports false (and stores nothing) when full. len(deltas)
+// must not exceed the configured width.
+func (r *ring) push(t ktime.Time, deltas []uint64) bool {
 	if r.count == len(r.buf) {
 		return false
 	}
-	r.buf[(r.head+r.count)%len(r.buf)] = s
+	s := &r.buf[(r.head+r.count)%len(r.buf)]
+	s.Time = t
+	s.Deltas = append(s.Deltas[:0], deltas...)
 	r.count++
 	return true
 }
 
-// popN removes and returns up to n samples in FIFO order.
+// popN removes and returns up to n samples in FIFO order. The returned
+// samples own fresh delta storage (one batched allocation), so they stay
+// valid after the slots are reused.
 func (r *ring) popN(n int) []monitor.Sample {
 	if n > r.count {
 		n = r.count
@@ -38,9 +63,18 @@ func (r *ring) popN(n int) []monitor.Sample {
 	if n <= 0 {
 		return nil
 	}
-	out := make([]monitor.Sample, n)
+	total := 0
 	for i := 0; i < n; i++ {
-		out[i] = r.buf[(r.head+i)%len(r.buf)]
+		total += len(r.buf[(r.head+i)%len(r.buf)].Deltas)
+	}
+	out := make([]monitor.Sample, n)
+	flat := make([]uint64, 0, total)
+	for i := 0; i < n; i++ {
+		s := &r.buf[(r.head+i)%len(r.buf)]
+		start := len(flat)
+		flat = append(flat, s.Deltas...)
+		out[i] = monitor.Sample{Time: s.Time, Deltas: flat[start:len(flat):len(flat)]}
+		s.Deltas = s.Deltas[:0] // slot keeps its slab segment for reuse
 	}
 	r.head = (r.head + n) % len(r.buf)
 	r.count -= n

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"kleb/internal/fault"
 	"kleb/internal/isa"
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
@@ -25,9 +26,10 @@ type Tool struct {
 	// LogWriter, if set, additionally receives the CSV log as it is written.
 	LogWriter io.Writer
 
-	cfg    monitor.Config
-	module *Module
-	ctl    *Controller
+	cfg     monitor.Config
+	module  *Module
+	ctl     *Controller
+	ctlProc *kernel.Process
 }
 
 var _ monitor.Tool = (*Tool)(nil)
@@ -69,8 +71,46 @@ func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, _ kernel.Progr
 	}
 	t.ctl.LogPath = t.LogPath
 	t.ctl.LogWriter = t.LogWriter
-	m.Kernel().Spawn("kleb-controller", t.ctl)
+	t.ctlProc = m.Kernel().Spawn("kleb-controller", t.ctl)
+	// An armed module-unload fault rips the module out mid-run (rmmod while
+	// collecting): subsequent controller ioctls hit a missing device, which
+	// is exactly the permanent-failure path the hardening must survive.
+	if d := m.Kernel().Faults().UnloadDelay(); d > 0 {
+		m.Kernel().StartHRTimer(d, 0, func(k *kernel.Kernel, _ *kernel.HRTimer) bool {
+			if _, ok := k.Module(t.module.ModuleName()); ok {
+				k.Telemetry().FaultInjected(k.Now(), fault.KindModuleUnload)
+				// The module was just confirmed present, so the unload
+				// cannot miss; a no-op failure would only mean the fault
+				// fizzled.
+				_ = k.UnloadModule(t.module.ModuleName())
+			}
+			return false
+		})
+	}
 	return nil
+}
+
+// ControllerExited reports whether the controller process ran to an exit
+// (clean or abort). Chaos runs assert this to prove the hardened controller
+// terminates under every fault plan.
+func (t *Tool) ControllerExited() bool {
+	return t.ctlProc != nil && t.ctlProc.Exited()
+}
+
+// Retries exposes the controller's transient-retry count.
+func (t *Tool) Retries() uint64 {
+	if t.ctl == nil {
+		return 0
+	}
+	return t.ctl.Retries
+}
+
+// Accounting exposes the module's period-conservation ledger.
+func (t *Tool) Accounting() Accounting {
+	if t.module == nil {
+		return Accounting{}
+	}
+	return t.module.Accounting()
 }
 
 // Collect implements monitor.Tool: sample series plus exact totals (sums of
@@ -84,6 +124,13 @@ func (t *Tool) Collect() monitor.Result {
 	}
 	if t.module != nil {
 		res.Dropped = t.module.dropped
+		res.LostToFault = t.module.lostFault
+	}
+	if t.ctl != nil {
+		res.Degraded = t.ctl.Degraded()
+		if err := t.ctl.FaultError(); err != nil {
+			res.Fault = err.Error()
+		}
 	}
 	for i, ev := range t.cfg.Events {
 		var sum uint64

@@ -89,9 +89,20 @@ type Result struct {
 	// Estimated marks totals derived from sampling/multiplexing estimation
 	// rather than direct counting.
 	Estimated bool
-	// Dropped counts buffer-full safety stops (each stop suspends
-	// collection until the controller frees space).
+	// Dropped counts sampling periods lost to the buffer-full safety pause
+	// (the pause suspends counting, not the period clock, so every elapsed
+	// period while paused is one dropped period).
 	Dropped uint64
+	// LostToFault counts sampling periods lost to injected faults (timer
+	// misfires, corrupted counter reads). Zero on uninjected runs.
+	LostToFault uint64
+	// Degraded marks a run that finished with partial data: the collector
+	// aborted on an unrecoverable fault or recorded log-write failures.
+	// The samples present are still trustworthy.
+	Degraded bool
+	// Fault describes the first unrecoverable fault of a degraded run (""
+	// when the run was clean).
+	Fault string
 }
 
 // SeriesFor extracts one event's delta series.

@@ -24,7 +24,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			_ = f.Close() // the start failure is the error worth reporting
 			return nil, err
 		}
 		cpuFile = f
@@ -50,7 +50,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			// data, not whatever the last GC cycle left behind.
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				f.Close()
+				_ = f.Close() // the write failure is the error worth reporting
 				return err
 			}
 			return f.Close()

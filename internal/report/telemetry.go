@@ -37,6 +37,17 @@ func (r *Writer) Telemetry(s *telemetry.Sink) {
 	r.printf("| K-LEB ring high water | %d |\n", reg.RingHighWater.Value())
 	r.printf("| K-LEB ring pauses / drained | %d / %d |\n",
 		reg.RingPauses.Value(), reg.RingDrained.Value())
+	// Fault-layer rows render only when something fired, so fault-free
+	// reports are unchanged (mirroring the Prometheus exporter).
+	for _, kind := range reg.FaultsInjected.Labels() {
+		r.printf("| faults injected (%s) | %d |\n", kind, reg.FaultsInjected.Get(kind))
+	}
+	if reg.CtlRetries.Value() > 0 {
+		r.printf("| controller transient retries | %d |\n", reg.CtlRetries.Value())
+	}
+	if reg.RunsDegraded.Value() > 0 {
+		r.printf("| degraded runs (partial data) | %d |\n", reg.RunsDegraded.Value())
+	}
 	for _, stage := range reg.StageNs.Labels() {
 		r.printf("| stage %s (virtual ns) | %d |\n", stage, reg.StageNs.Get(stage))
 	}

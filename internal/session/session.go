@@ -10,6 +10,7 @@ package session
 import (
 	"fmt"
 
+	"kleb/internal/fault"
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
@@ -49,6 +50,10 @@ type Spec struct {
 	// OnBoot, so every event of the run is captured. It must be private to
 	// this run: a Sink is single-owner and never synchronized.
 	Telemetry *telemetry.Sink
+	// Faults, when set, is the run's fault-injection plan (see
+	// internal/fault). Like Telemetry it is installed at boot and must be
+	// private to this run: a Plan carries mutable decision state.
+	Faults *fault.Plan
 }
 
 // Use wraps an existing tool instance as a NewTool factory, for single-run
@@ -120,6 +125,9 @@ func (s *Session) Boot() (*machine.Machine, error) {
 	m := machine.Boot(s.spec.Profile, s.spec.Seed)
 	if s.spec.Telemetry != nil {
 		m.Kernel().SetTelemetry(s.spec.Telemetry)
+	}
+	if s.spec.Faults != nil {
+		m.Kernel().SetFaults(s.spec.Faults)
 	}
 	if s.spec.OnBoot != nil {
 		s.spec.OnBoot(m)

@@ -140,5 +140,16 @@ func (c *chromeWriter) event(e Event) {
 		c.head("i", "run", chromePidScheduler, e.PID, ns)
 		c.printf(",\"s\":\"t\",\"args\":{\"index\":%d,\"failed\":%s}", e.Arg1, boolStr(e.Arg2))
 		c.end()
+	case KindFault:
+		c.instant("fault:"+e.Name, 0, ns)
+		c.end()
+	case KindCtlRetry:
+		c.instant("ctl-retry:"+e.Name, 0, ns)
+		c.printf(",\"args\":{\"attempt\":%d}", e.Arg1)
+		c.end()
+	case KindDegraded:
+		c.instant("run-degraded", 0, ns)
+		c.printf(",\"args\":{\"reason\":%q}", e.Name)
+		c.end()
 	}
 }

@@ -28,11 +28,22 @@ func (s *Sink) WritePrometheus(w io.Writer) error {
 	pw.vec("kleb_ioctls_total", "Module ioctls, by device.", "device", &r.Ioctls)
 	pw.counter("kleb_samples_total", "Samples captured into the K-LEB kernel ring.", &r.Samples)
 	pw.gauge("kleb_ring_high_water", "Peak K-LEB kernel ring occupancy, samples.", &r.RingHighWater)
-	pw.counter("kleb_ring_pauses_total", "Buffer-full safety stops (dropped sampling periods).", &r.RingPauses)
+	pw.counter("kleb_ring_pauses_total", "Buffer-full safety-pause engagements (dropped periods are counted per run).", &r.RingPauses)
 	pw.counter("kleb_ring_drained_total", "Samples drained from the kernel ring by the controller.", &r.RingDrained)
 	pw.vec("kleb_stage_ns_total", "Cumulative virtual ns per session lifecycle stage.", "stage", &r.StageNs)
 	pw.counter("kleb_runs_total", "Scheduler batch runs completed.", &r.Runs)
 	pw.counter("kleb_run_failures_total", "Scheduler batch runs that failed.", &r.RunFailures)
+	// The fault families appear only when the fault layer actually fired, so
+	// the exposition of an uninjected run has no trace of the layer.
+	if len(r.FaultsInjected.Labels()) > 0 {
+		pw.vec("kleb_faults_injected_total", "Injected faults, by kind (internal/fault).", "kind", &r.FaultsInjected)
+	}
+	if r.CtlRetries.Value() > 0 {
+		pw.counter("kleb_ctl_retries_total", "K-LEB controller retries of transient ioctl failures.", &r.CtlRetries)
+	}
+	if r.RunsDegraded.Value() > 0 {
+		pw.counter("kleb_runs_degraded_total", "Runs that finished degraded (partial data).", &r.RunsDegraded)
+	}
 	return pw.err
 }
 

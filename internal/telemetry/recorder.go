@@ -50,6 +50,14 @@ const (
 	// KindRun: one scheduler batch run completed. PID = logical worker
 	// slot, Arg1 = batch index, Arg2 = 1 on failure.
 	KindRun
+	// KindFault: the fault layer injected one failure. Name = fault kind
+	// (see internal/fault's Kind* strings).
+	KindFault
+	// KindCtlRetry: the K-LEB controller retried a transient ioctl failure.
+	// Name = operation, Arg1 = consecutive attempt number.
+	KindCtlRetry
+	// KindDegraded: a run finished degraded (partial data). Name = reason.
+	KindDegraded
 
 	numKinds
 )
@@ -71,6 +79,9 @@ var kindNames = [numKinds]string{
 	KindDrain:        "kleb-drain",
 	KindMeta:         "meta",
 	KindRun:          "run",
+	KindFault:        "fault",
+	KindCtlRetry:     "ctl-retry",
+	KindDegraded:     "run-degraded",
 }
 
 // String returns the kind's stable wire name (used in both exporters).

@@ -240,6 +240,13 @@ type Registry struct {
 	// worker-count independent; per-slot occupancy lives in the trace.
 	Runs        Counter
 	RunFailures Counter
+
+	// Fault-injection layer activity (internal/fault). All three stay zero
+	// on uninjected runs, and the exporters render them only when nonzero,
+	// so fault-free artifacts are unchanged by the layer's existence.
+	FaultsInjected CounterVec // by fault kind
+	CtlRetries     Counter    // controller transient-ioctl retries
+	RunsDegraded   Counter    // runs that finished with partial data
 }
 
 // Merge folds o into r. All merges are commutative and associative, so a
@@ -258,6 +265,7 @@ func (r *Registry) Merge(o *Registry) error {
 		mergeVec("Syscalls", &r.Syscalls, &o.Syscalls),
 		mergeVec("Ioctls", &r.Ioctls, &o.Ioctls),
 		mergeVec("StageNs", &r.StageNs, &o.StageNs),
+		mergeVec("FaultsInjected", &r.FaultsInjected, &o.FaultsInjected),
 	)
 	r.TimerArms.Add(o.TimerArms.n)
 	r.TimerFires.Add(o.TimerFires.n)
@@ -272,6 +280,8 @@ func (r *Registry) Merge(o *Registry) error {
 	r.RingDrained.Add(o.RingDrained.n)
 	r.Runs.Add(o.Runs.n)
 	r.RunFailures.Add(o.RunFailures.n)
+	r.CtlRetries.Add(o.CtlRetries.n)
+	r.RunsDegraded.Add(o.RunsDegraded.n)
 	return err
 }
 

@@ -236,8 +236,9 @@ func (s *Sink) SampleCaptured(now ktime.Time, depth, capacity int) {
 	s.rec.record(Event{Time: now, Kind: KindSample, Arg1: uint64(depth), Arg2: uint64(capacity)})
 }
 
-// BufferPause records a buffer-full safety stop (a dropped sampling
-// period).
+// BufferPause records a buffer-full safety-pause engagement; dropped is
+// the module's cumulative count of sampling periods lost so far (periods
+// keep elapsing, and being counted, while the pause holds).
 func (s *Sink) BufferPause(now ktime.Time, dropped uint64) {
 	if s == nil {
 		return
@@ -254,6 +255,37 @@ func (s *Sink) BufferDrain(now ktime.Time, n, remaining int) {
 	}
 	s.reg.RingDrained.Add(uint64(n))
 	s.rec.record(Event{Time: now, Kind: KindDrain, Arg1: uint64(n), Arg2: uint64(remaining)})
+}
+
+// FaultInjected records the fault layer injecting one failure of the given
+// kind (internal/fault's Kind* strings). Every injection is observable:
+// the chaos invariant is only checkable because nothing fails silently.
+func (s *Sink) FaultInjected(now ktime.Time, kind string) {
+	if s == nil {
+		return
+	}
+	s.reg.FaultsInjected.AddKeyed("kind", kind, 1)
+	s.rec.record(Event{Time: now, Kind: KindFault, Name: kind})
+}
+
+// CtlRetry records the K-LEB controller retrying op after a transient
+// failure; attempt is the consecutive-failure count for this op.
+func (s *Sink) CtlRetry(now ktime.Time, op string, attempt uint64) {
+	if s == nil {
+		return
+	}
+	s.reg.CtlRetries.Add(1)
+	s.rec.record(Event{Time: now, Kind: KindCtlRetry, Name: op, Arg1: attempt})
+}
+
+// RunDegraded records a run finishing with partial data (controller abort
+// or unrecoverable write failures). Emitted at most once per run.
+func (s *Sink) RunDegraded(now ktime.Time, reason string) {
+	if s == nil {
+		return
+	}
+	s.reg.RunsDegraded.Add(1)
+	s.rec.record(Event{Time: now, Kind: KindDegraded, Name: reason})
 }
 
 // ProcessName records pid's human name for trace viewers (Perfetto thread

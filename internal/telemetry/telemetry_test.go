@@ -33,7 +33,9 @@ func emitOneOfEach(s *Sink) {
 func TestNilSinkIsSafeAndEmpty(t *testing.T) {
 	var s *Sink
 	emitOneOfEach(s) // must not panic
-	s.Merge(New())
+	if err := s.Merge(New()); err != nil {
+		t.Errorf("nil sink Merge: %v", err)
+	}
 	if s.Enabled() {
 		t.Error("nil sink reports Enabled")
 	}
@@ -150,7 +152,9 @@ func TestRegistryMergeIsCommutative(t *testing.T) {
 		sinks[2].SampleCaptured(6, 9, 16)
 		total := MetricsOnly()
 		for _, i := range order {
-			total.Merge(sinks[i])
+			if err := total.Merge(sinks[i]); err != nil {
+				t.Fatalf("merge %d: %v", i, err)
+			}
 		}
 		return total
 	}

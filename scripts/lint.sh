@@ -8,6 +8,9 @@
 #   4. bench smoke the kernel/PMU micro-benchmarks compile and survive one
 #                  iteration (the full regression gate runs in CI through
 #                  scripts/bench_kernel.sh)
+#   5. chaos smoke one seeded fault plan runs end to end and satisfies the
+#                  period-conservation invariant (the full 32-plan sweep
+#                  runs in CI's chaos job)
 #
 # Exits non-zero on the first failing stage. Run from anywhere inside
 # the repository.
@@ -36,5 +39,8 @@ go vet -vettool="$klebvet_bin" ./...
 
 echo "==> kernel bench smoke (1 iteration)"
 go test ./internal/kernel ./internal/pmu -run 'NONE' -bench . -benchtime 1x >/dev/null
+
+echo "==> chaos smoke (1 fault plan)"
+go run ./cmd/experiments -seeds 1 chaos >/dev/null
 
 echo "lint: OK"
