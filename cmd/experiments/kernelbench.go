@@ -59,13 +59,13 @@ type kernelBench struct {
 }
 
 // benchEventTable mirrors the kernel test rig's PMU event table.
-func benchEventTable() pmu.EventTable {
-	return pmu.EventTable{
+func benchEventTable() *pmu.EventTable {
+	return pmu.TableFromClasses("bench", map[pmu.Encoding]isa.Event{
 		{EventSel: 0x2E, Umask: 0x41}: isa.EvLLCMisses,
 		{EventSel: 0x2E, Umask: 0x4F}: isa.EvLLCRefs,
 		{EventSel: 0x0B, Umask: 0x01}: isa.EvLoads,
 		{EventSel: 0x0B, Umask: 0x02}: isa.EvStores,
-	}
+	})
 }
 
 // benchKernel builds the same machine the internal/kernel benchmarks use:

@@ -18,6 +18,9 @@
 //	experiments suite    — characterization fingerprints of the synthetic suite
 //	experiments placement — 4-container placement study (§IV-B's rule, measured)
 //	experiments contention — online cross-core contention detection
+//	experiments multiplex — perf stat scaled estimates vs exact K-LEB counts
+//	                       as the event mix outgrows the counters (§II-B)
+//	experiments events   — print each machine's architectural event table
 //	experiments chaos    — fault-plan chaos sweep (-seeds plans; exits non-zero
 //	                       if any run hangs or loses samples unaccounted)
 //	experiments all      — everything above (chaos excluded: it is a CI gate,
@@ -46,6 +49,7 @@ import (
 	"time"
 
 	"kleb/internal/experiments"
+	"kleb/internal/pmu"
 	"kleb/internal/prof"
 	"kleb/internal/report"
 	"kleb/internal/session"
@@ -78,7 +82,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a host heap profile (pprof) to this file on exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|chaos|all|md-only|bench|telemetry-bench|kernel-bench>\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|multiplex|events|chaos|all|md-only|bench|telemetry-bench|kernel-bench>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -137,7 +141,7 @@ func main() {
 		}
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "timers", "sweep", "buffers", "drains", "colocate", "suite", "placement", "contention"} {
+		for _, name := range []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "timers", "sweep", "buffers", "drains", "colocate", "suite", "placement", "contention", "multiplex"} {
 			run(name)
 			fmt.Println()
 		}
@@ -246,6 +250,21 @@ func dispatch(name string, trials, rounds int, seed uint64, workers, seeds int) 
 			return err
 		}
 		res.Render(w)
+	case "multiplex":
+		res, err := experiments.RunMultiplex(experiments.MultiplexConfig{Seed: seed, Workers: workers})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+		// Like chaos, the sweep doubles as a gate on the multiplexing model.
+		return res.Check()
+	case "events":
+		for i, arch := range pmu.Arches() {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			pmu.MustTable(arch).Render(w)
+		}
 	case "chaos":
 		res, err := experiments.RunChaos(experiments.ChaosConfig{
 			Seeds: seeds, BaseSeed: seed, Workers: workers,
@@ -385,6 +404,12 @@ func writeMarkdownReport(path string, trials, rounds int, seed uint64, workers i
 		return err
 	}
 	r.Sweep(sw)
+
+	mx, err := experiments.RunMultiplex(experiments.MultiplexConfig{Seed: seed, Workers: workers})
+	if err != nil {
+		return err
+	}
+	r.Multiplex(mx)
 	// Batch telemetry summary (present only when -trace/-metrics installed a
 	// process-wide sink before this report ran).
 	r.Telemetry(session.BatchTelemetry())

@@ -7,6 +7,8 @@
 //	kleb -workload linpack -events ARITH.MUL,MEM_INST_RETIRED.LOADS,MEM_INST_RETIRED.STORES -period 10ms
 //	kleb -workload meltdown-attack -period 100us -events LLC_REFERENCES,LLC_MISSES,INST_RETIRED
 //	kleb -workload docker:nginx -events LLC_MISSES,INST_RETIRED -baseline
+//	kleb -events INST_RETIRED,r412e,UNC_M_CAS_COUNT.RD   # raw perf-style encodings mix in
+//	kleb -machine cascadelake events                     # print the machine's event table
 package main
 
 import (
@@ -27,7 +29,7 @@ var stopProfiles = func() error { return nil }
 func main() {
 	var (
 		workloadName = flag.String("workload", "quickstart", "workload: linpack[:N] | matmul | dgemm | docker:IMAGE | meltdown-victim | meltdown-attack | quickstart")
-		eventsFlag   = flag.String("events", "INST_RETIRED,LLC_MISSES,MEM_INST_RETIRED.LOADS,MEM_INST_RETIRED.STORES", "comma-separated event list")
+		eventsFlag   = flag.String("events", "INST_RETIRED,LLC_MISSES,MEM_INST_RETIRED.LOADS,MEM_INST_RETIRED.STORES", "comma-separated event list (names or raw rUUEE encodings)")
 		periodFlag   = flag.Duration("period", 10*time.Millisecond, "sampling period (K-LEB sustains 100µs)")
 		toolFlag     = flag.String("tool", "kleb", "tool: kleb | perf-stat | perf-record | papi | limit")
 		machineFlag  = flag.String("machine", "nehalem", "machine: nehalem | cascadelake | limit-legacy")
@@ -46,6 +48,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// `kleb events` prints the selected machine's architectural event table
+	// and exits; all monitoring flags except -machine are ignored.
+	if flag.Arg(0) == "events" {
+		if err := kleb.WriteEventTable(os.Stdout, kleb.MachineKind(*machineFlag)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	stop, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)
@@ -62,12 +73,19 @@ func main() {
 		fatal(err)
 	}
 	var events []kleb.Event
+	var rawEvents []kleb.Encoding
 	for _, name := range strings.Split(*eventsFlag, ",") {
-		ev, ok := kleb.EventByName(strings.TrimSpace(name))
-		if !ok {
-			fatal(fmt.Errorf("unknown event %q", name))
+		name = strings.TrimSpace(name)
+		if ev, ok := kleb.EventByName(name); ok {
+			events = append(events, ev)
+			continue
 		}
-		events = append(events, ev)
+		// Not a known mnemonic: try perf's raw rUUEE syntax before giving up.
+		if enc, err := kleb.ParseRawEvent(name); err == nil {
+			rawEvents = append(rawEvents, enc)
+			continue
+		}
+		fatal(fmt.Errorf("unknown event %q (names: `kleb events`; raw syntax: rUUEE)", name))
 	}
 
 	opts := kleb.CollectOptions{
@@ -75,6 +93,7 @@ func main() {
 		Seed:          *seedFlag,
 		Workload:      w,
 		Events:        events,
+		RawEvents:     rawEvents,
 		Period:        kleb.Duration(periodFlag.Nanoseconds()),
 		Tool:          kleb.ToolKind(*toolFlag),
 		Baseline:      *baseline,
@@ -134,6 +153,9 @@ func main() {
 		suffix := ""
 		if report.Estimated {
 			suffix = " (estimated)"
+			if s := report.Scale[ev]; s > 1 {
+				suffix = fmt.Sprintf(" (estimated, scaled x%.2f)", s)
+			}
 		}
 		fmt.Printf("  %-28s %15d%s\n", ev, report.Totals[ev], suffix)
 	}

@@ -176,6 +176,20 @@ func (c *Core) Execute(b isa.Block) Costed {
 	}
 	counts[isa.EvCycles] = cycles
 	counts[isa.EvRefCycles] = cycles
+	// Stalls are the cycles beyond pipelined execution: memory stalls plus
+	// mispredict recovery plus flush latency — derived, not resimulated, so
+	// the cost model stays single-sourced.
+	counts[isa.EvStallCycles] = memStall +
+		missCount*c.cfg.BranchMissPenalty +
+		b.Flushes*c.cfg.FlushCycles
+	// IMC traffic: every LLC miss is one DRAM line read; writebacks are the
+	// store-share of those misses (a dirty line evicted per missed store, to
+	// first order). Pure arithmetic on counts already simulated.
+	llcMiss := counts[isa.EvLLCMisses]
+	counts[isa.EvCASReads] = llcMiss
+	if mem := b.Loads + b.Stores; mem > 0 {
+		counts[isa.EvCASWrites] = (llcMiss*b.Stores + mem/2) / mem
+	}
 
 	return Costed{Counts: counts, Time: c.cfg.Freq.Duration(cycles), Priv: b.Priv}
 }

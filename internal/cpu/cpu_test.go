@@ -28,7 +28,7 @@ func testConfig() Config {
 }
 
 func testCore(seed uint64) *Core {
-	return New(testConfig(), pmu.New(pmu.EventTable{}), ktime.NewRand(seed))
+	return New(testConfig(), pmu.New(nil), ktime.NewRand(seed))
 }
 
 func TestExecuteConservesDeclaredCounts(t *testing.T) {
@@ -135,8 +135,8 @@ func TestPrefetchHidesStreamLatencyButKeepsMisses(t *testing.T) {
 	cfgPf := testConfig()
 	cfgNo := testConfig()
 	cfgNo.PrefetchMemCycles = 0
-	pf := New(cfgPf, pmu.New(pmu.EventTable{}), ktime.NewRand(6))
-	no := New(cfgNo, pmu.New(pmu.EventTable{}), ktime.NewRand(6))
+	pf := New(cfgPf, pmu.New(nil), ktime.NewRand(6))
+	no := New(cfgNo, pmu.New(nil), ktime.NewRand(6))
 	b := isa.Block{
 		Instr: 200_000, Loads: 100_000,
 		Mem: isa.MemPattern{Base: 0x6000_0000, Footprint: 64 << 20, Stride: 8},
@@ -238,7 +238,7 @@ func TestDefaultsApplied(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxSimAccesses = 0
 	cfg.PredictorBits = 0
-	c := New(cfg, pmu.New(pmu.EventTable{}), ktime.NewRand(1))
+	c := New(cfg, pmu.New(nil), ktime.NewRand(1))
 	if c.Config().MaxSimAccesses == 0 || c.Config().PredictorBits == 0 {
 		t.Error("constructor defaults not applied")
 	}

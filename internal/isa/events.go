@@ -64,6 +64,16 @@ const (
 	EvCacheFlushes
 	// EvDTLBMisses counts data TLB misses (page walks).
 	EvDTLBMisses
+	// EvStallCycles counts cycles in which execution stalled (memory stalls,
+	// mispredict recovery, flush latency) — the non-pipelined remainder of
+	// EvCycles.
+	EvStallCycles
+	// EvCASReads counts DRAM CAS read commands at the integrated memory
+	// controller — an uncore (IMC) event: it observes socket-wide memory
+	// traffic and ignores the core's privilege filter.
+	EvCASReads
+	// EvCASWrites counts DRAM CAS write commands at the IMC (uncore).
+	EvCASWrites
 	// NumEvents is the number of event classes.
 	NumEvents
 )
@@ -84,6 +94,17 @@ var eventNames = [NumEvents]string{
 	"FP_COMP_OPS_EXE",
 	"CLFLUSH.RETIRED",
 	"DTLB_LOAD_MISSES.WALK_COMPLETED",
+	"STALL_CYCLES",
+	"UNC_M_CAS_COUNT.RD",
+	"UNC_M_CAS_COUNT.WR",
+}
+
+// Uncore reports whether the event class counts in an uncore PMU block
+// (the IMC) rather than the core PMU. Uncore events observe socket-wide
+// traffic, ignore the core's privilege filter, and cannot be attributed to
+// a single process.
+func (e Event) Uncore() bool {
+	return e == EvCASReads || e == EvCASWrites
 }
 
 // String returns the canonical mnemonic for the event.
@@ -118,6 +139,12 @@ var eventAliases = map[string]Event{
 	"CACHE_FLUSHES": EvCacheFlushes,
 	"CLFLUSH":       EvCacheFlushes,
 	"DTLB_MISSES":   EvDTLBMisses,
+	"STALLS":        EvStallCycles,
+	"STALL":         EvStallCycles,
+	"CAS_READS":     EvCASReads,
+	"CAS_WRITES":    EvCASWrites,
+	"MEM_READS":     EvCASReads,
+	"MEM_WRITES":    EvCASWrites,
 	"LLC_REFERENCE": EvLLCRefs, // common singular typos
 	"LLC_MISS":      EvLLCMisses,
 }

@@ -12,15 +12,15 @@ import (
 	"kleb/internal/pmu"
 )
 
-func testEventTable() pmu.EventTable {
-	return pmu.EventTable{
+func testEventTable() *pmu.EventTable {
+	return pmu.TableFromClasses("test", map[pmu.Encoding]isa.Event{
 		{EventSel: 0x2E, Umask: 0x41}: isa.EvLLCMisses,
 		{EventSel: 0x2E, Umask: 0x4F}: isa.EvLLCRefs,
 		{EventSel: 0x0B, Umask: 0x01}: isa.EvLoads,
 		{EventSel: 0x0B, Umask: 0x02}: isa.EvStores,
 		{EventSel: 0xC4, Umask: 0x00}: isa.EvBranches,
 		{EventSel: 0xC5, Umask: 0x00}: isa.EvBranchMisses,
-	}
+	})
 }
 
 func testCPU(seed uint64) *cpu.Core {

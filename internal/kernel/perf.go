@@ -48,8 +48,9 @@ type PerfEvent struct {
 	target *Process
 	spec   EventSpec
 
-	fixedIdx int // fixed-counter index, or -1 for programmable events
-	assigned int // current programmable counter, or -1
+	fixedIdx int  // fixed-counter index, or -1 for programmable events
+	uncore   bool // event counts in the IMC uncore pool
+	assigned int  // current counter within the event's pool, or -1
 
 	value    uint64 // accumulated count while descheduled
 	lastRead uint64 // counter snapshot at schedule-in / last fold
@@ -97,6 +98,7 @@ type PerfSubsystem struct {
 	nextID    int
 	byPID     map[PID][]*PerfEvent
 	rot       map[PID]int // multiplexing rotation offset per target
+	sched     map[PID]*pmu.Schedule
 	schedIn   map[PID]ktime.Time
 	muxTimers map[PID]*HRTimer
 	hooked    bool
@@ -113,6 +115,7 @@ func newPerfSubsystem(k *Kernel) *PerfSubsystem {
 		k:         k,
 		byPID:     make(map[PID][]*PerfEvent),
 		rot:       make(map[PID]int),
+		sched:     make(map[PID]*pmu.Schedule),
 		schedIn:   make(map[PID]ktime.Time),
 		muxTimers: make(map[PID]*HRTimer),
 	}
@@ -159,18 +162,28 @@ func (ps *PerfSubsystem) Open(targetPID PID, spec EventSpec) (*PerfEvent, error)
 	ps.ensureHooks()
 	ps.k.ChargeKernel(ps.k.costs.PerfOpen)
 	ps.nextID++
+	table := ps.k.core.PMU().Table()
 	e := &PerfEvent{
 		id:       ps.nextID,
 		target:   target,
 		spec:     spec,
-		fixedIdx: fixedIndexFor(spec.Event),
+		fixedIdx: pmu.FixedIndexFor(spec.Event),
 		assigned: -1,
 		period:   spec.SamplePeriod,
 	}
-	if e.fixedIdx < 0 {
-		if _, ok := ps.k.core.PMU().Table().EncodingFor(spec.Event); !ok {
-			return nil, fmt.Errorf("perf: event %v not supported by this PMU", spec.Event)
-		}
+	if d, ok := table.DescFor(spec.Event); ok && d.Unit == pmu.UnitIMC {
+		e.uncore = true
+	}
+	if e.uncore && spec.sampling() {
+		return nil, fmt.Errorf("perf: uncore event %v cannot sample (uncore counters raise no PMI)", spec.Event)
+	}
+	// Validate the extended context against the constraint scheduler: an
+	// event the table cannot place on any counter is refused here, not
+	// discovered at switch-in.
+	evs := append(append([]isa.Event(nil), eventList(ps.byPID[targetPID])...), spec.Event)
+	sched, err := table.Schedule(evs)
+	if err != nil {
+		return nil, fmt.Errorf("perf: event %v not supported by this PMU: %w", spec.Event, err)
 	}
 	if spec.SampleFreq > 0 {
 		// Initial period guess: assume the event fires at ~1GHz-ish rates;
@@ -183,25 +196,39 @@ func (ps *PerfSubsystem) Open(targetPID PID, spec EventSpec) (*PerfEvent, error)
 	if ps.k.current == target {
 		ps.schedOut(target)
 		ps.byPID[targetPID] = append(ps.byPID[targetPID], e)
+		ps.sched[targetPID] = sched
 		ps.schedInCtx(target)
 	} else {
 		ps.byPID[targetPID] = append(ps.byPID[targetPID], e)
+		ps.sched[targetPID] = sched
 	}
 	return e, nil
 }
 
-// fixedIndexFor maps the three architecturally fixed events to their fixed
-// counters.
-func fixedIndexFor(ev isa.Event) int {
-	switch ev {
-	case isa.EvInstructions:
-		return 0
-	case isa.EvCycles:
-		return 1
-	case isa.EvRefCycles:
-		return 2
+// eventList projects a context's open events onto their event classes, in
+// context order — the request list the scheduler packs.
+func eventList(evs []*PerfEvent) []isa.Event {
+	out := make([]isa.Event, len(evs))
+	for i, e := range evs {
+		out[i] = e.spec.Event
 	}
-	return -1
+	return out
+}
+
+// schedule returns the context's cached placement, computing it on demand
+// (Open and remove invalidate the cache when the event list changes).
+func (ps *PerfSubsystem) schedule(pid PID) *pmu.Schedule {
+	if s := ps.sched[pid]; s != nil {
+		return s
+	}
+	s, err := ps.k.core.PMU().Table().Schedule(eventList(ps.byPID[pid]))
+	if err != nil {
+		// Every event was validated against the scheduler at Open, and
+		// removing events never makes a schedulable set unschedulable.
+		panic(err)
+	}
+	ps.sched[pid] = s
+	return s
 }
 
 // Read returns (count, enabledTime, runningTime) for a counting event. The
@@ -246,14 +273,17 @@ func (ps *PerfSubsystem) remove(e *PerfEvent) {
 			break
 		}
 	}
+	delete(ps.sched, e.target.pid) // the placement is per event list
 	if len(ps.byPID[e.target.pid]) == 0 {
 		delete(ps.byPID, e.target.pid)
 		delete(ps.rot, e.target.pid)
 	}
 }
 
-// schedInCtx programs the PMU for the target's context: fixed events always
-// fit; programmable events get the next rotation window of counters.
+// schedInCtx programs the PMU for the target's context from its constraint
+// schedule: every switch-in takes the next rotation round, so a
+// non-multiplexed context reprograms the same single round each time and an
+// oversubscribed one cycles fairly through its rounds.
 func (ps *PerfSubsystem) schedInCtx(p *Process) {
 	evs := ps.byPID[p.pid]
 	if len(evs) == 0 {
@@ -263,82 +293,90 @@ func (ps *PerfSubsystem) schedInCtx(p *Process) {
 	pm := ps.k.core.PMU()
 	table := pm.Table()
 
-	var prog []*PerfEvent
-	for _, e := range evs {
-		if e.fixedIdx < 0 {
-			prog = append(prog, e)
-		}
-	}
-	// Rotate which programmable events get real counters this round.
+	sched := ps.schedule(p.pid)
 	rot := ps.rot[p.pid]
 	ps.rot[p.pid] = rot + 1
-	n := len(prog)
-	var global uint64
-	var fixedCtrl uint64
-	slot := 0
-	for i := 0; i < n && slot < pmu.NumProgrammable; i++ {
-		e := prog[(rot+i)%n]
-		enc, _ := table.EncodingFor(e.spec.Event)
-		flags := uint64(pmu.SelEn)
-		if !e.spec.ExcludeUser {
-			flags |= pmu.SelUsr
-		}
-		if !e.spec.ExcludeKernel {
-			flags |= pmu.SelOS
-		}
-		if e.spec.sampling() {
-			flags |= pmu.SelInt
-		}
-		mustWriteMSR(pm, pmu.MSRPerfEvtSel0+uint32(slot), enc.Sel(flags))
-		init := uint64(0)
-		if e.spec.sampling() {
-			// Restore the saved progress toward the next overflow; arm
-			// fresh only on the first schedule-in.
-			if e.hwValid {
-				init = e.hwSaved
-			} else {
-				init = pmu.OverflowInit(e.period)
+	round := sched.Rounds[rot%len(sched.Rounds)]
+	var global, fixedCtrl, uncGlobal uint64
+	hasUncore := false
+	for _, a := range round {
+		e := evs[a.Index]
+		switch a.Class {
+		case pmu.CtrProgrammable:
+			enc, _ := table.EncodingFor(e.spec.Event)
+			flags := uint64(pmu.SelEn)
+			if !e.spec.ExcludeUser {
+				flags |= pmu.SelUsr
 			}
-		}
-		mustWriteMSR(pm, pmu.MSRPmc0+uint32(slot), init)
-		e.assigned = slot
-		e.lastRead = init
-		global |= 1 << uint(slot)
-		slot++
-		ps.k.ChargeKernel(ps.k.costs.PerfCtxSwitch)
-	}
-	for _, e := range evs {
-		if e.fixedIdx < 0 {
-			continue
-		}
-		var nib uint64
-		if !e.spec.ExcludeUser {
-			nib |= pmu.FixedUsr
-		}
-		if !e.spec.ExcludeKernel {
-			nib |= pmu.FixedOS
-		}
-		if e.spec.sampling() {
-			nib |= pmu.FixedPMI
-			init := pmu.OverflowInit(e.period)
-			if e.hwValid {
-				init = e.hwSaved
+			if !e.spec.ExcludeKernel {
+				flags |= pmu.SelOS
 			}
-			mustWriteMSR(pm, pmu.MSRFixedCtr0+uint32(e.fixedIdx), init)
+			if e.spec.sampling() {
+				flags |= pmu.SelInt
+			}
+			mustWriteMSR(pm, pmu.MSRPerfEvtSel0+uint32(a.Counter), enc.Sel(flags))
+			init := uint64(0)
+			if e.spec.sampling() {
+				// Restore the saved progress toward the next overflow; arm
+				// fresh only on the first schedule-in.
+				if e.hwValid {
+					init = e.hwSaved
+				} else {
+					init = pmu.OverflowInit(e.period)
+				}
+			}
+			mustWriteMSR(pm, pmu.MSRPmc0+uint32(a.Counter), init)
+			e.assigned = a.Counter
+			e.lastRead = init
+			global |= 1 << uint(a.Counter)
+		case pmu.CtrFixed:
+			var nib uint64
+			if !e.spec.ExcludeUser {
+				nib |= pmu.FixedUsr
+			}
+			if !e.spec.ExcludeKernel {
+				nib |= pmu.FixedOS
+			}
+			if e.spec.sampling() {
+				nib |= pmu.FixedPMI
+				init := pmu.OverflowInit(e.period)
+				if e.hwValid {
+					init = e.hwSaved
+				}
+				mustWriteMSR(pm, pmu.MSRFixedCtr0+uint32(a.Counter), init)
+			}
+			fixedCtrl |= nib << uint(4*a.Counter)
+			global |= 1 << uint(32+a.Counter)
+			cur, _ := pm.ReadMSR(pmu.MSRFixedCtr0 + uint32(a.Counter))
+			e.lastRead = cur
+			e.assigned = a.Counter
+		case pmu.CtrUncore:
+			// Uncore counters observe socket-wide traffic at every privilege;
+			// the privilege filter does not apply.
+			enc, _ := table.EncodingFor(e.spec.Event)
+			mustWriteMSR(pm, pmu.MSRUncEvtSel0+uint32(a.Counter), enc.Sel(uint64(pmu.SelEn)))
+			mustWriteMSR(pm, pmu.MSRUncPmc0+uint32(a.Counter), 0)
+			e.assigned = a.Counter
+			e.lastRead = 0
+			uncGlobal |= 1 << uint(a.Counter)
+			hasUncore = true
 		}
-		fixedCtrl |= nib << uint(4*e.fixedIdx)
-		global |= 1 << uint(32+e.fixedIdx)
-		cur, _ := pm.ReadMSR(pmu.MSRFixedCtr0 + uint32(e.fixedIdx))
-		e.lastRead = cur
-		e.assigned = e.fixedIdx
 		ps.k.ChargeKernel(ps.k.costs.PerfCtxSwitch)
 	}
 	mustWriteMSR(pm, pmu.MSRFixedCtrCtrl, fixedCtrl)
 	mustWriteMSR(pm, pmu.MSRGlobalCtrl, global)
+	if hasUncore {
+		mustWriteMSR(pm, pmu.MSRUncGlobalCtrl, uncGlobal)
+		ps.k.ChargeKernel(ps.k.costs.MSRAccess)
+	}
 	ps.k.ChargeKernel(ktime.Duration(3) * ps.k.costs.MSRAccess)
 
+	if sched.Multiplexed() {
+		ps.k.tel.MuxRotate(ps.k.Now(), int32(p.pid), rot%len(sched.Rounds), len(sched.Rounds), len(round))
+	}
+
 	// A multiplexed context re-rotates on the mux timer while it runs.
-	if n > pmu.NumProgrammable && ps.muxTimers[p.pid] == nil {
+	if sched.Multiplexed() && ps.muxTimers[p.pid] == nil {
 		pid := p.pid
 		ps.muxTimers[pid] = ps.k.StartHRTimer(MuxInterval, MuxInterval, func(k *Kernel, t *HRTimer) bool {
 			cur := k.current
@@ -364,8 +402,12 @@ func (ps *PerfSubsystem) schedOut(p *Process) {
 	}
 	pm := ps.k.core.PMU()
 	since := ps.k.Now().Sub(ps.schedIn[p.pid])
+	hasUncore := false
 	for _, e := range evs {
 		e.enabled += since
+		if e.uncore {
+			hasUncore = true
+		}
 		if e.assigned >= 0 {
 			e.running += since
 			if e.spec.sampling() {
@@ -385,6 +427,9 @@ func (ps *PerfSubsystem) schedOut(p *Process) {
 	}
 	mustWriteMSR(pm, pmu.MSRGlobalCtrl, 0)
 	mustWriteMSR(pm, pmu.MSRFixedCtrCtrl, 0)
+	if hasUncore {
+		mustWriteMSR(pm, pmu.MSRUncGlobalCtrl, 0)
+	}
 	ps.schedIn[p.pid] = ps.k.Now()
 	if t := ps.muxTimers[p.pid]; t != nil {
 		ps.k.CancelHRTimer(t)
@@ -399,9 +444,12 @@ func (ps *PerfSubsystem) fold(e *PerfEvent) {
 	}
 	pm := ps.k.core.PMU()
 	var cur uint64
-	if e.fixedIdx >= 0 {
+	switch {
+	case e.fixedIdx >= 0:
 		cur, _ = pm.ReadMSR(pmu.MSRFixedCtr0 + uint32(e.fixedIdx))
-	} else {
+	case e.uncore:
+		cur, _ = pm.ReadMSR(pmu.MSRUncPmc0 + uint32(e.assigned))
+	default:
 		cur, _ = pm.ReadMSR(pmu.MSRPmc0 + uint32(e.assigned))
 	}
 	delta := (cur - e.lastRead) & pmu.CounterMask()

@@ -95,10 +95,13 @@ type Module struct {
 	k   *kernel.Kernel
 	cfg ModuleConfig
 
-	// Counter plan derived from cfg.
-	progEvents  []isa.Event // events on programmable counters, by index
-	fixedEvents []int       // fixed counter index per fixed event position
-	evOrder     []isa.Event // cfg.Events order for sample columns
+	// Counter plan derived from cfg: one placement per cfg.Events position,
+	// produced by the PMU's constraint scheduler. K-LEB accepts only
+	// single-round (non-multiplexed) schedules, so the plan is static for
+	// the whole run.
+	slots   []counterSlot
+	uncMask uint64      // MSR_UNC_PERF_GLOBAL_CTRL enable mask (0 = no uncore events)
+	evOrder []isa.Event // cfg.Events order for sample columns
 
 	tracked map[kernel.PID]bool
 
@@ -221,6 +224,13 @@ func (m *Module) buflen() int {
 	return m.buf.len()
 }
 
+// counterSlot is one event's static placement: which counter pool and which
+// counter within it.
+type counterSlot struct {
+	class pmu.CounterClass
+	ctr   int
+}
+
 // configure validates and installs the collection plan.
 func (m *Module) configure(cfg ModuleConfig) error {
 	if m.running {
@@ -233,33 +243,46 @@ func (m *Module) configure(cfg ModuleConfig) error {
 		return fmt.Errorf("kleb: zero period")
 	}
 	table := m.k.Core().PMU().Table()
-	var prog []isa.Event
-	var fixed []int
+	nProg := 0
 	for _, ev := range cfg.Events {
-		switch ev {
-		case isa.EvInstructions:
-			fixed = append(fixed, 0)
-		case isa.EvCycles:
-			fixed = append(fixed, 1)
-		case isa.EvRefCycles:
-			fixed = append(fixed, 2)
-		default:
-			if _, ok := table.EncodingFor(ev); !ok {
-				return fmt.Errorf("kleb: event %v not available on this machine", ev)
-			}
-			prog = append(prog, ev)
+		if pmu.FixedIndexFor(ev) >= 0 {
+			continue
+		}
+		d, ok := table.DescFor(ev)
+		if !ok {
+			return fmt.Errorf("kleb: event %v not available on this machine", ev)
+		}
+		if d.Unit == pmu.UnitCore {
+			nProg++
 		}
 	}
-	if len(prog) > pmu.NumProgrammable {
+	if nProg > pmu.NumProgrammable {
 		return fmt.Errorf("kleb: %d programmable events requested, hardware has %d counters",
-			len(prog), pmu.NumProgrammable)
+			nProg, pmu.NumProgrammable)
+	}
+	sched, err := table.Schedule(cfg.Events)
+	if err != nil {
+		return fmt.Errorf("kleb: %w", err)
+	}
+	if sched.Multiplexed() {
+		// The counts fit counter-by-counter but not simultaneously (counter
+		// constraints or an oversubscribed uncore pool). perf would rotate;
+		// K-LEB refuses — its samples are exact by construction.
+		return fmt.Errorf("kleb: %d events cannot all be counted simultaneously under this PMU's counter constraints; K-LEB does not multiplex",
+			len(cfg.Events))
 	}
 	if _, ok := m.k.Process(cfg.Target); !ok {
 		return fmt.Errorf("kleb: target pid %d does not exist", cfg.Target)
 	}
 	m.cfg = cfg
-	m.progEvents = prog
-	m.fixedEvents = fixed
+	m.slots = make([]counterSlot, len(cfg.Events))
+	m.uncMask = 0
+	for _, a := range sched.Rounds[0] {
+		m.slots[a.Index] = counterSlot{class: a.Class, ctr: a.Counter}
+		if a.Class == pmu.CtrUncore {
+			m.uncMask |= 1 << uint(a.Counter)
+		}
+	}
 	m.evOrder = append([]isa.Event(nil), cfg.Events...)
 	m.buf = newRing(cfg.BufferSamples, len(cfg.Events))
 	m.last = make([]uint64, len(cfg.Events))
@@ -292,7 +315,7 @@ func (m *Module) start() error {
 }
 
 // programCounters writes the event selections and zeroes all counters.
-// Called once at start; per-switch gating only toggles the global enable.
+// Called once at start; per-switch gating only toggles the global enables.
 func (m *Module) programCounters() {
 	p := m.k.Core().PMU()
 	table := p.Table()
@@ -300,35 +323,49 @@ func (m *Module) programCounters() {
 	if !m.cfg.ExcludeKernel {
 		flags |= pmu.SelOS
 	}
-	for i, ev := range m.progEvents {
-		enc, _ := table.EncodingFor(ev)
-		m.wrmsr(pmu.MSRPerfEvtSel0+uint32(i), enc.Sel(flags|pmu.SelEn))
-		m.wrmsr(pmu.MSRPmc0+uint32(i), 0)
-	}
 	var fixedCtrl uint64
-	for _, idx := range m.fixedEvents {
-		nib := uint64(pmu.FixedUsr)
-		if !m.cfg.ExcludeKernel {
-			nib |= pmu.FixedOS
+	for i, ev := range m.evOrder {
+		s := m.slots[i]
+		switch s.class {
+		case pmu.CtrProgrammable:
+			enc, _ := table.EncodingFor(ev)
+			m.wrmsr(pmu.MSRPerfEvtSel0+uint32(s.ctr), enc.Sel(flags|pmu.SelEn))
+			m.wrmsr(pmu.MSRPmc0+uint32(s.ctr), 0)
+		case pmu.CtrFixed:
+			nib := uint64(pmu.FixedUsr)
+			if !m.cfg.ExcludeKernel {
+				nib |= pmu.FixedOS
+			}
+			fixedCtrl |= nib << uint(4*s.ctr)
+			m.wrmsr(pmu.MSRFixedCtr0+uint32(s.ctr), 0)
+		case pmu.CtrUncore:
+			// Uncore counters have no privilege filter: they observe
+			// socket-wide traffic whoever runs.
+			enc, _ := table.EncodingFor(ev)
+			m.wrmsr(pmu.MSRUncEvtSel0+uint32(s.ctr), enc.Sel(uint64(pmu.SelEn)))
+			m.wrmsr(pmu.MSRUncPmc0+uint32(s.ctr), 0)
 		}
-		fixedCtrl |= nib << uint(4*idx)
-		m.wrmsr(pmu.MSRFixedCtr0+uint32(idx), 0)
 	}
 	m.wrmsr(pmu.MSRFixedCtrCtrl, fixedCtrl)
 	m.wrmsr(pmu.MSRGlobalCtrl, 0) // gated off until the target runs
+	if m.uncMask != 0 {
+		m.wrmsr(pmu.MSRUncGlobalCtrl, 0)
+	}
 	for i := range m.last {
 		m.last[i] = 0
 	}
 }
 
-// globalEnableMask covers exactly the counters the plan uses.
+// globalEnableMask covers exactly the core counters the plan uses.
 func (m *Module) globalEnableMask() uint64 {
 	var mask uint64
-	for i := range m.progEvents {
-		mask |= 1 << uint(i)
-	}
-	for _, idx := range m.fixedEvents {
-		mask |= 1 << uint(32+idx)
+	for _, s := range m.slots {
+		switch s.class {
+		case pmu.CtrProgrammable:
+			mask |= 1 << uint(s.ctr)
+		case pmu.CtrFixed:
+			mask |= 1 << uint(32+s.ctr)
+		}
 	}
 	return mask
 }
@@ -341,6 +378,9 @@ func (m *Module) onSwitch(k *kernel.Kernel, prev, next *kernel.Process) {
 	}
 	if prev != nil && m.tracked[prev.PID()] {
 		m.wrmsr(pmu.MSRGlobalCtrl, 0)
+		if m.uncMask != 0 {
+			m.wrmsr(pmu.MSRUncGlobalCtrl, 0)
+		}
 		if m.timer != nil {
 			k.CancelHRTimer(m.timer)
 			m.timer = nil
@@ -349,6 +389,9 @@ func (m *Module) onSwitch(k *kernel.Kernel, prev, next *kernel.Process) {
 	if next != nil && m.tracked[next.PID()] {
 		if !m.paused {
 			m.wrmsr(pmu.MSRGlobalCtrl, m.globalEnableMask())
+			if m.uncMask != 0 {
+				m.wrmsr(pmu.MSRUncGlobalCtrl, m.uncMask)
+			}
 		}
 		// The timer is armed even while paused so elapsed periods keep being
 		// counted as dropped (period accounting, not just a pause flag). The
@@ -387,6 +430,9 @@ func (m *Module) onExit(k *kernel.Kernel, p *kernel.Process) {
 			m.timer = nil
 		}
 		m.wrmsr(pmu.MSRGlobalCtrl, 0)
+		if m.uncMask != 0 {
+			m.wrmsr(pmu.MSRUncGlobalCtrl, 0)
+		}
 	}
 }
 
@@ -421,6 +467,9 @@ func (m *Module) onTimer(k *kernel.Kernel, t *kernel.HRTimer) bool {
 		m.paused = true
 		m.dropped++
 		m.wrmsr(pmu.MSRGlobalCtrl, 0)
+		if m.uncMask != 0 {
+			m.wrmsr(pmu.MSRUncGlobalCtrl, 0)
+		}
 		k.Telemetry().BufferPause(k.Now(), m.dropped)
 	}
 	return true
@@ -451,15 +500,14 @@ func (m *Module) captureSample(final bool) capResult {
 		return capSkipped
 	}
 	cur, deltas := m.scratchCur, m.scratchDelta
-	pi, fi := 0, 0
-	for i, ev := range m.evOrder {
-		switch ev {
-		case isa.EvInstructions, isa.EvCycles, isa.EvRefCycles:
-			cur[i] = m.rdmsr(pmu.MSRFixedCtr0 + uint32(m.fixedEvents[fi]))
-			fi++
+	for i := range m.evOrder {
+		switch s := m.slots[i]; s.class {
+		case pmu.CtrFixed:
+			cur[i] = m.rdmsr(pmu.MSRFixedCtr0 + uint32(s.ctr))
+		case pmu.CtrUncore:
+			cur[i] = m.rdmsr(pmu.MSRUncPmc0 + uint32(s.ctr))
 		default:
-			cur[i] = m.rdmsr(pmu.MSRPmc0 + uint32(pi))
-			pi++
+			cur[i] = m.rdmsr(pmu.MSRPmc0 + uint32(s.ctr))
 		}
 		if v, bad := m.k.Faults().CorruptRead(cur[i]); bad {
 			cur[i] = v
@@ -557,6 +605,9 @@ func (m *Module) stop() {
 		m.timer = nil
 	}
 	m.wrmsr(pmu.MSRGlobalCtrl, 0)
+	if m.uncMask != 0 {
+		m.wrmsr(pmu.MSRUncGlobalCtrl, 0)
+	}
 }
 
 func (m *Module) wrmsr(addr uint32, val uint64) {

@@ -8,7 +8,6 @@ package machine
 import (
 	"kleb/internal/cache"
 	"kleb/internal/cpu"
-	"kleb/internal/isa"
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
 	"kleb/internal/pmu"
@@ -22,9 +21,10 @@ type Profile struct {
 	CPUModel string
 	// CPU parameterizes the core model (frequency, CPI, caches...).
 	CPU cpu.Config
-	// Events maps architectural encodings to event classes for this
-	// microarchitecture. Events missing here cannot be counted on it.
-	Events pmu.EventTable
+	// Events is this microarchitecture's generated event table: encodings,
+	// counter constraints and uncore units. Events missing here cannot be
+	// counted on it.
+	Events *pmu.EventTable
 	// Costs is the kernel cost model.
 	Costs kernel.CostModel
 	// Kernel selects kernel features (e.g. the LiMiT patch).
@@ -52,7 +52,7 @@ func Nehalem() Profile {
 			PredictorBits:  12,
 			MaxSimAccesses: 768,
 		},
-		Events: nehalemEvents(),
+		Events: pmu.MustTable("nehalem"),
 		Costs:  kernel.DefaultCosts(),
 	}
 }
@@ -80,7 +80,7 @@ func CascadeLake() Profile {
 			PredictorBits:  14,
 			MaxSimAccesses: 768,
 		},
-		Events: cascadeLakeEvents(),
+		Events: pmu.MustTable("cascadelake"),
 		Costs:  kernel.DefaultCosts(),
 	}
 	return p
@@ -93,48 +93,6 @@ func LiMiTKernel() Profile {
 	p.Name = "nehalem-i7-920-limit"
 	p.Kernel.LiMiTPatch = true
 	return p
-}
-
-// nehalemEvents lists the Nehalem encodings for the simulator's event
-// classes (values per the Intel SDM for 06_1AH).
-func nehalemEvents() pmu.EventTable {
-	return pmu.EventTable{
-		{EventSel: 0xC0, Umask: 0x00}: isa.EvInstructions,
-		{EventSel: 0x3C, Umask: 0x00}: isa.EvCycles,
-		{EventSel: 0x3C, Umask: 0x01}: isa.EvRefCycles,
-		{EventSel: 0x0B, Umask: 0x01}: isa.EvLoads,    // MEM_INST_RETIRED.LOADS
-		{EventSel: 0x0B, Umask: 0x02}: isa.EvStores,   // MEM_INST_RETIRED.STORES
-		{EventSel: 0xC4, Umask: 0x00}: isa.EvBranches, // BR_INST_RETIRED.ALL_BRANCHES
-		{EventSel: 0xC5, Umask: 0x00}: isa.EvBranchMisses,
-		{EventSel: 0x2E, Umask: 0x4F}: isa.EvLLCRefs,
-		{EventSel: 0x2E, Umask: 0x41}: isa.EvLLCMisses,
-		{EventSel: 0x51, Umask: 0x01}: isa.EvL1DMisses, // L1D.REPL
-		{EventSel: 0x24, Umask: 0xAA}: isa.EvL2Misses,
-		{EventSel: 0x14, Umask: 0x02}: isa.EvMulOps,     // ARITH.MUL
-		{EventSel: 0x10, Umask: 0x01}: isa.EvFPOps,      // FP_COMP_OPS_EXE.X87+SSE
-		{EventSel: 0x49, Umask: 0x01}: isa.EvDTLBMisses, // DTLB_MISSES.ANY
-	}
-}
-
-// cascadeLakeEvents lists the Cascade Lake encodings. ARITH.MUL does not
-// exist on this microarchitecture — attempting to monitor it there fails,
-// mirroring real cross-platform event portability limits (§VI).
-func cascadeLakeEvents() pmu.EventTable {
-	return pmu.EventTable{
-		{EventSel: 0xC0, Umask: 0x00}: isa.EvInstructions,
-		{EventSel: 0x3C, Umask: 0x00}: isa.EvCycles,
-		{EventSel: 0x3C, Umask: 0x01}: isa.EvRefCycles,
-		{EventSel: 0xD0, Umask: 0x81}: isa.EvLoads,  // MEM_INST_RETIRED.ALL_LOADS
-		{EventSel: 0xD0, Umask: 0x82}: isa.EvStores, // MEM_INST_RETIRED.ALL_STORES
-		{EventSel: 0xC4, Umask: 0x00}: isa.EvBranches,
-		{EventSel: 0xC5, Umask: 0x00}: isa.EvBranchMisses,
-		{EventSel: 0x2E, Umask: 0x4F}: isa.EvLLCRefs,
-		{EventSel: 0x2E, Umask: 0x41}: isa.EvLLCMisses,
-		{EventSel: 0x51, Umask: 0x01}: isa.EvL1DMisses,
-		{EventSel: 0x24, Umask: 0x3F}: isa.EvL2Misses,
-		{EventSel: 0xC7, Umask: 0x01}: isa.EvFPOps,      // FP_ARITH_INST_RETIRED
-		{EventSel: 0x08, Umask: 0x0E}: isa.EvDTLBMisses, // DTLB_LOAD_MISSES.WALK_COMPLETED
-	}
 }
 
 // Machine is a booted simulated system.

@@ -27,7 +27,7 @@ func TestProfilesAreWellFormed(t *testing.T) {
 			if prof.CPU.BaseCPI <= 0 {
 				t.Error("non-positive CPI")
 			}
-			if len(prof.Events) == 0 {
+			if len(prof.Events.Descs()) == 0 {
 				t.Error("empty event table")
 			}
 			if prof.Costs.Jiffy == 0 || prof.Costs.Timeslice == 0 {

@@ -12,6 +12,7 @@ import (
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
+	"kleb/internal/pmu"
 )
 
 // Config is the monitoring request: which events, how often, and at what
@@ -23,6 +24,12 @@ type Config struct {
 	// support it (perf stat) into time multiplexing, and is an error for
 	// tools that do not.
 	Events []isa.Event
+	// Raw requests events by architectural encoding (perf's rUUEE syntax)
+	// instead of by class name. The session layer resolves each encoding
+	// against the booted machine's event table and appends the resolved
+	// classes to Events before the tool attaches; an encoding the machine
+	// does not expose is an error at attach time.
+	Raw []pmu.Encoding
 	// Period is the sampling interval for periodic tools. Tools built on
 	// user-space timers cannot honor periods below the 10ms jiffy.
 	Period ktime.Duration
@@ -33,7 +40,7 @@ type Config struct {
 
 // Validate checks basic sanity.
 func (c Config) Validate() error {
-	if len(c.Events) == 0 {
+	if len(c.Events) == 0 && len(c.Raw) == 0 {
 		return fmt.Errorf("monitor: no events requested")
 	}
 	if c.Period == 0 {
@@ -55,18 +62,63 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// ProgrammableEvents returns the subset of Events needing programmable
-// counters.
+// ProgrammableEvents returns the subset of Events needing core programmable
+// counters: fixed-function events ride on their dedicated counters and
+// uncore events count in the separate IMC pool, so neither competes here.
 func (c Config) ProgrammableEvents() []isa.Event {
 	var out []isa.Event
 	for _, ev := range c.Events {
-		switch ev {
-		case isa.EvInstructions, isa.EvCycles, isa.EvRefCycles:
+		switch {
+		case ev == isa.EvInstructions, ev == isa.EvCycles, ev == isa.EvRefCycles:
+		case ev.Uncore():
 		default:
 			out = append(out, ev)
 		}
 	}
 	return out
+}
+
+// UncoreEvents returns the subset of Events counting in the uncore pool.
+func (c Config) UncoreEvents() []isa.Event {
+	var out []isa.Event
+	for _, ev := range c.Events {
+		if ev.Uncore() {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ResolveRaw resolves the Raw encodings against a machine's event table and
+// returns the config with the resolved classes appended to Events (Raw
+// cleared). Duplicate resolution against an already-requested class is an
+// error, as is an encoding the table does not expose on any unit.
+func (c Config) ResolveRaw(table *pmu.EventTable) (Config, error) {
+	if len(c.Raw) == 0 {
+		return c, nil
+	}
+	out := c
+	out.Events = append([]isa.Event(nil), c.Events...)
+	out.Raw = nil
+	seen := map[isa.Event]bool{}
+	for _, ev := range c.Events {
+		seen[ev] = true
+	}
+	for _, enc := range c.Raw {
+		ev, ok := table.Lookup(enc.Sel(0))
+		if !ok {
+			ev, ok = table.LookupUncore(enc.Sel(0))
+		}
+		if !ok {
+			return Config{}, fmt.Errorf("monitor: raw event %v is not in the %s event table", enc, table.Arch())
+		}
+		if seen[ev] {
+			return Config{}, fmt.Errorf("monitor: raw event %v duplicates event %v", enc, ev)
+		}
+		seen[ev] = true
+		out.Events = append(out.Events, ev)
+	}
+	return out, nil
 }
 
 // Sample is one periodic record: per-event deltas since the previous
@@ -89,6 +141,11 @@ type Result struct {
 	// Estimated marks totals derived from sampling/multiplexing estimation
 	// rather than direct counting.
 	Estimated bool
+	// Scale records, per event, the enabled/running extrapolation factor a
+	// multiplexing tool applied to its total (1.0 = the event held a counter
+	// for the whole run, so the count is exact). Nil for tools that never
+	// scale (K-LEB, PAPI, LiMiT).
+	Scale map[isa.Event]float64
 	// Dropped counts sampling periods lost to the buffer-full safety pause
 	// (the pause suspends counting, not the period clock, so every elapsed
 	// period while paused is one dropped period).

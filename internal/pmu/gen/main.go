@@ -1,0 +1,312 @@
+// Command gen emits the pmu package's architectural event tables
+// (events_gen.go) from the checked-in spec (events.spec), the same
+// build-time pipeline likwid and rust-perfcnt use to turn vendor event
+// files into static tables. Run via `go generate ./internal/pmu`.
+//
+// With -check it regenerates in memory and fails if the file on disk is
+// stale — scripts/lint.sh runs this so the spec and the generated table
+// can never drift apart.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// classIdent maps spec class names onto isa event-class identifiers. The
+// spec speaks simulator classes, not mnemonics, so one generator serves
+// every microarchitecture's naming.
+var classIdent = map[string]string{
+	"instructions":  "isa.EvInstructions",
+	"cycles":        "isa.EvCycles",
+	"ref-cycles":    "isa.EvRefCycles",
+	"loads":         "isa.EvLoads",
+	"stores":        "isa.EvStores",
+	"branches":      "isa.EvBranches",
+	"branch-misses": "isa.EvBranchMisses",
+	"llc-refs":      "isa.EvLLCRefs",
+	"llc-misses":    "isa.EvLLCMisses",
+	"l1d-misses":    "isa.EvL1DMisses",
+	"l2-misses":     "isa.EvL2Misses",
+	"mul-ops":       "isa.EvMulOps",
+	"fp-ops":        "isa.EvFPOps",
+	"cache-flushes": "isa.EvCacheFlushes",
+	"dtlb-misses":   "isa.EvDTLBMisses",
+	"stall-cycles":  "isa.EvStallCycles",
+	"cas-reads":     "isa.EvCASReads",
+	"cas-writes":    "isa.EvCASWrites",
+}
+
+type entry struct {
+	name  string
+	class string // isa identifier
+	unit  string // "UnitCore" | "UnitIMC"
+	code  uint8
+	umask uint8
+	cmask uint8
+	flags []string // EncEdge / EncAnyThr / EncInv
+	fixed uint8
+	ctrs  uint8
+	brief string
+}
+
+type arch struct {
+	name    string
+	entries []entry
+}
+
+func main() {
+	specPath := flag.String("spec", "events.spec", "event spec to read")
+	outPath := flag.String("out", "events_gen.go", "generated file to write")
+	check := flag.Bool("check", false, "verify the generated file is up to date instead of writing")
+	flag.Parse()
+
+	arches, err := parseSpec(*specPath)
+	if err != nil {
+		fail(err)
+	}
+	out, err := format.Source(emit(arches))
+	if err != nil {
+		fail(fmt.Errorf("generated source does not parse: %w", err))
+	}
+	if *check {
+		disk, err := os.ReadFile(*outPath)
+		if err != nil {
+			fail(fmt.Errorf("read %s: %w", *outPath, err))
+		}
+		if !bytes.Equal(disk, out) {
+			fail(fmt.Errorf("%s is stale: regenerate with `go generate ./internal/pmu`", *outPath))
+		}
+		return
+	}
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pmu/gen:", err)
+	os.Exit(1)
+}
+
+// parseSpec reads the line-oriented spec: `arch NAME` opens a table;
+// `core NAME k=v ...` and `uncore imc NAME k=v ...` add entries to it.
+func parseSpec(path string) ([]arch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var arches []arch
+	cur := -1
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitFields(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		switch fields[0] {
+		case "arch":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%s:%d: arch needs exactly one name", path, lineNo)
+			}
+			arches = append(arches, arch{name: fields[1]})
+			cur = len(arches) - 1
+		case "core", "uncore":
+			if cur < 0 {
+				return nil, fmt.Errorf("%s:%d: event before any arch line", path, lineNo)
+			}
+			e, err := parseEntry(fields)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			}
+			arches[cur].entries = append(arches[cur].entries, e)
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown directive %q", path, lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(arches) == 0 {
+		return nil, fmt.Errorf("%s: no arch tables", path)
+	}
+	return arches, nil
+}
+
+// splitFields tokenizes one line, keeping double-quoted strings (the brief
+// text) as single fields with the quotes stripped.
+func splitFields(line string) ([]string, error) {
+	var fields []string
+	for i := 0; i < len(line); {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		inQuote := false
+		for i < len(line) && (inQuote || line[i] != ' ') {
+			if line[i] == '"' {
+				inQuote = !inQuote
+			}
+			i++
+		}
+		if inQuote {
+			return nil, fmt.Errorf("unterminated quote")
+		}
+		fields = append(fields, strings.ReplaceAll(line[start:i], `"`, ""))
+	}
+	return fields, nil
+}
+
+func parseEntry(fields []string) (entry, error) {
+	var e entry
+	i := 1
+	if fields[0] == "uncore" {
+		if len(fields) < 3 || fields[1] != "imc" {
+			return e, fmt.Errorf("uncore entries must name the imc unit")
+		}
+		e.unit = "UnitIMC"
+		i = 2
+	} else {
+		e.unit = "UnitCore"
+	}
+	if i >= len(fields) {
+		return e, fmt.Errorf("missing event name")
+	}
+	e.name = fields[i]
+	i++
+	for ; i < len(fields); i++ {
+		key, val, found := strings.Cut(fields[i], "=")
+		if !found {
+			switch key {
+			case "edge":
+				e.flags = append(e.flags, "EncEdge")
+			case "any":
+				e.flags = append(e.flags, "EncAnyThr")
+			case "inv":
+				e.flags = append(e.flags, "EncInv")
+			default:
+				return e, fmt.Errorf("bare token %q (want key=value or edge/any/inv)", key)
+			}
+			continue
+		}
+		switch key {
+		case "class":
+			ident, ok := classIdent[val]
+			if !ok {
+				return e, fmt.Errorf("unknown event class %q", val)
+			}
+			e.class = ident
+		case "code":
+			v, err := parseU8(val)
+			if err != nil {
+				return e, err
+			}
+			e.code = v
+		case "umask":
+			v, err := parseU8(val)
+			if err != nil {
+				return e, err
+			}
+			e.umask = v
+		case "cmask":
+			v, err := parseU8(val)
+			if err != nil {
+				return e, err
+			}
+			e.cmask = v
+		case "fixed":
+			v, err := parseU8(val)
+			if err != nil {
+				return e, err
+			}
+			e.fixed = v
+		case "ctrs":
+			v, err := parseU8(val)
+			if err != nil {
+				return e, err
+			}
+			e.ctrs = v
+		case "brief":
+			e.brief = val
+		default:
+			return e, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	if e.class == "" {
+		return e, fmt.Errorf("event %s has no class=", e.name)
+	}
+	if e.fixed == 0 && e.ctrs == 0 {
+		return e, fmt.Errorf("event %s has no counters (fixed and ctrs both zero)", e.name)
+	}
+	return e, nil
+}
+
+func parseU8(s string) (uint8, error) {
+	v, err := strconv.ParseUint(s, 0, 8)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q: %w", s, err)
+	}
+	return uint8(v), nil
+}
+
+// emit renders the generated Go source. Output is deterministic: spec
+// order is table order.
+func emit(arches []arch) []byte {
+	var b bytes.Buffer
+	b.WriteString("// Code generated by go run ./gen -spec events.spec -out events_gen.go; DO NOT EDIT.\n")
+	b.WriteString("//\n// Edit events.spec and run `go generate ./internal/pmu` instead.\n\n")
+	b.WriteString("package pmu\n\nimport \"kleb/internal/isa\"\n\nfunc init() {\n")
+	for _, a := range arches {
+		fmt.Fprintf(&b, "\tregisterArch(%q, []EventDesc{\n", a.name)
+		for _, e := range a.entries {
+			fmt.Fprintf(&b, "\t\t{\n")
+			fmt.Fprintf(&b, "\t\t\tName:  %q,\n", e.name)
+			if e.brief != "" {
+				fmt.Fprintf(&b, "\t\t\tBrief: %q,\n", e.brief)
+			}
+			fmt.Fprintf(&b, "\t\t\tEvent: %s,\n", e.class)
+			fmt.Fprintf(&b, "\t\t\tEnc:   %s,\n", encLiteral(e))
+			if e.unit != "UnitCore" {
+				fmt.Fprintf(&b, "\t\t\tUnit:  %s,\n", e.unit)
+			}
+			if e.fixed != 0 {
+				fmt.Fprintf(&b, "\t\t\tFixedMask: %#03b,\n", e.fixed)
+			}
+			if e.ctrs != 0 {
+				fmt.Fprintf(&b, "\t\t\tCtrMask: %#04b,\n", e.ctrs)
+			}
+			fmt.Fprintf(&b, "\t\t},\n")
+		}
+		fmt.Fprintf(&b, "\t})\n")
+	}
+	b.WriteString("}\n")
+	return b.Bytes()
+}
+
+func encLiteral(e entry) string {
+	s := fmt.Sprintf("Encoding{EventSel: %#02x, Umask: %#02x", e.code, e.umask)
+	if e.cmask != 0 {
+		s += fmt.Sprintf(", CMask: %d", e.cmask)
+	}
+	if len(e.flags) > 0 {
+		s += ", Flags: " + strings.Join(e.flags, " | ")
+	}
+	return s + "}"
+}

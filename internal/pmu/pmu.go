@@ -26,6 +26,11 @@ const (
 	MSRGlobalStatus uint32 = 0x38E // IA32_PERF_GLOBAL_STATUS
 	MSRGlobalCtrl   uint32 = 0x38F // IA32_PERF_GLOBAL_CTRL
 	MSRGlobalOvf    uint32 = 0x390 // IA32_PERF_GLOBAL_OVF_CTRL
+
+	// Uncore (IMC) block, Nehalem-style MSR-programmed uncore PMU.
+	MSRUncGlobalCtrl uint32 = 0x391 // MSR_UNCORE_PERF_GLOBAL_CTRL
+	MSRUncPmc0       uint32 = 0x3B0 // MSR_UNCORE_PMC0..1
+	MSRUncEvtSel0    uint32 = 0x3C0 // MSR_UNCORE_PERFEVTSEL0..1
 )
 
 // IA32_PERFEVTSEL bit fields.
@@ -50,10 +55,13 @@ const CounterWidth = 48
 const counterMask = (uint64(1) << CounterWidth) - 1
 
 // NumProgrammable and NumFixed match the modern Intel layout the paper
-// describes: four programmable plus three fixed counters.
+// describes: four programmable plus three fixed counters. NumUncore is the
+// modeled IMC uncore counter count — enough for one read+write bandwidth
+// pair, the opening move toward a full uncore vocabulary.
 const (
 	NumProgrammable = 4
 	NumFixed        = 3
+	NumUncore       = 2
 )
 
 // Fixed-function counter meanings, in architectural order.
@@ -63,42 +71,11 @@ var fixedEvents = [NumFixed]isa.Event{
 	isa.EvRefCycles,    // IA32_FIXED_CTR2: CPU_CLK_UNHALTED.REF
 }
 
-// Encoding is an architectural event encoding (event select + unit mask).
-type Encoding struct {
-	EventSel uint8
-	Umask    uint8
-}
-
-// Sel builds an IA32_PERFEVTSEL value from the encoding and flag bits.
-func (e Encoding) Sel(flags uint64) uint64 {
-	return uint64(e.EventSel) | uint64(e.Umask)<<8 | flags
-}
-
-// EventTable maps architectural encodings onto the simulator's ground-truth
-// event classes. Each machine profile carries its own table, mirroring how
-// encodings vary between microarchitectures.
-type EventTable map[Encoding]isa.Event
-
-// Lookup resolves an IA32_PERFEVTSEL value to an event class.
-func (t EventTable) Lookup(sel uint64) (isa.Event, bool) {
-	ev, ok := t[Encoding{EventSel: uint8(sel), Umask: uint8(sel >> 8)}]
-	return ev, ok
-}
-
-// EncodingFor returns the architectural encoding that counts ev on this
-// machine, if the microarchitecture exposes one.
-func (t EventTable) EncodingFor(ev isa.Event) (Encoding, bool) {
-	for enc, e := range t {
-		if e == ev {
-			return enc, true
-		}
-	}
-	return Encoding{}, false
-}
-
-// PMU is one core's performance monitoring unit.
+// PMU is one core's performance monitoring unit (plus its socket's IMC
+// uncore block — the simulator models one core per socket, so the uncore
+// counters live here too).
 type PMU struct {
-	table EventTable
+	table *EventTable
 
 	evtsel [NumProgrammable]uint64
 	pmc    [NumProgrammable]uint64
@@ -108,6 +85,10 @@ type PMU struct {
 
 	globalCtrl   uint64
 	globalStatus uint64
+
+	uncSel        [NumUncore]uint64
+	uncPmc        [NumUncore]uint64
+	uncGlobalCtrl uint64
 
 	// onPMI is invoked (if set) when an overflow occurs on a counter with
 	// its PMI bit set. The kernel routes this to the local APIC handler.
@@ -128,6 +109,11 @@ type PMU struct {
 	activeProg  [2]uint8
 	activeFixed [2]uint8
 	progEvent   [NumProgrammable]isa.Event
+
+	// activeUnc is the single (privilege-independent — uncore counts
+	// regardless of CPL) active mask for the IMC counters.
+	activeUnc uint8
+	uncEvent  [NumUncore]isa.Event
 }
 
 // privIdx maps a privilege level onto the active-mask index.
@@ -143,6 +129,7 @@ func privIdx(priv isa.Priv) int {
 func (p *PMU) recomputeActive() {
 	p.activeProg = [2]uint8{}
 	p.activeFixed = [2]uint8{}
+	p.activeUnc = 0
 	for i := 0; i < NumProgrammable; i++ {
 		ev, ok := p.table.Lookup(p.evtsel[i])
 		if !ok {
@@ -162,10 +149,21 @@ func (p *PMU) recomputeActive() {
 			}
 		}
 	}
+	for i := 0; i < NumUncore; i++ {
+		if p.uncGlobalCtrl&(1<<uint(i)) == 0 || p.uncSel[i]&SelEn == 0 {
+			continue
+		}
+		ev, ok := p.table.LookupUncore(p.uncSel[i])
+		if !ok {
+			continue
+		}
+		p.uncEvent[i] = ev
+		p.activeUnc |= 1 << uint(i)
+	}
 }
 
-// New creates a PMU resolving encodings through table.
-func New(table EventTable) *PMU {
+// New creates a PMU resolving encodings through table (nil = empty table).
+func New(table *EventTable) *PMU {
 	return &PMU{
 		table: table,
 		// Power-on default: everything disabled, matching hardware.
@@ -181,7 +179,7 @@ func (p *PMU) SetPMIHandler(fn func(counter int, fixed bool)) { p.onPMI = fn }
 func (p *PMU) SetOverflowObserver(fn func(counter int, fixed bool)) { p.onOverflow = fn }
 
 // Table returns the PMU's event encoding table.
-func (p *PMU) Table() EventTable { return p.table }
+func (p *PMU) Table() *EventTable { return p.table }
 
 // WriteMSR implements WRMSR for the PMU register range.
 func (p *PMU) WriteMSR(addr uint32, val uint64) error {
@@ -202,6 +200,14 @@ func (p *PMU) WriteMSR(addr uint32, val uint64) error {
 	case addr == MSRGlobalOvf:
 		// Writing 1 bits clears the corresponding status bits.
 		p.globalStatus &^= val
+	case addr >= MSRUncPmc0 && addr < MSRUncPmc0+NumUncore:
+		p.uncPmc[addr-MSRUncPmc0] = val & counterMask
+	case addr >= MSRUncEvtSel0 && addr < MSRUncEvtSel0+NumUncore:
+		p.uncSel[addr-MSRUncEvtSel0] = val
+		p.recomputeActive()
+	case addr == MSRUncGlobalCtrl:
+		p.uncGlobalCtrl = val
+		p.recomputeActive()
 	case addr == MSRGlobalStatus:
 		return fmt.Errorf("pmu: IA32_PERF_GLOBAL_STATUS is read-only")
 	default:
@@ -225,6 +231,12 @@ func (p *PMU) ReadMSR(addr uint32) (uint64, error) {
 		return p.globalCtrl, nil
 	case addr == MSRGlobalStatus:
 		return p.globalStatus, nil
+	case addr >= MSRUncPmc0 && addr < MSRUncPmc0+NumUncore:
+		return p.uncPmc[addr-MSRUncPmc0], nil
+	case addr >= MSRUncEvtSel0 && addr < MSRUncEvtSel0+NumUncore:
+		return p.uncSel[addr-MSRUncEvtSel0], nil
+	case addr == MSRUncGlobalCtrl:
+		return p.uncGlobalCtrl, nil
 	default:
 		return 0, fmt.Errorf("pmu: RDMSR from unknown MSR %#x", addr)
 	}
@@ -306,6 +318,17 @@ func (p *PMU) AddCounts(c isa.Counts, priv isa.Priv) {
 			p.overflowFixed(i)
 		}
 	}
+	// Uncore counters observe all traffic regardless of privilege, wrap at
+	// the same 48-bit width, and raise no PMI (the modeled IMC block has no
+	// interrupt wiring — tools poll it).
+	for m := p.activeUnc; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros8(m)
+		n := c[p.uncEvent[i]]
+		if n == 0 {
+			continue
+		}
+		p.uncPmc[i] = (p.uncPmc[i] + n) & counterMask
+	}
 }
 
 func (p *PMU) overflowProg(i int) {
@@ -378,6 +401,12 @@ func (p *PMU) Snapshot() string {
 	}
 	for i := 0; i < NumFixed; i++ {
 		out += fmt.Sprintf("FIXED%d=%d (%s)\n", i, p.fixed[i], fixedEvents[i])
+	}
+	if p.uncGlobalCtrl != 0 {
+		out += fmt.Sprintf("UNC_GLOBAL_CTRL=%#x\n", p.uncGlobalCtrl)
+		for i := 0; i < NumUncore; i++ {
+			out += fmt.Sprintf("UNC_PMC%d=%d SEL%d=%#x\n", i, p.uncPmc[i], i, p.uncSel[i])
+		}
 	}
 	return out
 }

@@ -8,13 +8,13 @@ import (
 	"kleb/internal/isa"
 )
 
-func testTable() EventTable {
-	return EventTable{
+func testTable() *EventTable {
+	return TableFromClasses("test", map[Encoding]isa.Event{
 		{EventSel: 0x2E, Umask: 0x41}: isa.EvLLCMisses,
 		{EventSel: 0x2E, Umask: 0x4F}: isa.EvLLCRefs,
 		{EventSel: 0x0B, Umask: 0x01}: isa.EvLoads,
 		{EventSel: 0x0B, Umask: 0x02}: isa.EvStores,
-	}
+	})
 }
 
 func testPMU() *PMU { return New(testTable()) }

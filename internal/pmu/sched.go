@@ -1,0 +1,323 @@
+// Event scheduler: packs requested event classes onto the PMU's counters
+// under the table's per-event constraints, and produces the rotation rounds
+// a kernel multiplexes through when a request oversubscribes a counter
+// pool. This is the single placement algorithm every tool layer shares —
+// perf_events rotates through the rounds on its mux timer, K-LEB refuses
+// any schedule that needs more than one round.
+package pmu
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"kleb/internal/isa"
+)
+
+// CounterClass identifies which counter pool an assignment lives in.
+type CounterClass uint8
+
+const (
+	// CtrProgrammable is a core PMC (IA32_PMCx).
+	CtrProgrammable CounterClass = iota
+	// CtrFixed is a fixed-function counter (IA32_FIXED_CTRx).
+	CtrFixed
+	// CtrUncore is an IMC uncore counter (MSR_UNCORE_PMCx).
+	CtrUncore
+)
+
+func (c CounterClass) String() string {
+	switch c {
+	case CtrFixed:
+		return "fixed"
+	case CtrUncore:
+		return "uncore"
+	}
+	return "pmc"
+}
+
+// Assignment places one requested event on one counter for one round.
+type Assignment struct {
+	// Index is the event's position in the scheduled request list.
+	Index int
+	// Event is the requested event class.
+	Event isa.Event
+	// Class is the counter pool; Counter the index within it.
+	Class   CounterClass
+	Counter int
+}
+
+// Round is one multiplexing window: the events simultaneously on counters.
+type Round []Assignment
+
+// Schedule is a complete placement: one round when everything fits, a
+// rotation of rounds when a pool is oversubscribed.
+type Schedule struct {
+	// Rounds are the rotation windows, cycled in order.
+	Rounds []Round
+	// N is the number of requested events.
+	N int
+}
+
+// Multiplexed reports whether the request needs time multiplexing.
+func (s *Schedule) Multiplexed() bool { return len(s.Rounds) > 1 }
+
+// Find returns request index i's assignment within round r, if it has a
+// counter that round.
+func (s *Schedule) Find(r, i int) (Assignment, bool) {
+	for _, a := range s.Rounds[r%len(s.Rounds)] {
+		if a.Index == i {
+			return a, true
+		}
+	}
+	return Assignment{}, false
+}
+
+// placement is the per-request constraint view the packer works from.
+type placement struct {
+	idx   int
+	ev    isa.Event
+	fixed uint8 // capable fixed counters (core unit only)
+	ctrs  uint8 // capable programmable counters in its pool
+	unc   bool  // competes for the uncore pool
+}
+
+// constraints resolves one request against the table. Architectural fixed
+// events are always countable — even on tables that omit them — because
+// the fixed counters are hardwired to them.
+func (t *EventTable) constraints(idx int, ev isa.Event) (placement, error) {
+	p := placement{idx: idx, ev: ev}
+	if d, ok := t.DescFor(ev); ok {
+		p.fixed = d.FixedMask
+		p.ctrs = d.CtrMask
+		p.unc = d.Unit == UnitIMC
+	} else if fi := FixedIndexFor(ev); fi >= 0 {
+		p.fixed = 1 << uint(fi)
+	} else {
+		return p, fmt.Errorf("pmu: event %v is not in the %s event table", ev, t.Arch())
+	}
+	if p.fixed == 0 && p.ctrs == 0 {
+		return p, fmt.Errorf("pmu: event %v has no usable counters on %s", ev, t.Arch())
+	}
+	return p, nil
+}
+
+// Schedule packs the requested events onto counters. When every event fits
+// simultaneously the schedule has a single round; when a pool is
+// oversubscribed it returns the full rotation cycle. An event that cannot
+// be placed even on an otherwise-empty PMU (unknown encoding, or a
+// constraint mask with no counters) is an error — requests are never
+// silently dropped.
+func (t *EventTable) Schedule(events []isa.Event) (*Schedule, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("pmu: empty event request")
+	}
+	reqs := make([]placement, len(events))
+	for i, ev := range events {
+		p, err := t.constraints(i, ev)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = p
+	}
+
+	// Single-round attempt with no rotation: the common non-multiplexed case.
+	if round, all := packRound(reqs, 0); all {
+		return &Schedule{Rounds: []Round{round}, N: len(events)}, nil
+	}
+
+	// Oversubscribed. Every event must still be placeable alone, otherwise
+	// rotation can never serve it.
+	for _, r := range reqs {
+		if _, ok := packOne(r); !ok {
+			return nil, fmt.Errorf(
+				"pmu: event %v cannot be placed on any counter it is constrained to (fixed mask %#x, ctr mask %#x)",
+				r.ev, r.fixed, r.ctrs)
+		}
+	}
+	// Coverage guarantee: pool-size arithmetic alone cannot see
+	// constraint-induced oversubscription (two events pinned to the same
+	// counter starve each other inside an otherwise-idle pool), so grow the
+	// cycle until every request holds a counter in at least one round. A
+	// rotation always needs at least two rounds — a one-round "rotation"
+	// would repeat the failed simultaneous packing forever.
+	n := rotationCount(reqs)
+	if n < 2 {
+		n = 2
+	}
+	rounds := buildRounds(reqs, n)
+	for !covers(rounds, len(reqs)) && n < 64 {
+		n++
+		rounds = buildRounds(reqs, n)
+	}
+	if !covers(rounds, len(reqs)) {
+		return nil, fmt.Errorf("pmu: no %d-round rotation covers all %d requested events", len(rounds), len(events))
+	}
+	return &Schedule{Rounds: rounds, N: len(events)}, nil
+}
+
+// buildRounds packs one full rotation cycle of n windows.
+func buildRounds(reqs []placement, n int) []Round {
+	rounds := make([]Round, n)
+	for r := range rounds {
+		round, _ := packRound(reqs, r)
+		rounds[r] = round
+	}
+	return rounds
+}
+
+// covers reports whether every request index is placed in some round.
+func covers(rounds []Round, n int) bool {
+	placed := make([]bool, n)
+	for _, round := range rounds {
+		for _, a := range round {
+			placed[a.Index] = true
+		}
+	}
+	for _, ok := range placed {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// rotationCount is the number of rounds one full fairness cycle needs: the
+// size of each oversubscribed pool's request list, combined by lcm when
+// several pools rotate at once (capped — the cap only rounds off fairness,
+// never drops an event).
+func rotationCount(reqs []placement) int {
+	var nFixed, nProg, nUnc int
+	for _, r := range reqs {
+		switch classOf(r) {
+		case CtrFixed:
+			nFixed++
+		case CtrUncore:
+			nUnc++
+		default:
+			nProg++
+		}
+	}
+	n := 1
+	if nFixed > NumFixed {
+		n = lcm(n, nFixed)
+	}
+	if nProg > NumProgrammable {
+		n = lcm(n, nProg)
+	}
+	if nUnc > NumUncore {
+		n = lcm(n, nUnc)
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// classOf is the pool a request primarily competes in. Fixed-capable
+// events count as fixed-pool even when they can spill to PMCs: the spill
+// is a placement fallback, not a rotation driver.
+func classOf(r placement) CounterClass {
+	switch {
+	case r.fixed != 0:
+		return CtrFixed
+	case r.unc:
+		return CtrUncore
+	}
+	return CtrProgrammable
+}
+
+func lcm(a, b int) int {
+	g, x := a, b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return a / g * b
+}
+
+// packRound greedily places one rotation window: each pool's request list
+// is rotated by rot, ordered most-constrained-first (stable, so
+// unconstrained requests keep their rotated order — reproducing perf's
+// classic window rotation exactly when no constraints are in play), and
+// placed first-fit on the lowest free capable counter. Returns the round
+// and whether every request was placed.
+func packRound(reqs []placement, rot int) (Round, bool) {
+	var fixedReqs, progReqs, uncReqs []placement
+	for _, r := range reqs {
+		switch classOf(r) {
+		case CtrFixed:
+			fixedReqs = append(fixedReqs, r)
+		case CtrUncore:
+			uncReqs = append(uncReqs, r)
+		default:
+			progReqs = append(progReqs, r)
+		}
+	}
+	order := make([]placement, 0, len(reqs))
+	order = append(order, constrainedOrder(rotate(fixedReqs, rot))...)
+	order = append(order, constrainedOrder(rotate(progReqs, rot))...)
+	order = append(order, constrainedOrder(rotate(uncReqs, rot))...)
+
+	var usedFixed, usedProg, usedUnc uint8
+	round := make(Round, 0, len(order))
+	all := true
+	for _, r := range order {
+		a, ok := place(r, &usedFixed, &usedProg, &usedUnc)
+		if !ok {
+			all = false
+			continue
+		}
+		round = append(round, a)
+	}
+	return round, all
+}
+
+// packOne reports whether a request fits on an empty PMU.
+func packOne(r placement) (Assignment, bool) {
+	var f, p, u uint8
+	return place(r, &f, &p, &u)
+}
+
+// place puts one request on the lowest free counter it is capable of:
+// fixed first (fixed counters serve only their hardwired event, so they
+// are never worth saving), then the programmable pool under the ctr mask.
+func place(r placement, usedFixed, usedProg, usedUnc *uint8) (Assignment, bool) {
+	if free := r.fixed &^ *usedFixed; free != 0 {
+		i := bits.TrailingZeros8(free)
+		*usedFixed |= 1 << uint(i)
+		return Assignment{Index: r.idx, Event: r.ev, Class: CtrFixed, Counter: i}, true
+	}
+	pool, used := CtrProgrammable, usedProg
+	if r.unc {
+		pool, used = CtrUncore, usedUnc
+	}
+	if free := r.ctrs &^ *used; free != 0 {
+		i := bits.TrailingZeros8(free)
+		*used |= 1 << uint(i)
+		return Assignment{Index: r.idx, Event: r.ev, Class: pool, Counter: i}, true
+	}
+	return Assignment{}, false
+}
+
+// rotate returns reqs rotated left by rot (mod len).
+func rotate(reqs []placement, rot int) []placement {
+	n := len(reqs)
+	if n == 0 || rot%n == 0 {
+		return reqs
+	}
+	rot %= n
+	out := make([]placement, 0, n)
+	out = append(out, reqs[rot:]...)
+	out = append(out, reqs[:rot]...)
+	return out
+}
+
+// constrainedOrder stably sorts requests so tighter counter masks place
+// first; equal-constraint requests keep their incoming (rotated) order.
+func constrainedOrder(reqs []placement) []placement {
+	out := append([]placement(nil), reqs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return bits.OnesCount8(out[i].ctrs|out[i].fixed) < bits.OnesCount8(out[j].ctrs|out[j].fixed)
+	})
+	return out
+}

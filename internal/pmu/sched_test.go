@@ -1,0 +1,222 @@
+package pmu
+
+import (
+	"reflect"
+	"testing"
+
+	"kleb/internal/isa"
+)
+
+// TestLookupRoundTripAllArches is the lossless-resolution property of every
+// generated table: for every event with a programmable encoding, any
+// combination of per-use filter flags layered onto Sel must resolve back to
+// the same event class — filter bits (USR/OS/INT/EN) never participate in
+// event identity.
+func TestLookupRoundTripAllArches(t *testing.T) {
+	filterCombos := []uint64{
+		0,
+		SelUsr,
+		SelOS,
+		SelUsr | SelOS,
+		SelUsr | SelEn,
+		SelUsr | SelOS | SelInt | SelEn,
+		SelOS | SelInt,
+	}
+	for _, arch := range Arches() {
+		table := MustTable(arch)
+		for _, d := range table.Descs() {
+			enc, ok := table.EncodingFor(d.Event)
+			if d.FixedOnly() {
+				if ok {
+					t.Errorf("%s: EncodingFor(%v) succeeded for a fixed-only event", arch, d.Event)
+				}
+				continue
+			}
+			if !ok {
+				t.Errorf("%s: EncodingFor(%v) failed", arch, d.Event)
+				continue
+			}
+			if enc != d.Enc {
+				t.Errorf("%s: EncodingFor(%v) = %v, want %v", arch, d.Event, enc, d.Enc)
+			}
+			lookup := table.Lookup
+			if d.Unit == UnitIMC {
+				lookup = table.LookupUncore
+			}
+			for _, flags := range filterCombos {
+				ev, ok := lookup(enc.Sel(flags))
+				if !ok || ev != d.Event {
+					t.Errorf("%s: Lookup(%v.Sel(%#x)) = %v,%v, want %v", arch, enc, flags, ev, ok, d.Event)
+				}
+			}
+			// decodeEncoding must invert Bits exactly (the hot-path key).
+			if got := decodeEncoding(enc.Sel(SelUsr | SelOS | SelInt | SelEn)); got != enc {
+				t.Errorf("%s: decodeEncoding(Sel) = %v, want %v", arch, got, enc)
+			}
+		}
+	}
+}
+
+// spillTable builds a synthetic table where cycles is fixed-capable with a
+// PMC fallback, plus enough plain events to force the spill.
+func spillTable(t *testing.T) *EventTable {
+	t.Helper()
+	descs := []EventDesc{
+		{Name: "CYCLES.A", Event: isa.EvCycles, Enc: Encoding{EventSel: 0x3C}, FixedMask: 1 << 1, CtrMask: 0xF},
+		{Name: "LOADS", Event: isa.EvLoads, Enc: Encoding{EventSel: 0x0B, Umask: 0x01}, CtrMask: 0xF},
+		{Name: "STORES", Event: isa.EvStores, Enc: Encoding{EventSel: 0x0B, Umask: 0x02}, CtrMask: 0xF},
+		{Name: "BRANCHES", Event: isa.EvBranches, Enc: Encoding{EventSel: 0xC4}, CtrMask: 0xF},
+		{Name: "MISSES", Event: isa.EvLLCMisses, Enc: Encoding{EventSel: 0x2E, Umask: 0x41}, CtrMask: 0xF},
+	}
+	table, err := NewTable("spill-test", descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+// TestScheduleFixedEventStaysOnFixedCounter: a fixed-capable event must
+// take its fixed counter, leaving all four PMCs for the others — five
+// requests, one round.
+func TestScheduleFixedEventStaysOnFixedCounter(t *testing.T) {
+	table := spillTable(t)
+	sched, err := table.Schedule([]isa.Event{isa.EvCycles, isa.EvLoads, isa.EvStores, isa.EvBranches, isa.EvLLCMisses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Multiplexed() {
+		t.Fatalf("5 events with a fixed-capable cycles multiplexed: %d rounds", len(sched.Rounds))
+	}
+	a, ok := sched.Find(0, 0)
+	if !ok || a.Class != CtrFixed || a.Counter != 1 {
+		t.Errorf("cycles assignment = %+v,%v, want fixed counter 1", a, ok)
+	}
+}
+
+// TestScheduleUnsatisfiable: an event whose constraint masks admit no
+// counter at all must error, never silently drop.
+func TestScheduleUnsatisfiable(t *testing.T) {
+	table, err := NewTable("unsat-test", []EventDesc{
+		{Name: "REF", Event: isa.EvRefCycles, Enc: Encoding{EventSel: 0x3C, Umask: 1}, FixedMask: 1 << 2}, // fixed-only
+		{Name: "LOADS", Event: isa.EvLoads, Enc: Encoding{EventSel: 0x0B, Umask: 1}, CtrMask: 0xF},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An event the table does not know at all.
+	if _, err := table.Schedule([]isa.Event{isa.EvLoads, isa.EvFPOps}); err == nil {
+		t.Error("unknown event scheduled without error")
+	}
+	// Architectural fixed events schedule even without a table entry (the
+	// hardwired counters serve them); non-fixed events do not.
+	if _, err := table.Schedule([]isa.Event{isa.EvRefCycles, isa.EvLoads}); err != nil {
+		t.Errorf("fixed-only ref-cycles failed to schedule: %v", err)
+	}
+}
+
+// TestScheduleConstrainedOversubscription: two events pinned to the same
+// two counters plus one more pinned event forces rotation of the
+// constrained pool while unconstrained events keep counters every round.
+func TestScheduleConstrainedOversubscription(t *testing.T) {
+	table, err := NewTable("pin-test", []EventDesc{
+		{Name: "A", Event: isa.EvMulOps, Enc: Encoding{EventSel: 0x14}, CtrMask: 0x1}, // PMC0 only
+		{Name: "B", Event: isa.EvFPOps, Enc: Encoding{EventSel: 0x10}, CtrMask: 0x1},  // PMC0 only
+		{Name: "C", Event: isa.EvLoads, Enc: Encoding{EventSel: 0x0B}, CtrMask: 0xF},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := table.Schedule([]isa.Event{isa.EvMulOps, isa.EvFPOps, isa.EvLoads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Multiplexed() {
+		t.Fatal("two events pinned to one counter did not multiplex")
+	}
+	// Over a full rotation cycle every request must hold a counter at least
+	// once, and the unconstrained event must hold one every round.
+	seen := make([]int, 3)
+	for r := range sched.Rounds {
+		for i := 0; i < 3; i++ {
+			if _, ok := sched.Find(r, i); ok {
+				seen[i]++
+			}
+		}
+		if _, ok := sched.Find(r, 2); !ok {
+			t.Errorf("round %d: unconstrained loads lost its counter", r)
+		}
+	}
+	for i, n := range seen {
+		if n == 0 {
+			t.Errorf("request %d never placed across %d rounds", i, len(sched.Rounds))
+		}
+	}
+}
+
+// TestScheduleUncoreRotation: oversubscribing the 2-counter uncore pool
+// rotates it independently of an untouched core pool.
+func TestScheduleUncoreRotation(t *testing.T) {
+	table, err := NewTable("unc-test", []EventDesc{
+		{Name: "RD", Event: isa.EvCASReads, Enc: Encoding{EventSel: 0x04, Umask: 0x03}, Unit: UnitIMC, CtrMask: 0x3},
+		{Name: "WR", Event: isa.EvCASWrites, Enc: Encoding{EventSel: 0x04, Umask: 0x0C}, Unit: UnitIMC, CtrMask: 0x3},
+		{Name: "FLUSH", Event: isa.EvCacheFlushes, Enc: Encoding{EventSel: 0xAE}, Unit: UnitIMC, CtrMask: 0x3},
+		{Name: "LOADS", Event: isa.EvLoads, Enc: Encoding{EventSel: 0x0B}, CtrMask: 0xF},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := table.Schedule([]isa.Event{isa.EvCASReads, isa.EvCASWrites, isa.EvCacheFlushes, isa.EvLoads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sched.Rounds); got != 3 {
+		t.Fatalf("3 uncore events on %d uncore counters: %d rounds, want 3", NumUncore, got)
+	}
+	for r, round := range sched.Rounds {
+		unc := 0
+		for _, a := range round {
+			switch a.Class {
+			case CtrUncore:
+				unc++
+				if a.Counter >= NumUncore {
+					t.Errorf("round %d: uncore counter %d out of range", r, a.Counter)
+				}
+			case CtrProgrammable:
+				if a.Event != isa.EvLoads {
+					t.Errorf("round %d: %v placed on a core PMC", r, a.Event)
+				}
+			}
+		}
+		if unc != NumUncore {
+			t.Errorf("round %d: %d uncore counters used, want %d (pool should stay full)", r, unc, NumUncore)
+		}
+		if _, ok := sched.Find(r, 3); !ok {
+			t.Errorf("round %d: core loads lost its counter to uncore rotation", r)
+		}
+	}
+}
+
+// TestScheduleDeterministic: repeated scheduling of the same request on the
+// same table yields identical schedules — the property the byte-identical
+// artifact goldens stand on.
+func TestScheduleDeterministic(t *testing.T) {
+	table := MustTable("nehalem")
+	req := []isa.Event{
+		isa.EvLoads, isa.EvStores, isa.EvBranches, isa.EvLLCMisses,
+		isa.EvBranchMisses, isa.EvLLCRefs, isa.EvMulOps, isa.EvDTLBMisses,
+		isa.EvInstructions, isa.EvCASReads,
+	}
+	first, err := table.Schedule(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		again, err := table.Schedule(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("schedule %d differs:\n%+v\nvs\n%+v", i, first, again)
+		}
+	}
+}

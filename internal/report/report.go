@@ -208,5 +208,23 @@ func (r *Writer) Sweep(res *experiments.SweepResult) {
 	}
 }
 
+// Multiplex renders the multiplexing-error sweep.
+func (r *Writer) Multiplex(res *experiments.MultiplexResult) {
+	r.section("Multiplexing error (§II-B) — scaled estimates vs exact counts")
+	r.printf("| N | rounds | event | perf-stat (scaled) | scale | K-LEB exact | err %% |\n")
+	r.printf("|---|---|---|---|---|---|---|\n")
+	for _, row := range res.Rows {
+		for i, c := range row.Cells {
+			nCol, rCol := "", ""
+			if i == 0 {
+				nCol = fmt.Sprintf("%d", row.N)
+				rCol = fmt.Sprintf("%d", row.Rounds)
+			}
+			r.printf("| %s | %s | %s | %d | %.3f | %d | %+.3f |\n",
+				nCol, rCol, c.Event, c.Reported, c.Scale, c.Exact, c.ErrPct)
+		}
+	}
+}
+
 // Sections returns how many sections were emitted (for tests).
 func (r *Writer) Sections() int { return r.sections }

@@ -67,6 +67,14 @@ func TestReportRendersAllSections(t *testing.T) {
 	}
 	r.Sweep(sw)
 
+	mx, err := experiments.RunMultiplex(experiments.MultiplexConfig{
+		Workload: experiments.WorkloadDgemm, Counts: []int{2, 6}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Multiplex(mx)
+
 	if r.Err() != nil {
 		t.Fatal(r.Err())
 	}
@@ -82,6 +90,7 @@ func TestReportRendersAllSections(t *testing.T) {
 		"## Fig 9",
 		"## Timer granularity",
 		"## Rate sweep",
+		"## Multiplexing error",
 		"| kleb |",
 		"n/a (", // LiMiT's Table III row
 		"37.24", // the paper column is present
@@ -91,7 +100,7 @@ func TestReportRendersAllSections(t *testing.T) {
 			t.Errorf("report missing %q", want)
 		}
 	}
-	if r.Sections() != 9 {
+	if r.Sections() != 10 {
 		t.Errorf("sections: %d", r.Sections())
 	}
 	// Markdown sanity: every table row line has balanced pipes.

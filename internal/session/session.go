@@ -229,7 +229,14 @@ func StartTarget(m *machine.Machine, name string, prog kernel.Program, tool moni
 	// already in the run queue.
 	target := m.Kernel().SpawnStopped(name, prog)
 	if tool != nil {
-		if err := tool.Attach(m, target, prog, cfg); err != nil {
+		// Raw encodings resolve against the booted machine's event table —
+		// this is the one place a request by architectural encoding becomes a
+		// request by event class, so every tool below sees a uniform config.
+		resolved, err := cfg.ResolveRaw(m.Profile().Events)
+		if err != nil {
+			return nil, fmt.Errorf("session: attach %s: %w", tool.Name(), err)
+		}
+		if err := tool.Attach(m, target, prog, resolved); err != nil {
 			return nil, fmt.Errorf("session: attach %s: %w", tool.Name(), err)
 		}
 	}

@@ -151,5 +151,10 @@ func (c *chromeWriter) event(e Event) {
 		c.instant("run-degraded", 0, ns)
 		c.printf(",\"args\":{\"reason\":%q}", e.Name)
 		c.end()
+	case KindMuxRotate:
+		c.instant("mux-rotate", e.PID, ns)
+		c.printf(",\"args\":{\"round\":%d,\"rounds\":%d,\"placed\":%d}",
+			e.Arg1, e.Arg2>>32, uint32(e.Arg2))
+		c.end()
 	}
 }

@@ -44,6 +44,11 @@ func (s *Sink) WritePrometheus(w io.Writer) error {
 	if r.RunsDegraded.Value() > 0 {
 		pw.counter("kleb_runs_degraded_total", "Runs that finished degraded (partial data).", &r.RunsDegraded)
 	}
+	// Multiplexing rotations appear only when a context actually rotated, so
+	// non-multiplexed runs keep their exposition unchanged.
+	if r.MuxRotations.Value() > 0 {
+		pw.counter("kleb_mux_rotations_total", "perf_events multiplexing round rotations.", &r.MuxRotations)
+	}
 	return pw.err
 }
 

@@ -58,6 +58,10 @@ const (
 	KindCtlRetry
 	// KindDegraded: a run finished degraded (partial data). Name = reason.
 	KindDegraded
+	// KindMuxRotate: perf_events rotated a multiplexed context to its next
+	// scheduling round. PID = target, Arg1 = round index, Arg2 = packed
+	// (rounds << 32) | events placed this round.
+	KindMuxRotate
 
 	numKinds
 )
@@ -82,6 +86,7 @@ var kindNames = [numKinds]string{
 	KindFault:        "fault",
 	KindCtlRetry:     "ctl-retry",
 	KindDegraded:     "run-degraded",
+	KindMuxRotate:    "mux-rotate",
 }
 
 // String returns the kind's stable wire name (used in both exporters).

@@ -223,6 +223,7 @@ type Registry struct {
 	PMIs         Counter
 	PMILatency   Histogram // raise-to-delivery, ns
 	PMUOverflows Counter
+	MuxRotations Counter // perf_events multiplexing round rotations
 
 	// Module traffic.
 	Ioctls CounterVec // by device
@@ -274,6 +275,7 @@ func (r *Registry) Merge(o *Registry) error {
 	r.PMIs.Add(o.PMIs.n)
 	r.PMILatency.merge(&o.PMILatency)
 	r.PMUOverflows.Add(o.PMUOverflows.n)
+	r.MuxRotations.Add(o.MuxRotations.n)
 	r.Samples.Add(o.Samples.n)
 	r.RingHighWater.SetMax(o.RingHighWater.v)
 	r.RingPauses.Add(o.RingPauses.n)

@@ -197,6 +197,18 @@ func (s *Sink) PMUOverflow(now ktime.Time, counter int, fixed bool) {
 	s.rec.record(Event{Time: now, Kind: KindOverflow, Arg1: counterArg(counter, fixed)})
 }
 
+// MuxRotate records perf_events rotating a multiplexed context to its next
+// scheduling round: the target pid, the round index within the rotation
+// cycle, the cycle length and how many requested events got counters.
+func (s *Sink) MuxRotate(now ktime.Time, pid int32, round, rounds, placed int) {
+	if s == nil {
+		return
+	}
+	s.reg.MuxRotations.Add(1)
+	s.rec.record(Event{Time: now, Kind: KindMuxRotate, PID: pid,
+		Arg1: uint64(round), Arg2: uint64(rounds)<<32 | uint64(uint32(placed))})
+}
+
 // counterArg packs a counter index with its fixed/programmable class.
 func counterArg(counter int, fixed bool) uint64 {
 	v := uint64(uint32(counter))

@@ -71,6 +71,11 @@ func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, prog kernel.Pr
 	if n := len(cfg.ProgrammableEvents()); n > pmu.NumProgrammable {
 		return fmt.Errorf("limit: %d programmable events exceed the %d hardware counters", n, pmu.NumProgrammable)
 	}
+	// LiMiT virtualizes the core counters via rdpmc from user space; the
+	// uncore PMU has no rdpmc path and is socket-wide, not per-process.
+	if unc := cfg.UncoreEvents(); len(unc) > 0 {
+		return fmt.Errorf("limit: uncore event %v is not readable via rdpmc", unc[0])
+	}
 	t.cfg = cfg
 	t.events = cfg.Events
 	t.machine = m

@@ -62,6 +62,11 @@ func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, prog kernel.Pr
 	if n := len(cfg.ProgrammableEvents()); n > 4 {
 		return fmt.Errorf("papi: event set of %d programmable events exceeds the %d hardware counters", n, 4)
 	}
+	// Classic PAPI presets cover the core PMU only; uncore access needs the
+	// papi-libpfm4 component stack this baseline does not model.
+	if unc := cfg.UncoreEvents(); len(unc) > 0 {
+		return fmt.Errorf("papi: uncore event %v has no PAPI preset", unc[0])
+	}
 	t.cfg = cfg
 	t.events = cfg.Events
 	t.totals = make([]uint64, len(cfg.Events))

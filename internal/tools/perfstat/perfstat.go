@@ -36,6 +36,7 @@ type Tool struct {
 	events  []isa.Event
 	samples []monitor.Sample
 	totals  map[isa.Event]uint64
+	scales  map[isa.Event]float64
 }
 
 var _ monitor.Tool = (*Tool)(nil)
@@ -55,6 +56,7 @@ func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, _ kernel.Progr
 	t.cfg = cfg
 	t.events = cfg.Events
 	t.totals = make(map[isa.Event]uint64)
+	t.scales = make(map[isa.Event]float64)
 	jiffy := m.Kernel().Costs().Jiffy
 	t.period = cfg.Period
 	if t.period < jiffy {
@@ -74,13 +76,17 @@ func (t *Tool) ResumesTarget() bool { return true }
 
 // Collect implements monitor.Tool.
 func (t *Tool) Collect() monitor.Result {
-	return monitor.Result{
+	res := monitor.Result{
 		Tool:      t.Name(),
 		Events:    t.events,
 		Samples:   t.samples,
 		Totals:    t.totals,
 		Estimated: t.multi,
 	}
+	if t.multi {
+		res.Scale = t.scales
+	}
+	return res
 }
 
 // perfProc is the perf process's program.
@@ -165,7 +171,8 @@ func (pp *perfProc) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
 			pe := pp.events[pp.readIdx]
 			pp.readIdx++
 			return kernel.OpSyscall{Name: "read", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
-				pp.reads = append(pp.reads, scaledRead(k, pe))
+				v, _ := scaledRead(k, pe)
+				pp.reads = append(pp.reads, v)
 				return nil
 			}}
 		}
@@ -183,7 +190,9 @@ func (pp *perfProc) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
 			idx := pp.readIdx
 			pp.readIdx++
 			return kernel.OpSyscall{Name: "read", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
-				pp.tool.totals[pp.tool.events[idx]] = scaledRead(k, pe)
+				v, scale := scaledRead(k, pe)
+				pp.tool.totals[pp.tool.events[idx]] = v
+				pp.tool.scales[pp.tool.events[idx]] = scale
 				return nil
 			}}
 		}
@@ -204,11 +213,13 @@ func (pp *perfProc) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
 }
 
 // scaledRead performs the perf_events read and applies the enabled/running
-// multiplexing scaling user-space perf applies.
-func scaledRead(k *kernel.Kernel, pe *kernel.PerfEvent) uint64 {
+// multiplexing scaling user-space perf applies, also reporting the factor
+// (1.0 = the event held its counter whenever the context ran, exact count).
+func scaledRead(k *kernel.Kernel, pe *kernel.PerfEvent) (uint64, float64) {
 	v, enabled, running := k.Perf().Read(pe)
 	if running == 0 || enabled == running {
-		return v
+		return v, 1.0
 	}
-	return uint64(float64(v) * float64(enabled) / float64(running))
+	scale := float64(enabled) / float64(running)
+	return uint64(float64(v) * scale), scale
 }

@@ -25,7 +25,7 @@ func testKernel(seed uint64) *kernel.Kernel {
 		},
 		MaxSimAccesses: 128,
 	}
-	core := cpu.New(cfg, pmu.New(pmu.EventTable{}), ktime.NewRand(seed))
+	core := cpu.New(cfg, pmu.New(nil), ktime.NewRand(seed))
 	costs := kernel.DefaultCosts()
 	costs.NoiseRel = 0
 	costs.RunNoiseRel = 0

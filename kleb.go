@@ -33,6 +33,7 @@ import (
 	"kleb/internal/ktime"
 	"kleb/internal/machine"
 	"kleb/internal/monitor"
+	"kleb/internal/pmu"
 	"kleb/internal/power"
 	"kleb/internal/session"
 	"kleb/internal/telemetry"
@@ -63,10 +64,41 @@ const (
 	ArithMuls        = isa.EvMulOps
 	FloatingPointOps = isa.EvFPOps
 	CacheFlushes     = isa.EvCacheFlushes
+	DTLBMisses       = isa.EvDTLBMisses
+	StallCycles      = isa.EvStallCycles
+	// MemoryReads / MemoryWrites are uncore (IMC) events: socket-wide DRAM
+	// CAS command counts. Only K-LEB and perf stat can collect them.
+	MemoryReads  = isa.EvCASReads
+	MemoryWrites = isa.EvCASWrites
 )
 
 // EventByName resolves a mnemonic such as "LLC_MISSES".
 func EventByName(name string) (Event, bool) { return isa.EventByName(name) }
+
+// Encoding is an architectural event encoding (event select + umask +
+// modifier flags), the hardware-level vocabulary behind the Event classes.
+type Encoding = pmu.Encoding
+
+// ParseRawEvent parses perf's raw event syntax "rUUEE" (umask UU, event
+// select EE, both hex) into an Encoding, e.g. "r412e" = LLC misses.
+func ParseRawEvent(s string) (Encoding, error) {
+	enc, ok := pmu.ParseRawEncoding(s)
+	if !ok {
+		return Encoding{}, fmt.Errorf("kleb: %q is not a raw event (syntax rUUEE, hex umask and event select)", s)
+	}
+	return enc, nil
+}
+
+// WriteEventTable renders the machine's architectural event table — every
+// event the PMU decodes, its encoding, and which counters can host it.
+func WriteEventTable(w io.Writer, m MachineKind) error {
+	prof, err := profileFor(m)
+	if err != nil {
+		return err
+	}
+	prof.Events.Render(w)
+	return nil
+}
 
 // Time and Duration are instants/spans of virtual time in nanoseconds.
 type (
@@ -255,6 +287,11 @@ type CollectOptions struct {
 	// Events are the hardware events to collect (required; at most four
 	// beyond the fixed instructions/cycles/ref-cycles counters for K-LEB).
 	Events []Event
+	// RawEvents requests additional events by architectural encoding (perf's
+	// rUUEE syntax, see ParseRawEvent). Each encoding is resolved against the
+	// machine's event table at attach time and appended to Events; an
+	// encoding the machine does not expose is an error.
+	RawEvents []Encoding
 	// Period is the sampling interval; K-LEB sustains 100µs, user-timer
 	// tools bottom out at 10ms (default 10ms).
 	Period Duration
@@ -305,6 +342,10 @@ type Report struct {
 	Totals map[Event]uint64
 	// Estimated marks totals derived by sampling/multiplexing estimation.
 	Estimated bool
+	// Scale is the per-event enabled/running extrapolation factor a
+	// multiplexing tool applied (1.0 = exact count); nil for tools that
+	// never multiplex.
+	Scale map[Event]float64
 	// Elapsed is the workload's execution time; GFLOPS is derived from the
 	// workload's nominal flop count when it has one.
 	Elapsed Duration
@@ -442,6 +483,7 @@ func monitoredSpec(opts CollectOptions, prof machine.Profile, kind ToolKind, per
 		},
 		Config: monitor.Config{
 			Events:        opts.Events,
+			Raw:           opts.RawEvents,
 			Period:        period,
 			ExcludeKernel: !opts.IncludeKernel,
 		},
@@ -461,6 +503,7 @@ func reportFrom(opts CollectOptions, kind ToolKind, run *session.Result) *Report
 		Samples:        run.Result.Samples,
 		Totals:         run.Result.Totals,
 		Estimated:      run.Result.Estimated,
+		Scale:          run.Result.Scale,
 		Elapsed:        run.Elapsed,
 		DroppedSamples: run.Result.Dropped,
 	}

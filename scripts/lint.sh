@@ -5,10 +5,12 @@
 #   2. go vet      the standard analyzer suite
 #   3. klebvet     the simulator's determinism/telemetry analyzers,
 #                  driven through go vet's -vettool protocol
-#   4. bench smoke the kernel/PMU micro-benchmarks compile and survive one
+#   4. go generate the generated PMU event tables must match the
+#                  checked-in spec (events.spec is the source of truth)
+#   5. bench smoke the kernel/PMU micro-benchmarks compile and survive one
 #                  iteration (the full regression gate runs in CI through
 #                  scripts/bench_kernel.sh)
-#   5. chaos smoke one seeded fault plan runs end to end and satisfies the
+#   6. chaos smoke one seeded fault plan runs end to end and satisfies the
 #                  period-conservation invariant (the full 32-plan sweep
 #                  runs in CI's chaos job)
 #
@@ -36,6 +38,9 @@ klebvet_bin=$(mktemp -d)/klebvet
 trap 'rm -rf "$(dirname "$klebvet_bin")"' EXIT
 go build -o "$klebvet_bin" ./cmd/klebvet
 go vet -vettool="$klebvet_bin" ./...
+
+echo "==> generated event tables up to date"
+(cd internal/pmu && go run ./gen -spec events.spec -out events_gen.go -check)
 
 echo "==> kernel bench smoke (1 iteration)"
 go test ./internal/kernel ./internal/pmu -run 'NONE' -bench . -benchtime 1x >/dev/null
