@@ -68,6 +68,13 @@ func exportBatchTelemetry(tracePath, metricsPath string) error {
 // accidental allocation or lock on the path.
 const nilEmitBoundNs = 25.0
 
+// enabledEmitBoundNs bounds the enabled-path emit cost. klebd folds every
+// node run's counters through this path (~8.5ns/op observed), so a
+// regression here multiplies across the whole fleet's ingest; 50ns keeps
+// slow-runner headroom while catching an accidental allocation or
+// per-event lock.
+const enabledEmitBoundNs = 50.0
+
 // telemetryBench is the BENCH_telemetry.json shape.
 type telemetryBench struct {
 	// Per-call cost of one emit on a nil (disabled) sink and on a live one.
@@ -78,8 +85,9 @@ type telemetryBench struct {
 	CollectEnabledSeconds  float64 `json:"collect_enabled_seconds"`
 	CollectOverheadPct     float64 `json:"collect_overhead_pct"`
 	// TraceBytes is the size of the Chrome trace the enabled run exported.
-	TraceBytes   int     `json:"trace_bytes"`
-	BoundNsPerOp float64 `json:"nil_emit_bound_ns_per_op"`
+	TraceBytes          int     `json:"trace_bytes"`
+	BoundNsPerOp        float64 `json:"nil_emit_bound_ns_per_op"`
+	EnabledBoundNsPerOp float64 `json:"enabled_emit_bound_ns_per_op"`
 }
 
 // emitLoop drives the hottest emit call site n times against s (which may
@@ -103,6 +111,7 @@ func writeTelemetryBench(path string, seed uint64) error {
 	const calls = 50_000_000
 	var bench telemetryBench
 	bench.BoundNsPerOp = nilEmitBoundNs
+	bench.EnabledBoundNsPerOp = enabledEmitBoundNs
 
 	// Warm up, then time the nil (disabled) path and the enabled path.
 	emitLoop(nil, calls/10)
@@ -152,6 +161,10 @@ func writeTelemetryBench(path string, seed uint64) error {
 	if bench.NilEmitNsPerOp > nilEmitBoundNs {
 		return fmt.Errorf("disabled-path emit cost %.2f ns/op exceeds the %.0f ns bound",
 			bench.NilEmitNsPerOp, nilEmitBoundNs)
+	}
+	if bench.EnabledEmitNsPerOp > enabledEmitBoundNs {
+		return fmt.Errorf("enabled-path emit cost %.2f ns/op exceeds the %.0f ns bound",
+			bench.EnabledEmitNsPerOp, enabledEmitBoundNs)
 	}
 	return nil
 }

@@ -1,0 +1,158 @@
+// Command klebd is the live fleet-monitoring daemon: it runs K-LEB across
+// a simulated fleet of machines, sharded over long-lived workers, and
+// serves the aggregate over HTTP while the fleet streams.
+//
+// Endpoints:
+//
+//	/metrics  Prometheus text exposition (deterministic kleb_* fleet
+//	          section + klebd_* self-telemetry section)
+//	/trace    rolling Chrome-trace window of recent fleet events
+//	/healthz  liveness; 503 "draining" once a SIGTERM drain begins
+//	/fleetz   operational JSON (shard lag, ledger totals, ingest rates)
+//
+// Examples:
+//
+//	klebd -nodes 10000 -shards 8 -listen :9570
+//	klebd -nodes 64 -rounds 5 -fault-every 7     # bounded run, then serve
+//	klebd scrape http://127.0.0.1:9570           # validate a live daemon
+//
+// SIGTERM or SIGINT starts a graceful drain: shards finish their current
+// round, every fully delivered round folds into the aggregate, the final
+// fleet summary prints, and the daemon exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kleb/internal/fleet"
+	"kleb/internal/ktime"
+	"kleb/internal/machine"
+)
+
+func main() {
+	var (
+		listenFlag  = flag.String("listen", "127.0.0.1:9570", "HTTP listen address (use :0 for an ephemeral port)")
+		nodesFlag   = flag.Int("nodes", 16, "simulated machines in the fleet")
+		shardsFlag  = flag.Int("shards", 4, "shard workers (aggregate is byte-identical at any value)")
+		seedFlag    = flag.Uint64("seed", 1, "fleet seed (equal seeds replay identically at any shard count)")
+		roundsFlag  = flag.Uint64("rounds", 0, "monitoring rounds per node (0 = run until SIGTERM)")
+		periodFlag  = flag.Duration("period", time.Millisecond, "per-node K-LEB sampling period (virtual time)")
+		limitFlag   = flag.Duration("limit", 50*time.Millisecond, "per-node run cap (virtual time)")
+		instrFlag   = flag.Uint64("instr", 2_000_000, "per-node workload size, instructions per round")
+		retainFlag  = flag.Int("retention", 1<<14, "trace ring capacity served by /trace, events")
+		maxLeadFlag = flag.Int("max-lead", 4, "rounds a shard may run ahead of the fold watermark")
+		faultFlag   = flag.Int("fault-every", 0, "inject a seeded fault plan into every Nth node round (0 = off)")
+		clusterFlag = flag.Int("cluster-every", 0, "make every Nth node a 2-core cluster (0 = off)")
+		machineFlag = flag.String("machine", "nehalem", "machine profile: nehalem | cascadelake")
+	)
+	flag.Parse()
+
+	// `klebd scrape URL` probes a running daemon's endpoints and validates
+	// what they serve; the CI smoke job uses it in place of curl.
+	if flag.Arg(0) == "scrape" {
+		if flag.Arg(1) == "" {
+			fatal(fmt.Errorf("usage: klebd scrape http://host:port"))
+		}
+		if err := runScrape(flag.Arg(1), os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	prof, err := resolveProfile(*machineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	f := fleet.New(fleet.Config{
+		Nodes:        *nodesFlag,
+		Shards:       *shardsFlag,
+		Seed:         *seedFlag,
+		Rounds:       *roundsFlag,
+		Period:       ktime.Duration(periodFlag.Nanoseconds()),
+		Limit:        ktime.Duration(limitFlag.Nanoseconds()),
+		TargetInstr:  *instrFlag,
+		Retention:    *retainFlag,
+		MaxLead:      *maxLeadFlag,
+		FaultEvery:   *faultFlag,
+		ClusterEvery: *clusterFlag,
+		Profile:      prof,
+	})
+
+	// Listen before Start so `-listen 127.0.0.1:0` can print the real port
+	// and a scraper can attach from the first fold onward.
+	ln, err := net.Listen("tcp", *listenFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := f.Config()
+	fmt.Printf("klebd: %d nodes over %d shards, seed %d; serving http://%s (/metrics /trace /healthz /fleetz)\n",
+		cfg.Nodes, cfg.Shards, cfg.Seed, ln.Addr())
+
+	if err := f.Start(); err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: f.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.Serve(ln) }()
+	fleetDone := make(chan error, 1)
+	go func() { fleetDone <- f.Wait() }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+
+	var runErr error
+	select {
+	case sig := <-sigs:
+		fmt.Printf("klebd: %v; draining (shards finish their round, delivered rounds fold)\n", sig)
+		f.Stop()
+		runErr = <-fleetDone
+	case runErr = <-fleetDone:
+		if runErr == nil && cfg.Rounds > 0 {
+			// Bounded run complete: keep serving the final aggregate until
+			// the operator is done with it.
+			fmt.Printf("klebd: %d rounds complete; serving final aggregate until SIGTERM\n", cfg.Rounds)
+			sig := <-sigs
+			fmt.Printf("klebd: %v; shutting down\n", sig)
+			f.Stop()
+		}
+	case err := <-httpErr:
+		f.Stop()
+		<-fleetDone
+		fatal(fmt.Errorf("http server: %w", err))
+	}
+
+	_ = srv.Close() // aggregate is final; no reason to linger on open scrapes
+	st := f.Status()
+	fmt.Printf("klebd: drained: %d rounds folded, %d node rounds (%d degraded, %d faulted), %d samples ingested\n",
+		st.Watermark, st.NodeRounds, st.DegradedRounds, st.FaultedRounds, st.SamplesIngested)
+	if st.LedgerFires > 0 {
+		fmt.Printf("klebd: ledger: fires %d = captured %d + dropped %d + lost %d (balanced: %v)\n",
+			st.LedgerFires, st.LedgerCaptured, st.LedgerDropped, st.LedgerLost, st.LedgerBalanced)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+// resolveProfile maps a -machine name to its profile.
+func resolveProfile(name string) (machine.Profile, error) {
+	switch name {
+	case "nehalem":
+		return machine.Nehalem(), nil
+	case "cascadelake":
+		return machine.CascadeLake(), nil
+	}
+	return machine.Profile{}, fmt.Errorf("unknown machine %q (nehalem | cascadelake)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "klebd:", err)
+	os.Exit(1)
+}

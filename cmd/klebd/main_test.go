@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"kleb/internal/fleet"
+)
+
+// liveFleet boots a small daemon-mode fleet behind an httptest server and
+// waits until at least one round has folded.
+func liveFleet(t *testing.T) (*fleet.Fleet, *httptest.Server) {
+	t.Helper()
+	f := fleet.New(fleet.Config{Nodes: 4, Shards: 2, Seed: 9, TargetInstr: 200_000})
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		f.Stop()
+		_ = f.Wait()
+	})
+	for f.Status().Watermark < 1 {
+		runtime.Gosched()
+	}
+	return f, srv
+}
+
+// TestScrapeValidatesLiveDaemon: the scrape subcommand accepts a healthy
+// daemon and reports every endpoint.
+func TestScrapeValidatesLiveDaemon(t *testing.T) {
+	_, srv := liveFleet(t)
+	var out bytes.Buffer
+	if err := runScrape(srv.URL+"/", &out); err != nil { // trailing slash tolerated
+		t.Fatalf("scrape of healthy daemon failed: %v", err)
+	}
+	for _, want := range []string{"healthz: ok", "lint clean", "trace:", "ledger balanced"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("scrape output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestScrapeRejectsDrainingDaemon: once a drain begins, /healthz turns 503
+// and the probe fails — load balancers and CI both see the daemon as gone.
+func TestScrapeRejectsDrainingDaemon(t *testing.T) {
+	f, srv := liveFleet(t)
+	f.Stop()
+	if err := runScrape(srv.URL, io.Discard); err == nil {
+		t.Fatal("scrape accepted a draining daemon")
+	} else if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("want a 503 healthz failure, got: %v", err)
+	}
+}
+
+// TestScrapeRejectsMalformedExposition: a server emitting a gauge with a
+// counter suffix must fail the lint, not pass silently.
+func TestScrapeRejectsMalformedExposition(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("# HELP bad_total x\n# TYPE bad_total gauge\nbad_total 1\n"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	err := runScrape(srv.URL, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "lint") {
+		t.Fatalf("want an exposition lint failure, got: %v", err)
+	}
+}
+
+// TestResolveProfile covers the -machine flag mapping.
+func TestResolveProfile(t *testing.T) {
+	for _, name := range []string{"nehalem", "cascadelake"} {
+		p, err := resolveProfile(name)
+		if err != nil || p.Name == "" {
+			t.Errorf("resolveProfile(%q) = %v, %v", name, p.Name, err)
+		}
+	}
+	if _, err := resolveProfile("itanium"); err == nil {
+		t.Error("resolveProfile accepted an unknown machine")
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"kleb/internal/fleet"
+	"kleb/internal/telemetry"
+)
+
+// scrapeClient bounds every probe; a daemon that cannot answer a scrape in
+// seconds has failed the check.
+var scrapeClient = &http.Client{Timeout: 10 * time.Second}
+
+// runScrape probes a running klebd and validates everything it serves:
+// /healthz answers ok, /metrics passes the strict exposition lint and
+// carries both the fleet and self sections, /trace is well-formed
+// Chrome-trace JSON, and /fleetz decodes with a balanced ledger. One
+// summary line per endpoint goes to out; the first violation aborts with
+// an error. This is the CI smoke probe — no curl, no grep.
+func runScrape(base string, out io.Writer) error {
+	base = strings.TrimRight(base, "/")
+
+	body, err := fetch(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(body, "ok") {
+		return fmt.Errorf("/healthz: unexpected body %q", body)
+	}
+	fmt.Fprintln(out, "healthz: ok")
+
+	body, err = fetch(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if err := telemetry.LintExposition(strings.NewReader(body)); err != nil {
+		return fmt.Errorf("/metrics: exposition lint: %w", err)
+	}
+	families := strings.Count(body, "# TYPE ")
+	if !strings.Contains(body, "klebd_scrapes_total") {
+		return fmt.Errorf("/metrics: missing klebd_* self-telemetry section")
+	}
+	fmt.Fprintf(out, "metrics: %d families, lint clean\n", families)
+
+	body, err = fetch(base + "/trace")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		return fmt.Errorf("/trace: invalid JSON: %w", err)
+	}
+	fmt.Fprintf(out, "trace: %d events in window\n", len(doc.TraceEvents))
+
+	body, err = fetch(base + "/fleetz")
+	if err != nil {
+		return err
+	}
+	var st fleet.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		return fmt.Errorf("/fleetz: invalid JSON: %w", err)
+	}
+	if st.LedgerFires > 0 && !st.LedgerBalanced {
+		return fmt.Errorf("/fleetz: ledger unbalanced: fires %d != %d + %d + %d",
+			st.LedgerFires, st.LedgerCaptured, st.LedgerDropped, st.LedgerLost)
+	}
+	fmt.Fprintf(out, "fleetz: watermark %d, %d node rounds, ledger balanced\n",
+		st.Watermark, st.NodeRounds)
+	return nil
+}
+
+// fetch GETs one URL and returns the body; any non-200 status is an error.
+func fetch(url string) (string, error) {
+	resp, err := scrapeClient.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("%s: read: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}

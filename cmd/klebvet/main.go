@@ -1,7 +1,7 @@
 // Command klebvet is the simulator's static-analysis gate: it runs the
-// six internal/analysis analyzers (walltime, seededrand, maporder,
-// emitguard, lockdiscipline, droppederr) over Go packages and reports
-// determinism and telemetry invariant violations.
+// seven internal/analysis analyzers (walltime, seededrand, maporder,
+// emitguard, lockdiscipline, droppederr, httpguard) over Go packages and
+// reports determinism and telemetry invariant violations.
 //
 // Two modes share one binary:
 //

@@ -1,5 +1,5 @@
-// Package analysis is the simulator's static-analysis suite: five
-// analyzers (klebvet) that machine-check the determinism and telemetry
+// Package analysis is the simulator's static-analysis suite: the
+// klebvet analyzers that machine-check the determinism and telemetry
 // invariants the reproduction's bit-identical-artifacts guarantee rests
 // on (DESIGN.md §7). The API deliberately mirrors a subset of
 // golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — but is
@@ -67,7 +67,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full klebvet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, SeededRand, MapOrder, EmitGuard, LockDiscipline, DroppedErr}
+	return []*Analyzer{Walltime, SeededRand, MapOrder, EmitGuard, LockDiscipline, DroppedErr, HTTPGuard}
 }
 
 // ByName resolves an analyzer by its Name, or nil.

@@ -36,10 +36,14 @@ func TestDroppedErr(t *testing.T) {
 	analysistest.Run(t, analysis.DroppedErr, "droppederr")
 }
 
+func TestHTTPGuard(t *testing.T) {
+	analysistest.Run(t, analysis.HTTPGuard, "httpguard")
+}
+
 func TestAllAndByName(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 6 {
-		t.Fatalf("All() returned %d analyzers, want 6", len(all))
+	if len(all) != 7 {
+		t.Fatalf("All() returned %d analyzers, want 7", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HTTPGuard keeps klebd's scrape path honest. HTTP handlers serve the
+// fleet aggregate to Prometheus while shards stream into it, and the
+// daemon's contract is that a scrape can neither perturb aggregation nor
+// smuggle nondeterminism into it. Two invariants are enforced inside any
+// HTTP-handler-shaped function (one taking an http.ResponseWriter and a
+// *http.Request, named or literal):
+//
+//  1. No direct access to live telemetry state — values of type Sink or
+//     SharedSink. Handlers operate on point-in-time snapshots
+//     (Fleet.Snapshot / Fleet.Status); touching the live sink from a
+//     handler either races aggregation or serves a torn read.
+//
+//  2. No wall-clock reads (the walltime banned set). Scrape timing is
+//     self-telemetry and belongs behind the selfMetrics seam, where it is
+//     kept out of the deterministic aggregate by construction.
+var HTTPGuard = &Analyzer{
+	Name: "httpguard",
+	Doc: "HTTP handlers must serve snapshots: no live Sink/SharedSink access " +
+		"and no direct wall-clock reads inside handler-shaped functions",
+	Run: runHTTPGuard,
+}
+
+// liveSinkTypes are the named types a handler must never touch directly.
+// Matching is by exact type name so snapshot types (Snapshot, Status)
+// stay legal.
+var liveSinkTypes = map[string]bool{
+	"Sink":       true,
+	"SharedSink": true,
+}
+
+func runHTTPGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && isHandlerShaped(pass, fn.Type) {
+					checkHandlerBody(pass, fn.Body)
+					return false // nested literals already covered
+				}
+			case *ast.FuncLit:
+				if isHandlerShaped(pass, fn.Type) {
+					checkHandlerBody(pass, fn.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isHandlerShaped reports whether ft takes both an http.ResponseWriter
+// and a *http.Request — the net/http handler contract, whatever the
+// parameter order or extra arguments.
+func isHandlerShaped(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	var hasWriter, hasRequest bool
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		switch named := namedType(tv.Type); {
+		case named == nil:
+		case named.Obj().Name() == "ResponseWriter" && isNetHTTP(named.Obj().Pkg()):
+			hasWriter = true
+		case named.Obj().Name() == "Request" && isNetHTTP(named.Obj().Pkg()):
+			hasRequest = true
+		}
+	}
+	return hasWriter && hasRequest
+}
+
+// checkHandlerBody reports every live-sink touch and wall-clock read in
+// one handler body. Nested function literals are part of the handler:
+// work deferred or spawned from a scrape still runs on the scrape's
+// behalf.
+func checkHandlerBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Wall-clock reads: the walltime banned set, scoped to handlers
+		// regardless of allow comments elsewhere in the package.
+		if pn := pkgNameOf(pass.TypesInfo, sel.X); pn != nil && pn.Imported().Path() == "time" {
+			if why, bad := walltimeBanned[sel.Sel.Name]; bad {
+				pass.Reportf(sel.Pos(),
+					"HTTP handler calls time.%s (would %s): scrape timing belongs behind the self-telemetry seam, not in the handler",
+					sel.Sel.Name, why)
+				return false
+			}
+			return true
+		}
+		// Live telemetry state: any selection on a Sink/SharedSink value.
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok {
+			return true
+		}
+		if named := namedType(tv.Type); named != nil && liveSinkTypes[named.Obj().Name()] {
+			key := exprKey(sel.X)
+			if key == "" {
+				key = named.Obj().Name() + " value"
+			}
+			pass.Reportf(sel.Pos(),
+				"HTTP handler touches live telemetry state (%s.%s, type %s): handlers must serve point-in-time snapshots, never the live sink",
+				key, sel.Sel.Name, named.Obj().Name())
+		}
+		return true
+	})
+}
+
+// namedType unwraps pointers and aliases down to the named type, or nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isNetHTTP reports whether pkg is the standard net/http package.
+func isNetHTTP(pkg *types.Package) bool {
+	return pkg != nil && pkg.Path() == "net/http"
+}

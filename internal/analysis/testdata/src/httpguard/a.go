@@ -1,0 +1,63 @@
+// Package httpguard exercises the httpguard analyzer: HTTP handlers may
+// serve only snapshots — live Sink/SharedSink access and wall-clock
+// reads inside a handler are findings; the same code outside a handler
+// is not httpguard's business (walltime covers the clock separately).
+package httpguard
+
+import (
+	"net/http"
+	"time"
+)
+
+// Sink and SharedSink stand in for the telemetry types; httpguard
+// matches by exact type name so the fixture stays stdlib-only.
+type Sink struct{ n int }
+
+func (s *Sink) Emit() { s.n++ }
+
+type SharedSink struct{ sink *Sink }
+
+func (s *SharedSink) Ingest(o *Sink) {}
+
+// Snapshot is the legal currency of a handler.
+type Snapshot struct{ Events int }
+
+type server struct {
+	shared *SharedSink
+	sink   *Sink
+}
+
+func (srv *server) snapshot() *Snapshot { return &Snapshot{} }
+
+// badHandler touches live state and the wall clock from a handler.
+func (srv *server) badHandler(w http.ResponseWriter, r *http.Request) {
+	srv.sink.Emit()             // want `live telemetry state`
+	srv.shared.Ingest(srv.sink) // want `live telemetry state`
+	t0 := time.Now()            // want `time\.Now`
+	_ = t0
+}
+
+// badLiteral: handler-shaped function literals are handlers too.
+func register(mux *http.ServeMux, srv *server) {
+	mux.HandleFunc("/bad", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Millisecond) // want `time\.Sleep`
+		srv.shared.Ingest(nil)       // want `live telemetry state`
+	})
+}
+
+// goodHandler serves a point-in-time snapshot: no findings.
+func (srv *server) goodHandler(w http.ResponseWriter, r *http.Request) {
+	snap := srv.snapshot()
+	_ = snap.Events
+}
+
+// fold is not handler-shaped, so live-state access is legal here (the
+// aggregation path owns the sink).
+func (srv *server) fold() {
+	srv.shared.Ingest(srv.sink)
+}
+
+// allowedHandler carries the per-line escape hatch.
+func (srv *server) allowedHandler(w http.ResponseWriter, r *http.Request) {
+	srv.sink.Emit() //klebvet:allow httpguard -- fixture: suppression must work
+}

@@ -1,0 +1,204 @@
+package fleet
+
+import (
+	"sync"
+
+	"kleb/internal/ktime"
+	"kleb/internal/telemetry"
+)
+
+// nodeResult is one node's completed monitoring round, as handed from a
+// shard to the aggregator. Everything in it is a pure function of (seed,
+// node, round), so folding is deterministic however shards interleave.
+type nodeResult struct {
+	node    int
+	sink    *telemetry.Sink // the run's private metrics-only sink
+	elapsed ktime.Duration  // the run's virtual duration
+
+	// Period-conservation ledger (monitor.Result).
+	fires, captured, dropped, lost uint64
+
+	degraded bool
+	fault    string
+}
+
+// aggregator folds shard-delivered rounds into one SharedSink behind a
+// fold watermark: round r folds only once every shard has delivered it,
+// and always in ascending node order, so the aggregate is independent of
+// shard count and delivery interleaving.
+type aggregator struct {
+	shared *telemetry.SharedSink
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pending holds delivered-but-not-folded rounds. guarded by mu
+	pending map[uint64][]nodeResult
+	// deliveredShards counts shards that delivered each pending round. guarded by mu
+	deliveredShards map[uint64]int
+	// shardRounds is how many rounds each shard has delivered. guarded by mu
+	shardRounds []uint64
+	// watermark is the number of fully folded rounds. guarded by mu
+	watermark uint64
+	// clock is the fleet's virtual time: each folded round advances it by
+	// the round's longest node run. guarded by mu
+	clock ktime.Time
+	// closed marks the fleet stopping; it releases waitTurn blockers. guarded by mu
+	closed bool
+
+	// Deterministic fold accounting for /fleetz. guarded by mu
+	degradedTotal uint64
+	faultedTotal  uint64
+	nodeRounds    uint64
+
+	shards  int
+	maxLead int
+}
+
+func newAggregator(shards, retention, maxLead int) *aggregator {
+	a := &aggregator{
+		shared:          telemetry.NewShared(retention),
+		pending:         make(map[uint64][]nodeResult),
+		deliveredShards: make(map[uint64]int),
+		shardRounds:     make([]uint64, shards),
+		shards:          shards,
+		maxLead:         maxLead,
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// waitTurn blocks the caller until round is within MaxLead of the fold
+// watermark, bounding how much undelivered work can pile up. It returns
+// false once the fleet is stopping.
+func (a *aggregator) waitTurn(round uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for !a.closed && round >= a.watermark+uint64(a.maxLead) {
+		a.cond.Wait()
+	}
+	return !a.closed
+}
+
+// closeFleet releases every waitTurn blocker.
+func (a *aggregator) closeFleet() {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// deliver hands one shard's completed round to the aggregator and folds
+// every round that just became complete. self (non-nil in the daemon)
+// observes wall-clock merge latency per fold.
+func (a *aggregator) deliver(shard int, round uint64, results []nodeResult, self *selfMetrics) {
+	a.mu.Lock()
+	a.pending[round] = append(a.pending[round], results...)
+	a.deliveredShards[round]++
+	a.shardRounds[shard] = round + 1
+	for a.deliveredShards[a.watermark] == a.shards {
+		r := a.watermark
+		start := self.mergeStart()
+		a.foldLocked(r, a.pending[r])
+		self.mergeDone(start, a.pending[r])
+		delete(a.pending, r)
+		delete(a.deliveredShards, r)
+		a.watermark++
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// foldLocked merges one complete round in ascending node order and stamps the
+// fleet-level trace events on the fleet's virtual clock: each node event
+// at roundStart + that node's elapsed time, the round event at roundStart
+// + the round's span (its longest node run). Called with mu held.
+func (a *aggregator) foldLocked(round uint64, results []nodeResult) {
+	// Shards deliver their stripes in ascending node order; interleave them
+	// into global node order without assuming anything about slice order.
+	byNode := make(map[int]nodeResult, len(results))
+	min, max := -1, -1
+	var span ktime.Duration
+	for _, r := range results {
+		byNode[r.node] = r
+		if min < 0 || r.node < min {
+			min = r.node
+		}
+		if r.node > max {
+			max = r.node
+		}
+		if r.elapsed > span {
+			span = r.elapsed
+		}
+	}
+	start := a.clock
+	degraded := 0
+	for node := min; node <= max; node++ {
+		r, ok := byNode[node]
+		if !ok {
+			continue
+		}
+		if err := a.shared.Ingest(r.sink); err != nil {
+			// A label-dimension conflict cannot arise from the emit API; if
+			// it ever does, surface it as a degraded fold rather than
+			// dropping the round.
+			r.degraded = true
+			if r.fault == "" {
+				r.fault = err.Error()
+			}
+		}
+		if r.degraded {
+			degraded++
+			a.degradedTotal++
+		}
+		if r.fault != "" {
+			a.faultedTotal++
+		}
+		a.nodeRounds++
+		a.shared.Emit(func(s *telemetry.Sink) {
+			s.FleetNode(start.Add(r.elapsed), int32(r.node),
+				r.fires, r.captured, r.dropped, r.lost, r.degraded, r.fault)
+		})
+	}
+	a.shared.Emit(func(s *telemetry.Sink) {
+		s.FleetRound(start.Add(span), round, len(results), degraded)
+	})
+	a.clock = start.Add(span)
+}
+
+// snapshot returns a consistent copy of the fleet aggregate.
+func (a *aggregator) snapshot() (*telemetry.Snapshot, error) {
+	return a.shared.Snapshot()
+}
+
+// status reports the aggregator's operational counters.
+func (a *aggregator) status() Status {
+	a.mu.Lock()
+	st := Status{
+		Shards:         a.shards,
+		Watermark:      a.watermark,
+		ShardRounds:    append([]uint64(nil), a.shardRounds...),
+		ShardLag:       make([]uint64, a.shards),
+		NodeRounds:     a.nodeRounds,
+		DegradedRounds: a.degradedTotal,
+		FaultedRounds:  a.faultedTotal,
+	}
+	for i, r := range st.ShardRounds {
+		if r > st.Watermark {
+			st.ShardLag[i] = r - st.Watermark
+		}
+	}
+	a.mu.Unlock()
+	snap, err := a.shared.Snapshot()
+	if err != nil {
+		return st
+	}
+	reg := snap.Registry
+	st.LedgerFires = reg.LedgerFires.Value()
+	st.LedgerCaptured = reg.LedgerCaptured.Value()
+	st.LedgerDropped = reg.LedgerDropped.Value()
+	st.LedgerLost = reg.LedgerLost.Value()
+	st.LedgerBalanced = st.LedgerFires == st.LedgerCaptured+st.LedgerDropped+st.LedgerLost
+	st.TraceEvents = len(snap.Events)
+	st.TraceEvicted = snap.Truncated
+	return st
+}

@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns klebd's HTTP surface:
+//
+//	/metrics  Prometheus text exposition: the deterministic kleb_* fleet
+//	          section followed by the klebd_* self-telemetry section.
+//	/trace    the rolling Chrome-trace window (ring-buffered retention).
+//	/healthz  liveness ("ok", or "draining" with 503 after SIGTERM).
+//	/fleetz   operational JSON: per-shard lag, degraded/faulted counts,
+//	          ledger totals, self-telemetry summary.
+//
+// Handlers operate exclusively on point-in-time snapshots (Fleet.Snapshot,
+// Fleet.Status) — never on live sinks — so a scrape can never block or
+// race aggregation; klebvet's httpguard pass enforces exactly that.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", f.handleMetrics)
+	mux.HandleFunc("/trace", f.handleTrace)
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	mux.HandleFunc("/fleetz", f.handleFleetz)
+	return mux
+}
+
+// handleMetrics serves the Prometheus exposition.
+func (f *Fleet) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	t0 := f.self.scrapeStart()
+	defer f.self.scrapeDone(t0, "/metrics")
+	snap, err := f.Snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	st := f.Status()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := snap.WritePrometheus(w); err != nil {
+		return // headers already sent; nothing recoverable
+	}
+	_ = f.self.writePrometheus(w, st.ShardLag, st.TraceEvicted)
+}
+
+// handleTrace serves the rolling Chrome-trace window.
+func (f *Fleet) handleTrace(w http.ResponseWriter, req *http.Request) {
+	t0 := f.self.scrapeStart()
+	defer f.self.scrapeDone(t0, "/trace")
+	snap, err := f.Snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = snap.WriteChromeTrace(w)
+}
+
+// handleHealthz reports liveness; a draining daemon answers 503 so load
+// balancers stop routing scrapes to it during SIGTERM drain.
+func (f *Fleet) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if f.stopping() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleFleetz serves the operational JSON view.
+func (f *Fleet) handleFleetz(w http.ResponseWriter, req *http.Request) {
+	t0 := f.self.scrapeStart()
+	defer f.self.scrapeDone(t0, "/fleetz")
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(f.Status())
+}

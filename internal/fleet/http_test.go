@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"kleb/internal/telemetry"
+)
+
+// get fetches one endpoint and returns status + body.
+func get(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// counterValue extracts one unlabelled sample's integer value from an
+// exposition body ("" if absent).
+func counterValue(body, name string) string {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return rest
+		}
+	}
+	return ""
+}
+
+// TestFleetLiveScrapeMidRun is the acceptance path: a daemon-mode fleet
+// serves correct, lint-clean /metrics mid-run, the counters grow between
+// scrapes, the daemon reports its own scrape overhead, /trace is valid
+// Chrome trace JSON, and SIGTERM-style drain flips /healthz before Wait
+// returns a still-servable aggregate.
+func TestFleetLiveScrapeMidRun(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Rounds = 0 // daemon mode
+	f := New(cfg)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	if code, body := get(t, srv.URL, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// Wait for the first fold, then scrape mid-run.
+	for f.Status().Watermark < 1 {
+		runtime.Gosched()
+	}
+	code, body1 := get(t, srv.URL, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if err := telemetry.LintExposition(strings.NewReader(body1)); err != nil {
+		t.Fatalf("mid-run /metrics fails lint: %v", err)
+	}
+	if counterValue(body1, "kleb_fleet_rounds_total") == "" {
+		t.Error("mid-run scrape missing fleet section")
+	}
+
+	// A later scrape must see monotonically grown counters and its own
+	// overhead reported in the self section.
+	start := f.Status().Watermark
+	for f.Status().Watermark <= start {
+		runtime.Gosched()
+	}
+	_, body2 := get(t, srv.URL, "/metrics")
+	v1, v2 := counterValue(body1, "kleb_fleet_node_rounds_total"), counterValue(body2, "kleb_fleet_node_rounds_total")
+	if v1 == "" || v2 == "" || v1 == v2 {
+		t.Errorf("node rounds did not grow between scrapes: %q -> %q", v1, v2)
+	}
+	if !strings.Contains(body2, `klebd_scrapes_total{endpoint="/metrics"}`) {
+		t.Error("self section does not report scrape counts")
+	}
+	if !strings.Contains(body2, "klebd_scrape_duration_ns_count") {
+		t.Error("self section does not report scrape durations")
+	}
+
+	code, traceBody := get(t, srv.URL, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace = %d", code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &doc); err != nil {
+		t.Fatalf("/trace invalid JSON: %v", err)
+	}
+	var sawNode bool
+	for _, e := range doc.TraceEvents {
+		if strings.HasPrefix(e.Name, "fleet-node") {
+			sawNode = true
+			break
+		}
+	}
+	if !sawNode {
+		t.Error("/trace window has no fleet-node events")
+	}
+
+	code, fz := get(t, srv.URL, "/fleetz")
+	if code != http.StatusOK {
+		t.Fatalf("/fleetz = %d", code)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(fz), &st); err != nil {
+		t.Fatalf("/fleetz invalid JSON: %v\n%s", err, fz)
+	}
+	if st.Watermark == 0 || len(st.ShardLag) != cfg.Shards {
+		t.Errorf("/fleetz inconsistent: %+v", st)
+	}
+	if st.LedgerFires > 0 && !st.LedgerBalanced {
+		t.Error("/fleetz reports unbalanced ledger")
+	}
+
+	// Drain: healthz flips, Wait returns, the aggregate stays servable.
+	f.Stop()
+	if code, _ := get(t, srv.URL, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz = %d, want 503", code)
+	}
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	code, final := get(t, srv.URL, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("post-drain /metrics = %d", code)
+	}
+	if err := telemetry.LintExposition(strings.NewReader(final)); err != nil {
+		t.Errorf("post-drain /metrics fails lint: %v", err)
+	}
+}

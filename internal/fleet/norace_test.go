@@ -1,0 +1,8 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled reports whether the race detector is active; the fleet
+// sustain test scales its node count down under it (the detector makes
+// each simulated node run ~10x slower).
+const raceEnabled = false

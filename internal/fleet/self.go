@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"kleb/internal/telemetry"
+)
+
+// selfMetrics is klebd's monitoring-the-monitor group: wall-clock costs of
+// the daemon's own work (merge latency, scrape duration, ingest rates).
+// It is deliberately separate from the deterministic fleet aggregate —
+// everything here depends on the host — and renders as its own `klebd_*`
+// exposition section after the `kleb_*` fleet section.
+//
+// All wall-clock reads live in this file, behind mergeStart/scrapeStart;
+// the HTTP handlers and the deterministic aggregation path never touch
+// time directly (klebvet's walltime and httpguard passes enforce this).
+type selfMetrics struct {
+	startNs int64 // process start, wall ns (immutable after newSelfMetrics)
+	shards  int
+
+	mu sync.Mutex
+	// runsIngested / samplesIngested count folded node runs and their
+	// captured samples. guarded by mu
+	runsIngested    uint64
+	samplesIngested uint64
+	// mergeNs observes per-fold wall latency. guarded by mu
+	mergeNs telemetry.Histogram
+	// scrapeNs observes per-scrape wall latency, by endpoint counters
+	// below. guarded by mu
+	scrapeNs      telemetry.Histogram
+	scrapes       uint64
+	traceScrapes  uint64
+	statusScrapes uint64
+}
+
+func newSelfMetrics(shards int) *selfMetrics {
+	return &selfMetrics{startNs: wallNs(), shards: shards}
+}
+
+// wallNs reads the host clock. The single sanctioned wall-clock seam in
+// the daemon: self-telemetry is *about* host time, so virtual time cannot
+// stand in for it.
+func wallNs() int64 {
+	return time.Now().UnixNano() //klebvet:allow walltime -- self-telemetry measures real daemon overhead
+}
+
+// mergeStart begins timing one fold.
+func (m *selfMetrics) mergeStart() int64 { return wallNs() }
+
+// mergeDone records one fold's wall latency and the ingested volume.
+func (m *selfMetrics) mergeDone(startNs int64, results []nodeResult) {
+	d := uint64(wallNs() - startNs)
+	m.mu.Lock()
+	m.mergeNs.Observe(d)
+	for _, r := range results {
+		m.runsIngested++
+		m.samplesIngested += r.captured
+	}
+	m.mu.Unlock()
+}
+
+// scrapeStart begins timing one scrape.
+func (m *selfMetrics) scrapeStart() int64 { return wallNs() }
+
+// scrapeDone records one scrape's wall latency under its endpoint.
+func (m *selfMetrics) scrapeDone(startNs int64, endpoint string) {
+	d := uint64(wallNs() - startNs)
+	m.mu.Lock()
+	m.scrapeNs.Observe(d)
+	switch endpoint {
+	case "/metrics":
+		m.scrapes++
+	case "/trace":
+		m.traceScrapes++
+	default:
+		m.statusScrapes++
+	}
+	m.mu.Unlock()
+}
+
+// fill copies the self-telemetry view into a Status.
+func (m *selfMetrics) fill(st *Status) {
+	up := float64(wallNs()-m.startNs) / 1e9
+	m.mu.Lock()
+	st.UptimeSeconds = up
+	st.RunsIngested = m.runsIngested
+	st.SamplesIngested = m.samplesIngested
+	if up > 0 {
+		st.SamplesPerSec = float64(m.samplesIngested) / up
+	}
+	st.MergeP50Ns = m.mergeNs.Quantile(0.5)
+	st.MergeP99Ns = m.mergeNs.Quantile(0.99)
+	st.Scrapes = m.scrapes
+	st.ScrapeP99Ns = m.scrapeNs.Quantile(0.99)
+	m.mu.Unlock()
+}
+
+// writePrometheus renders the self section with the conformance-enforcing
+// encoder, including per-shard lag as a gauge vec. lag and evictions come
+// from the caller (aggregator state) so this method holds only its own
+// lock.
+func (m *selfMetrics) writePrometheus(w io.Writer, lag []uint64, evicted uint64) error {
+	e := telemetry.NewPromEncoder(w)
+	m.mu.Lock()
+	runs, samples := m.runsIngested, m.samplesIngested
+	mergeNs := m.mergeNs
+	scrapeNs := m.scrapeNs
+	scrapes, traces, statuses := m.scrapes, m.traceScrapes, m.statusScrapes
+	m.mu.Unlock()
+
+	e.Counter("klebd_runs_ingested_total", "Node runs folded into the fleet aggregate.", runs)
+	e.Counter("klebd_samples_ingested_total", "K-LEB samples folded into the fleet aggregate.", samples)
+	e.Histogram("klebd_merge_latency_ns", "Wall-clock latency of one round fold, ns.", &mergeNs)
+	e.Histogram("klebd_scrape_duration_ns", "Wall-clock duration of one HTTP scrape, ns.", &scrapeNs)
+	e.CounterVec("klebd_scrapes_total", "HTTP scrapes served, by endpoint.", "endpoint",
+		[]string{"/fleetz", "/metrics", "/trace"}, []uint64{statuses, scrapes, traces})
+	e.Counter("klebd_trace_evictions_total", "Events evicted from the rolling trace retention ring.", evicted)
+	labels := make([]string, len(lag))
+	for i := range lag {
+		labels[i] = strconv.Itoa(i)
+	}
+	sort.Strings(labels) // label order must be sorted for determinism of shape
+	values := make([]uint64, len(labels))
+	for i, l := range labels {
+		idx, _ := strconv.Atoi(l)
+		values[i] = lag[idx]
+	}
+	e.GaugeVec("klebd_shard_lag_rounds", "Rounds each shard has delivered beyond the fold watermark.", "shard", labels, values)
+	return e.Err()
+}

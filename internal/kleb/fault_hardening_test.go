@@ -338,3 +338,26 @@ func TestCaptureSampleNoAlloc(t *testing.T) {
 		t.Errorf("captureSample allocates %.1f objects/op in steady state, want 0", avg)
 	}
 }
+
+// TestResultSurfacesLedger checks the period-conservation ledger reaches
+// monitor.Result (Fires/Captured alongside the existing Dropped and
+// LostToFault), so fleet aggregation can total it without reaching into
+// *kleb.Tool. The run is fault-injected so every bucket is exercised.
+func TestResultSurfacesLedger(t *testing.T) {
+	plan := fault.NewPlan(61)
+	plan.PMisfire = 0.05
+	res, tool := runFaulted(t, 61, targetScript(50_000_000), stdConfig(ktime.Millisecond), plan, nil)
+	a := tool.Accounting()
+	r := res.Result
+	if r.Fires != a.Fires || r.Captured != a.Captured {
+		t.Errorf("Result ledger (fires %d, captured %d) disagrees with Accounting (fires %d, captured %d)",
+			r.Fires, r.Captured, a.Fires, a.Captured)
+	}
+	if r.Fires == 0 || r.Captured == 0 {
+		t.Error("ledger did not surface: zero fires/captured after a sampled run")
+	}
+	if r.Fires != r.Captured+r.Dropped+r.LostToFault {
+		t.Errorf("Result ledger unbalanced: fires %d != captured %d + dropped %d + lost %d",
+			r.Fires, r.Captured, r.Dropped, r.LostToFault)
+	}
+}

@@ -123,6 +123,8 @@ func (t *Tool) Collect() monitor.Result {
 		Totals:  make(map[isa.Event]uint64, len(t.cfg.Events)),
 	}
 	if t.module != nil {
+		res.Fires = t.module.fires
+		res.Captured = t.module.captured
 		res.Dropped = t.module.dropped
 		res.LostToFault = t.module.lostFault
 	}

@@ -6,6 +6,7 @@ import (
 	"kleb/internal/kernel"
 	"kleb/internal/ktime"
 	"kleb/internal/pmu"
+	"kleb/internal/telemetry"
 )
 
 // Cluster is a multi-core socket: one Machine per core, each with a private
@@ -41,6 +42,21 @@ func BootCluster(prof Profile, seed uint64, n int) *Cluster {
 
 // Cores returns the per-core machines.
 func (c *Cluster) Cores() []*Machine { return c.cores }
+
+// SetTelemetry attaches one observability sink per core: sinks[i] observes
+// core i (nil entries and a short slice leave the remaining cores
+// uninstrumented). Cores get separate sinks rather than one shared sink so
+// each stays single-owner per the telemetry contract; fold the per-core
+// registries with Sink.Merge — commutative, so a cluster aggregate is
+// independent of core order. Must be called before Run starts.
+func (c *Cluster) SetTelemetry(sinks []*telemetry.Sink) {
+	for i, s := range sinks {
+		if i >= len(c.cores) {
+			return
+		}
+		c.cores[i].Kernel().SetTelemetry(s)
+	}
+}
 
 // SharedLLC returns the socket's last-level cache.
 func (c *Cluster) SharedLLC() *cache.Cache { return c.llc }

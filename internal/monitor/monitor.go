@@ -146,6 +146,13 @@ type Result struct {
 	// for the whole run, so the count is exact). Nil for tools that never
 	// scale (K-LEB, PAPI, LiMiT).
 	Scale map[isa.Event]float64
+	// Fires counts timer-handler invocations over the run, and Captured the
+	// samples actually pushed into the tool's buffer. Tools with a period-
+	// conservation ledger (K-LEB) keep Fires == Captured + Dropped +
+	// LostToFault; both stay zero for tools without one, and fleet
+	// aggregation totals them without reaching into tool internals.
+	Fires    uint64
+	Captured uint64
 	// Dropped counts sampling periods lost to the buffer-full safety pause
 	// (the pause suspends counting, not the period clock, so every elapsed
 	// period while paused is one dropped period).

@@ -162,6 +162,22 @@ func (s Scheduler) ForEach(n int, fn func(int)) {
 	wg.Wait()
 }
 
+// Stripe returns the indices of [0, n) that ForEach's striped assignment
+// gives worker g of w: g, g+w, g+2w, ... Exposed so layers that manage
+// their own long-lived workers (the fleet daemon's shards) reuse the exact
+// placement function instead of re-deriving it, keeping any reported
+// index-to-worker mapping truthful at every worker count.
+func Stripe(n, w, g int) []int {
+	if n <= 0 || w <= 0 || g < 0 || g >= w {
+		return nil
+	}
+	out := make([]int, 0, (n-g+w-1)/w)
+	for i := g; i < n; i += w {
+		out = append(out, i)
+	}
+	return out
+}
+
 // FirstErr returns the first failed outcome's error, for callers that
 // treat any failure as fatal.
 func FirstErr(outs []Outcome) error {

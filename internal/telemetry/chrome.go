@@ -11,6 +11,7 @@ import (
 const (
 	chromePidMachine   = 1
 	chromePidScheduler = 2
+	chromePidFleet     = 3
 )
 
 // WriteChromeTrace renders the recorded events as Chrome trace-event JSON
@@ -18,14 +19,23 @@ const (
 // chrome://tracing. Timestamps are virtual microseconds with nanosecond
 // decimals; the output is byte-deterministic for a given event stream.
 func (s *Sink) WriteChromeTrace(w io.Writer) error {
+	if s == nil {
+		return WriteChromeEvents(w, nil)
+	}
+	return WriteChromeEvents(w, s.rec.Events())
+}
+
+// WriteChromeEvents renders an arbitrary event slice (oldest-first) in the
+// same trace shape Sink.WriteChromeTrace produces. A live server renders a
+// Snapshot's copied ring this way without holding the owning lock while
+// formatting.
+func WriteChromeEvents(w io.Writer, events []Event) error {
 	cw := &chromeWriter{w: w}
 	cw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
 	cw.printf("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"machine\"}}", chromePidMachine)
 	cw.printf(",\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"scheduler\"}}", chromePidScheduler)
-	if s != nil {
-		for _, e := range s.rec.Events() {
-			cw.event(e)
-		}
+	for _, e := range events {
+		cw.event(e)
 	}
 	cw.printf("\n]}\n")
 	return cw.err
@@ -34,6 +44,19 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 type chromeWriter struct {
 	w   io.Writer
 	err error
+	// fleetMeta records that the fleet process_name metadata line has been
+	// emitted. It is written lazily before the first fleet event so traces
+	// without fleet activity stay byte-identical to pre-fleet output.
+	fleetMeta bool
+}
+
+// fleetProcess emits the fleet process metadata once per trace.
+func (c *chromeWriter) fleetProcess() {
+	if c.fleetMeta {
+		return
+	}
+	c.fleetMeta = true
+	c.printf(",\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"fleet\"}}", chromePidFleet)
 }
 
 func (c *chromeWriter) printf(format string, args ...any) {
@@ -154,6 +177,22 @@ func (c *chromeWriter) event(e Event) {
 	case KindMuxRotate:
 		c.instant("mux-rotate", e.PID, ns)
 		c.printf(",\"args\":{\"round\":%d,\"rounds\":%d,\"placed\":%d}",
+			e.Arg1, e.Arg2>>32, uint32(e.Arg2))
+		c.end()
+	case KindFleetNode:
+		c.fleetProcess()
+		name := "fleet-node"
+		if e.Arg2&2 != 0 {
+			name = "fleet-node:" + e.Name
+		}
+		c.head("i", name, chromePidFleet, e.PID, ns)
+		c.printf(",\"s\":\"t\",\"args\":{\"samples\":%d,\"degraded\":%s,\"faulted\":%s}",
+			e.Arg1, boolStr(e.Arg2&1), boolStr(e.Arg2&2))
+		c.end()
+	case KindFleetRound:
+		c.fleetProcess()
+		c.head("i", "fleet-round", chromePidFleet, 0, ns)
+		c.printf(",\"s\":\"p\",\"args\":{\"round\":%d,\"nodes\":%d,\"degraded\":%d}",
 			e.Arg1, e.Arg2>>32, uint32(e.Arg2))
 		c.end()
 	}

@@ -3,18 +3,26 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"strings"
 )
+
+// WritePrometheus renders the sink's registry in the Prometheus text
+// exposition format (version 0.0.4). See Registry.WritePrometheus.
+func (s *Sink) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	return s.reg.WritePrometheus(w)
+}
 
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4). Metric families appear in a fixed order and
 // vector labels are sorted, so the output is byte-deterministic for a
 // given registry state. Durations are exported in virtual nanoseconds.
-func (s *Sink) WritePrometheus(w io.Writer) error {
-	if s == nil {
-		return nil
-	}
+// Rendering a Snapshot's cloned registry lets a live server serve scrapes
+// without holding the owning lock while formatting.
+func (r *Registry) WritePrometheus(w io.Writer) error {
 	pw := &promWriter{w: w}
-	r := &s.reg
 	pw.counter("kleb_ctx_switches_total", "Context switches performed by the simulated scheduler.", &r.CtxSwitches)
 	pw.vec("kleb_kprobe_hits_total", "Kprobe invocations by probe point.", "point", &r.KprobeHits)
 	pw.vec("kleb_syscalls_total", "Syscalls entered, by name.", "name", &r.Syscalls)
@@ -49,8 +57,78 @@ func (s *Sink) WritePrometheus(w io.Writer) error {
 	if r.MuxRotations.Value() > 0 {
 		pw.counter("kleb_mux_rotations_total", "perf_events multiplexing round rotations.", &r.MuxRotations)
 	}
+	// The fleet families appear only when a fleet aggregator actually folded
+	// rounds (klebd), so single-run expositions are unchanged by their
+	// existence.
+	if r.FleetRounds.Value() > 0 {
+		pw.counter("kleb_fleet_rounds_total", "Fleet monitoring rounds folded into the aggregate.", &r.FleetRounds)
+		pw.counter("kleb_fleet_node_rounds_total", "Per-node round completions folded into the aggregate.", &r.FleetNodes)
+		pw.counter("kleb_fleet_samples_total", "K-LEB samples ingested from fleet nodes.", &r.FleetSamples)
+		pw.counter("kleb_fleet_degraded_rounds_total", "Node rounds that finished degraded (partial data).", &r.FleetDegraded)
+		pw.counter("kleb_fleet_ledger_fires_total", "Period-conservation ledger: timer-handler fires across the fleet.", &r.LedgerFires)
+		pw.counter("kleb_fleet_ledger_captured_total", "Period-conservation ledger: samples captured across the fleet.", &r.LedgerCaptured)
+		pw.counter("kleb_fleet_ledger_dropped_total", "Period-conservation ledger: periods lost to buffer-full pauses across the fleet.", &r.LedgerDropped)
+		pw.counter("kleb_fleet_ledger_lost_total", "Period-conservation ledger: periods lost to faults across the fleet.", &r.LedgerLost)
+	}
 	return pw.err
 }
+
+// A PromEncoder renders ad-hoc metric families in the same conformant text
+// exposition shape Registry.WritePrometheus produces. The fleet daemon uses
+// it for its self-telemetry group (merge latency, scrape durations, shard
+// lag), which lives outside the deterministic Registry taxonomy.
+type PromEncoder struct{ pw promWriter }
+
+// NewPromEncoder returns an encoder writing to w.
+func NewPromEncoder(w io.Writer) *PromEncoder {
+	return &PromEncoder{pw: promWriter{w: w}}
+}
+
+// Counter emits one unlabelled counter family. Counter names must end in
+// _total per the exposition conventions; violations surface in Err.
+func (e *PromEncoder) Counter(name, help string, v uint64) {
+	if !strings.HasSuffix(name, "_total") && e.pw.err == nil {
+		e.pw.err = fmt.Errorf("telemetry: counter %s must carry the _total suffix", name)
+		return
+	}
+	e.pw.header(name, help, "counter")
+	e.pw.printf("%s %d\n", name, v)
+}
+
+// Gauge emits one unlabelled gauge sample.
+func (e *PromEncoder) Gauge(name, help string, v uint64) {
+	e.pw.header(name, help, "gauge")
+	e.pw.printf("%s %d\n", name, v)
+}
+
+// GaugeVec emits one gauge family with one sample per (label value, value)
+// pair, in the given order (callers sort for determinism).
+func (e *PromEncoder) GaugeVec(name, help, label string, labels []string, values []uint64) {
+	e.pw.header(name, help, "gauge")
+	for i, l := range labels {
+		e.pw.printf("%s{%s=%q} %d\n", name, label, l, values[i])
+	}
+}
+
+// CounterVec emits one counter family with one sample per label value.
+func (e *PromEncoder) CounterVec(name, help, label string, labels []string, values []uint64) {
+	if !strings.HasSuffix(name, "_total") && e.pw.err == nil {
+		e.pw.err = fmt.Errorf("telemetry: counter %s must carry the _total suffix", name)
+		return
+	}
+	e.pw.header(name, help, "counter")
+	for i, l := range labels {
+		e.pw.printf("%s{%s=%q} %d\n", name, label, l, values[i])
+	}
+}
+
+// Histogram emits one histogram family from a telemetry Histogram.
+func (e *PromEncoder) Histogram(name, help string, h *Histogram) {
+	e.pw.histogram(name, help, h)
+}
+
+// Err returns the first write or naming error.
+func (e *PromEncoder) Err() error { return e.pw.err }
 
 type promWriter struct {
 	w   io.Writer

@@ -1,0 +1,369 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates Prometheus text exposition (version 0.0.4) the
+// way a strict scraper would, plus the naming conventions real servers
+// expect: every family declares HELP then TYPE before its samples, samples
+// are grouped under their family, counter names carry the _total suffix
+// (and gauges don't), metric and label names are well-formed, values
+// parse, and histogram families are complete — cumulative non-decreasing
+// buckets ending in +Inf, with _sum and _count agreeing. It backs both the
+// exposition conformance tests and the klebd smoke scrape.
+func LintExposition(r io.Reader) error {
+	l := &expoLint{families: map[string]*expoFamily{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if err := l.line(sc.Text()); err != nil {
+			return fmt.Errorf("exposition line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return l.finish()
+}
+
+// expoFamily tracks one declared metric family while linting.
+type expoFamily struct {
+	typ     string
+	hasHelp bool
+	samples int
+	// Histogram shape tracking.
+	buckets  int
+	lastLE   float64
+	lastCum  float64
+	infSeen  bool
+	infCum   float64
+	sumSeen  bool
+	cntSeen  bool
+	cntValue float64
+}
+
+type expoLint struct {
+	families map[string]*expoFamily
+	order    []string
+	current  string // family owning the current sample group
+}
+
+func (l *expoLint) line(s string) error {
+	switch {
+	case strings.TrimSpace(s) == "":
+		return nil
+	case strings.HasPrefix(s, "# HELP "):
+		return l.help(strings.TrimPrefix(s, "# HELP "))
+	case strings.HasPrefix(s, "# TYPE "):
+		return l.typ(strings.TrimPrefix(s, "# TYPE "))
+	case strings.HasPrefix(s, "#"):
+		return nil // free-form comment
+	}
+	return l.sample(s)
+}
+
+func (l *expoLint) help(rest string) error {
+	name, _, ok := strings.Cut(rest, " ")
+	if !ok || !validMetricName(name) {
+		return fmt.Errorf("malformed HELP line for %q", name)
+	}
+	f := l.families[name]
+	if f == nil {
+		f = &expoFamily{}
+		l.families[name] = f
+		l.order = append(l.order, name)
+	}
+	if f.hasHelp {
+		return fmt.Errorf("duplicate HELP for %s", name)
+	}
+	if f.samples > 0 {
+		return fmt.Errorf("HELP for %s after its samples", name)
+	}
+	f.hasHelp = true
+	return nil
+}
+
+func (l *expoLint) typ(rest string) error {
+	name, typ, ok := strings.Cut(rest, " ")
+	if !ok || !validMetricName(name) {
+		return fmt.Errorf("malformed TYPE line for %q", name)
+	}
+	switch typ {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("%s: unknown type %q", name, typ)
+	}
+	f := l.families[name]
+	if f == nil {
+		f = &expoFamily{}
+		l.families[name] = f
+		l.order = append(l.order, name)
+	}
+	if f.typ != "" {
+		return fmt.Errorf("duplicate TYPE for %s", name)
+	}
+	if !f.hasHelp {
+		return fmt.Errorf("%s: TYPE must follow HELP", name)
+	}
+	if f.samples > 0 {
+		return fmt.Errorf("TYPE for %s after its samples", name)
+	}
+	switch {
+	case typ == "counter" && !strings.HasSuffix(name, "_total"):
+		return fmt.Errorf("counter %s must carry the _total suffix", name)
+	case typ == "gauge" && strings.HasSuffix(name, "_total"):
+		return fmt.Errorf("gauge %s must not carry the _total suffix", name)
+	}
+	f.typ = typ
+	l.current = name
+	return nil
+}
+
+func (l *expoLint) sample(s string) error {
+	name, labels, value, err := splitSample(s)
+	if err != nil {
+		return err
+	}
+	fam, base := l.owner(name)
+	if fam == nil {
+		return fmt.Errorf("sample %s has no declared family", name)
+	}
+	if base != l.current {
+		return fmt.Errorf("sample %s interleaved outside its %s family group", name, base)
+	}
+	v, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, value)
+	}
+	if (fam.typ == "counter" || fam.typ == "histogram") && v < 0 {
+		return fmt.Errorf("sample %s: negative %s value %s", name, fam.typ, value)
+	}
+	fam.samples++
+	if fam.typ == "histogram" {
+		return l.histSample(base, fam, name, labels, v)
+	}
+	if name != base {
+		return fmt.Errorf("%s: suffixed sample in non-histogram family %s", name, base)
+	}
+	return nil
+}
+
+// histSample checks one sample of a histogram family: cumulative buckets,
+// then _sum and _count.
+func (l *expoLint) histSample(base string, f *expoFamily, name string, labels map[string]string, v float64) error {
+	switch name {
+	case base + "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("%s: bucket without le label", name)
+		}
+		bound, err := parseLE(le)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if f.infSeen {
+			return fmt.Errorf("%s: bucket after le=\"+Inf\"", name)
+		}
+		if v < f.lastCum {
+			return fmt.Errorf("%s: cumulative bucket counts decrease at le=%q", name, le)
+		}
+		if math.IsInf(bound, 1) {
+			f.infSeen, f.infCum = true, v
+		} else {
+			if f.buckets > 0 && bound <= f.lastLE {
+				return fmt.Errorf("%s: bucket bounds not increasing at le=%q", name, le)
+			}
+			f.lastLE = bound
+		}
+		f.buckets++
+		f.lastCum = v
+	case base + "_sum":
+		f.sumSeen = true
+	case base + "_count":
+		f.cntSeen, f.cntValue = true, v
+	default:
+		return fmt.Errorf("%s: unexpected sample in histogram family %s", name, base)
+	}
+	return nil
+}
+
+// finish runs the whole-family checks once the stream ends.
+func (l *expoLint) finish() error {
+	for _, name := range l.order {
+		f := l.families[name]
+		if f.typ == "" {
+			return fmt.Errorf("family %s: HELP without TYPE", name)
+		}
+		// A declared family with zero samples is legal (an empty vec renders
+		// its header only) — except for histograms, whose shape checks below
+		// require the full _bucket/_sum/_count triad.
+		if f.typ != "histogram" {
+			continue
+		}
+		switch {
+		case !f.infSeen:
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", name)
+		case !f.sumSeen:
+			return fmt.Errorf("histogram %s: missing _sum", name)
+		case !f.cntSeen:
+			return fmt.Errorf("histogram %s: missing _count", name)
+		case f.cntValue != f.infCum:
+			return fmt.Errorf("histogram %s: _count %g disagrees with +Inf bucket %g", name, f.cntValue, f.infCum)
+		}
+	}
+	return nil
+}
+
+// owner resolves a sample name to its declared family, honouring the
+// histogram _bucket/_sum/_count suffixes.
+func (l *expoLint) owner(name string) (*expoFamily, string) {
+	if f := l.families[name]; f != nil {
+		return f, name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if f := l.families[base]; f != nil && f.typ == "histogram" {
+			return f, base
+		}
+	}
+	return nil, ""
+}
+
+// parseLE parses a bucket boundary.
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+// splitSample parses `name{label="v",...} value` into its parts. The label
+// set may be absent. Escapes inside label values follow the exposition
+// rules (\\, \", \n).
+func splitSample(s string) (name string, labels map[string]string, value string, err error) {
+	i := strings.IndexAny(s, "{ ")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("malformed sample %q", s)
+	}
+	name = s[:i]
+	if !validMetricName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := s[i:]
+	if rest[0] == '{' {
+		labels = map[string]string{}
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				return "", nil, "", fmt.Errorf("sample %s: unterminated label set", name)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("sample %s: malformed label pair", name)
+			}
+			lname := rest[:eq]
+			if !validLabelName(lname) {
+				return "", nil, "", fmt.Errorf("sample %s: invalid label name %q", name, lname)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, "", fmt.Errorf("sample %s: label %s value not quoted", name, lname)
+			}
+			lval, tail, verr := scanQuoted(rest)
+			if verr != nil {
+				return "", nil, "", fmt.Errorf("sample %s: label %s: %w", name, lname, verr)
+			}
+			labels[lname] = lval
+			rest = tail
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" || strings.ContainsAny(value, " \t") {
+		return "", nil, "", fmt.Errorf("sample %s: malformed value %q", name, value)
+	}
+	return name, labels, value, nil
+}
+
+// scanQuoted consumes a double-quoted label value (with \\, \" and \n
+// escapes) from the front of s, returning the decoded value and the tail.
+func scanQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("truncated escape")
+			}
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

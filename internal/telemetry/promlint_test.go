@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintAcceptsOwnExposition is the conformance lock: everything the
+// registry exporter produces — including the fault and fleet families —
+// must satisfy the strict exposition lint, so a real Prometheus server
+// ingests it cleanly.
+func TestLintAcceptsOwnExposition(t *testing.T) {
+	s := New()
+	emitOneOfEach(s)
+	s.FaultInjected(300, "ioctl-error")
+	s.CtlRetry(310, "start", 1)
+	s.RunDegraded(320, "drain-starved")
+	s.MuxRotate(330, 1, 2, 3, 2)
+	s.FleetNode(340, 0, 3, 2, 1, 0, true, "")
+	s.FleetRound(350, 0, 1, 1)
+	var buf strings.Builder
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintExposition(strings.NewReader(buf.String())); err != nil {
+		t.Errorf("own exposition fails lint: %v\n%s", err, buf.String())
+	}
+}
+
+// TestLintRejections feeds the lint malformed or non-conformant
+// expositions and checks each is refused for the right reason.
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{
+			"counter without _total",
+			"# HELP x_count Things.\n# TYPE x_count counter\nx_count 1\n",
+			"_total suffix",
+		},
+		{
+			"gauge with _total",
+			"# HELP x_total Things.\n# TYPE x_total gauge\nx_total 1\n",
+			"must not carry",
+		},
+		{
+			"sample without family",
+			"stray_metric 1\n",
+			"no declared family",
+		},
+		{
+			"TYPE before HELP",
+			"# TYPE x_total counter\n",
+			"must follow HELP",
+		},
+		{
+			"duplicate TYPE",
+			"# HELP x_total X.\n# TYPE x_total counter\nx_total 1\n# TYPE x_total counter\n",
+			"duplicate TYPE",
+		},
+		{
+			"interleaved families",
+			"# HELP a_total A.\n# TYPE a_total counter\n# HELP b_total B.\n# TYPE b_total counter\na_total 1\n",
+			"interleaved",
+		},
+		{
+			"bad value",
+			"# HELP x_total X.\n# TYPE x_total counter\nx_total one\n",
+			"bad value",
+		},
+		{
+			"negative counter",
+			"# HELP x_total X.\n# TYPE x_total counter\nx_total -4\n",
+			"negative counter",
+		},
+		{
+			"invalid label name",
+			"# HELP x_total X.\n# TYPE x_total counter\nx_total{9bad=\"v\"} 1\n",
+			"invalid label name",
+		},
+		{
+			"unterminated label value",
+			"# HELP x_total X.\n# TYPE x_total counter\nx_total{l=\"v} 1\n",
+			"unterminated",
+		},
+		{
+			"histogram missing +Inf",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf",
+		},
+		{
+			"histogram buckets decrease",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n",
+			"decrease",
+		},
+		{
+			"histogram bounds out of order",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"5\"} 1\nh_bucket{le=\"2\"} 2\n",
+			"not increasing",
+		},
+		{
+			"histogram count disagrees",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n",
+			"disagrees",
+		},
+		{
+			"histogram without samples",
+			"# HELP h H.\n# TYPE h histogram\n",
+			"+Inf",
+		},
+		{
+			"HELP without TYPE",
+			"# HELP lone Lone.\n",
+			"without TYPE",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := LintExposition(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("lint accepted:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestLintAcceptsEscapedLabels checks quoted label values with the
+// exposition escapes parse.
+func TestLintAcceptsEscapedLabels(t *testing.T) {
+	in := "# HELP x_total X.\n# TYPE x_total counter\n" +
+		"x_total{l=\"a\\\\b\\\"c\\nd\",m=\"plain\"} 2\n"
+	if err := LintExposition(strings.NewReader(in)); err != nil {
+		t.Errorf("escaped labels rejected: %v", err)
+	}
+}
+
+// TestLintEmptyExposition: an empty body is valid (a daemon that has not
+// folded anything yet still answers scrapes).
+func TestLintEmptyExposition(t *testing.T) {
+	if err := LintExposition(strings.NewReader("")); err != nil {
+		t.Errorf("empty exposition rejected: %v", err)
+	}
+}

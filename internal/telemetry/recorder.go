@@ -62,6 +62,13 @@ const (
 	// scheduling round. PID = target, Arg1 = round index, Arg2 = packed
 	// (rounds << 32) | events placed this round.
 	KindMuxRotate
+	// KindFleetNode: one fleet node finished its monitoring round (klebd).
+	// PID = node index, Arg1 = samples captured this round, Arg2 = bit 0
+	// degraded, bit 1 faulted.
+	KindFleetNode
+	// KindFleetRound: a whole fleet round folded into the aggregate.
+	// Arg1 = round index, Arg2 = packed (nodes << 32) | degraded nodes.
+	KindFleetRound
 
 	numKinds
 )
@@ -87,6 +94,8 @@ var kindNames = [numKinds]string{
 	KindCtlRetry:     "ctl-retry",
 	KindDegraded:     "run-degraded",
 	KindMuxRotate:    "mux-rotate",
+	KindFleetNode:    "fleet-node",
+	KindFleetRound:   "fleet-round",
 }
 
 // String returns the kind's stable wire name (used in both exporters).

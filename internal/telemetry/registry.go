@@ -248,6 +248,32 @@ type Registry struct {
 	FaultsInjected CounterVec // by fault kind
 	CtlRetries     Counter    // controller transient-ioctl retries
 	RunsDegraded   Counter    // runs that finished with partial data
+
+	// Fleet aggregation activity (internal/fleet, klebd). All stay zero
+	// outside a fleet aggregate and are rendered only when rounds folded,
+	// so single-run expositions never mention the fleet layer. The four
+	// Ledger counters generalize the module's period-conservation
+	// invariant fleet-wide: LedgerFires == LedgerCaptured + LedgerDropped
+	// + LedgerLost at every fold boundary.
+	FleetRounds    Counter // rounds folded into the aggregate
+	FleetNodes     Counter // per-node round completions
+	FleetSamples   Counter // K-LEB samples ingested from nodes
+	FleetDegraded  Counter // node rounds that finished degraded
+	LedgerFires    Counter
+	LedgerCaptured Counter
+	LedgerDropped  Counter
+	LedgerLost     Counter
+}
+
+// Clone returns a deep copy of the registry, safe to render or merge after
+// the source moves on. Implemented as a merge into a fresh registry so a
+// new metric field added to Merge is automatically covered here too.
+func (r *Registry) Clone() (*Registry, error) {
+	out := &Registry{}
+	if err := out.Merge(r); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Merge folds o into r. All merges are commutative and associative, so a
@@ -284,6 +310,14 @@ func (r *Registry) Merge(o *Registry) error {
 	r.RunFailures.Add(o.RunFailures.n)
 	r.CtlRetries.Add(o.CtlRetries.n)
 	r.RunsDegraded.Add(o.RunsDegraded.n)
+	r.FleetRounds.Add(o.FleetRounds.n)
+	r.FleetNodes.Add(o.FleetNodes.n)
+	r.FleetSamples.Add(o.FleetSamples.n)
+	r.FleetDegraded.Add(o.FleetDegraded.n)
+	r.LedgerFires.Add(o.LedgerFires.n)
+	r.LedgerCaptured.Add(o.LedgerCaptured.n)
+	r.LedgerDropped.Add(o.LedgerDropped.n)
+	r.LedgerLost.Add(o.LedgerLost.n)
 	return err
 }
 

@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"kleb/internal/ktime"
+)
+
+// TestSharedSinkConcurrentIngest hammers a SharedSink from many goroutines
+// (the shard shape klebd uses) and checks no counts are lost. Run with
+// -race this doubles as the data-race proof for the snapshot/merge path.
+func TestSharedSinkConcurrentIngest(t *testing.T) {
+	const producers, rounds = 8, 50
+	sh := NewShared(1024)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				run := MetricsOnly()
+				run.CtxSwitch(ktime.Time(r), 0, 1)
+				run.SampleCaptured(ktime.Time(r), 1, 16)
+				if err := sh.Ingest(run); err != nil {
+					t.Errorf("ingest: %v", err)
+				}
+				sh.Emit(func(s *Sink) {
+					s.FleetNode(ktime.Time(r), int32(p), 1, 1, 0, 0, false, "")
+				})
+			}
+		}(p)
+	}
+	// Concurrent scrapes while producers run.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				snap, err := sh.Snapshot()
+				if err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+				var buf bytes.Buffer
+				if err := snap.WritePrometheus(&buf); err != nil {
+					t.Errorf("snapshot render: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Registry.CtxSwitches.Value(); got != producers*rounds {
+		t.Errorf("CtxSwitches = %d, want %d", got, producers*rounds)
+	}
+	if got := snap.Registry.FleetNodes.Value(); got != producers*rounds {
+		t.Errorf("FleetNodes = %d, want %d", got, producers*rounds)
+	}
+	if got := snap.Registry.FleetSamples.Value(); got != producers*rounds {
+		t.Errorf("FleetSamples = %d, want %d", got, producers*rounds)
+	}
+}
+
+// TestSnapshotIsolation checks a snapshot is a true copy: the shared sink
+// moving on does not change an already-taken snapshot.
+func TestSnapshotIsolation(t *testing.T) {
+	sh := NewShared(16)
+	run := MetricsOnly()
+	run.CtxSwitch(1, 0, 1)
+	if err := sh.Ingest(run); err != nil {
+		t.Fatal(err)
+	}
+	sh.Emit(func(s *Sink) { s.FleetRound(2, 0, 1, 0) })
+
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snap.Registry.CtxSwitches.Value()
+	nbefore := len(snap.Events)
+
+	more := MetricsOnly()
+	more.CtxSwitch(3, 1, 2)
+	if err := sh.Ingest(more); err != nil {
+		t.Fatal(err)
+	}
+	sh.Emit(func(s *Sink) { s.FleetRound(4, 1, 1, 0) })
+
+	if got := snap.Registry.CtxSwitches.Value(); got != before {
+		t.Errorf("snapshot registry mutated after ingest: %d -> %d", before, got)
+	}
+	if got := len(snap.Events); got != nbefore {
+		t.Errorf("snapshot events mutated after emit: %d -> %d", nbefore, got)
+	}
+	snap2, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap2.Registry.CtxSwitches.Value(); got != before+1 {
+		t.Errorf("second snapshot CtxSwitches = %d, want %d", got, before+1)
+	}
+}
+
+// TestRegistryClone checks Clone is deep: mutating the clone leaves the
+// source alone, and all fleet/ledger counters survive the copy.
+func TestRegistryClone(t *testing.T) {
+	s := MetricsOnly()
+	s.Kprobe(1, "switch", 1)
+	s.FleetNode(2, 3, 10, 7, 2, 1, true, "ioctl-error")
+	s.FleetRound(3, 0, 1, 1)
+	src := s.Registry()
+	c, err := src.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CtxSwitches.Add(5)
+	c.KprobeHits.Add("switch", 5)
+	if src.CtxSwitches.Value() != 0 || src.KprobeHits.Get("switch") != 1 {
+		t.Error("mutating the clone changed the source registry")
+	}
+	for name, pair := range map[string][2]uint64{
+		"FleetRounds":    {c.FleetRounds.Value(), 1},
+		"FleetNodes":     {c.FleetNodes.Value(), 1},
+		"FleetSamples":   {c.FleetSamples.Value(), 7},
+		"FleetDegraded":  {c.FleetDegraded.Value(), 1},
+		"LedgerFires":    {c.LedgerFires.Value(), 10},
+		"LedgerCaptured": {c.LedgerCaptured.Value(), 7},
+		"LedgerDropped":  {c.LedgerDropped.Value(), 2},
+		"LedgerLost":     {c.LedgerLost.Value(), 1},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("clone %s = %d, want %d", name, pair[0], pair[1])
+		}
+	}
+	// The fleet emit kept the period-conservation ledger balanced.
+	if c.LedgerFires.Value() != c.LedgerCaptured.Value()+c.LedgerDropped.Value()+c.LedgerLost.Value() {
+		t.Error("ledger does not balance after clone")
+	}
+}
+
+// TestFleetEventsInChromeTrace checks fleet events render on their own
+// process with the lazy metadata line, and that traces without fleet
+// activity do not mention the fleet process at all (golden stability).
+func TestFleetEventsInChromeTrace(t *testing.T) {
+	s := New()
+	s.CtxSwitch(1, 0, 1)
+	var plain bytes.Buffer
+	if err := s.WriteChromeTrace(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "fleet") {
+		t.Errorf("fleet process leaked into a fleet-free trace:\n%s", plain.String())
+	}
+
+	s.FleetNode(10, 42, 5, 4, 1, 0, true, "")
+	s.FleetNode(11, 43, 5, 5, 0, 0, false, "ioctl-error")
+	s.FleetRound(12, 0, 2, 1)
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	var fleetMeta, node, faulted, round int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name" && e.Pid == chromePidFleet:
+			fleetMeta++
+			if e.Args["name"] != "fleet" {
+				t.Errorf("fleet process named %v", e.Args["name"])
+			}
+		case e.Name == "fleet-node":
+			node++
+			if e.Tid != 42 {
+				t.Errorf("fleet-node tid = %d, want node index 42", e.Tid)
+			}
+			if e.Args["degraded"] != true || e.Args["samples"] != float64(4) {
+				t.Errorf("fleet-node args = %v", e.Args)
+			}
+		case e.Name == "fleet-node:ioctl-error":
+			faulted++
+			if e.Args["faulted"] != true {
+				t.Errorf("faulted fleet-node args = %v", e.Args)
+			}
+		case e.Name == "fleet-round":
+			round++
+			if e.Args["nodes"] != float64(2) || e.Args["degraded"] != float64(1) {
+				t.Errorf("fleet-round args = %v", e.Args)
+			}
+		}
+	}
+	if fleetMeta != 1 {
+		t.Errorf("fleet process_name emitted %d times, want exactly 1", fleetMeta)
+	}
+	if node != 1 || faulted != 1 || round != 1 {
+		t.Errorf("fleet events rendered: node=%d faulted=%d round=%d, want 1 each", node, faulted, round)
+	}
+}
+
+// TestFleetMetricsRenderOnlyWhenFolded checks the exposition of a fleet-
+// free registry never mentions the fleet families, and a folded one
+// carries them all.
+func TestFleetMetricsRenderOnlyWhenFolded(t *testing.T) {
+	s := MetricsOnly()
+	s.CtxSwitch(1, 0, 1)
+	var plain strings.Builder
+	if err := s.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "kleb_fleet_") {
+		t.Errorf("fleet families leaked into a fleet-free exposition:\n%s", plain.String())
+	}
+
+	s.FleetNode(2, 0, 3, 2, 1, 0, false, "")
+	s.FleetRound(3, 0, 1, 0)
+	var buf strings.Builder
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"kleb_fleet_rounds_total 1",
+		"kleb_fleet_node_rounds_total 1",
+		"kleb_fleet_samples_total 2",
+		"kleb_fleet_ledger_fires_total 3",
+		"kleb_fleet_ledger_captured_total 2",
+		"kleb_fleet_ledger_dropped_total 1",
+		"kleb_fleet_ledger_lost_total 0",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("folded exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestPromEncoderEnforcesCounterSuffix checks the encoder refuses counters
+// without _total and renders conformant families otherwise.
+func TestPromEncoderEnforcesCounterSuffix(t *testing.T) {
+	var bad strings.Builder
+	e := NewPromEncoder(&bad)
+	e.Counter("klebd_ingested", "Runs ingested.", 3)
+	if e.Err() == nil {
+		t.Fatal("encoder accepted a counter without _total")
+	}
+
+	var buf strings.Builder
+	e = NewPromEncoder(&buf)
+	e.Counter("klebd_ingested_total", "Runs ingested.", 3)
+	e.Gauge("klebd_fleet_watermark", "Lowest fully folded round.", 7)
+	e.GaugeVec("klebd_shard_lag", "Rounds each shard runs ahead of the watermark.", "shard",
+		[]string{"0", "1"}, []uint64{2, 0})
+	var h Histogram
+	h.Observe(100)
+	h.Observe(900)
+	e.Histogram("klebd_merge_ns", "Merge latency, wall ns.", &h)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintExposition(strings.NewReader(buf.String())); err != nil {
+		t.Errorf("encoder output fails the exposition lint: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"klebd_ingested_total 3",
+		"klebd_fleet_watermark 7",
+		`klebd_shard_lag{shard="0"} 2`,
+		"klebd_merge_ns_count 2",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("encoder output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -309,6 +309,43 @@ func (s *Sink) ProcessName(pid int32, name string) {
 	s.rec.record(Event{Kind: KindMeta, PID: pid, Name: name})
 }
 
+// FleetNode records one fleet node finishing its monitoring round under
+// klebd: the samples it captured plus its period-conservation ledger for
+// the round (fires = captured + dropped + lost). degraded marks a run that
+// finished with partial data; fault names the first unrecoverable fault
+// ("" for a clean round).
+func (s *Sink) FleetNode(now ktime.Time, node int32, fires, captured, dropped, lost uint64, degraded bool, fault string) {
+	if s == nil {
+		return
+	}
+	s.reg.FleetNodes.Add(1)
+	s.reg.FleetSamples.Add(captured)
+	s.reg.LedgerFires.Add(fires)
+	s.reg.LedgerCaptured.Add(captured)
+	s.reg.LedgerDropped.Add(dropped)
+	s.reg.LedgerLost.Add(lost)
+	var flags uint64
+	if degraded {
+		s.reg.FleetDegraded.Add(1)
+		flags |= 1
+	}
+	if fault != "" {
+		flags |= 2
+	}
+	s.rec.record(Event{Time: now, Kind: KindFleetNode, PID: node, Name: fault, Arg1: captured, Arg2: flags})
+}
+
+// FleetRound records one whole fleet round folding into the aggregate:
+// every node of the round has completed and been ingested.
+func (s *Sink) FleetRound(now ktime.Time, round uint64, nodes, degraded int) {
+	if s == nil {
+		return
+	}
+	s.reg.FleetRounds.Add(1)
+	s.rec.record(Event{Time: now, Kind: KindFleetRound,
+		Arg1: round, Arg2: uint64(nodes)<<32 | uint64(uint32(degraded))})
+}
+
 // RunDone records one batch run finishing on a logical scheduler slot
 // (worker index under the pool's deterministic striped assignment). Only
 // batch-level sinks receive these; the counters deliberately omit the slot

@@ -13,6 +13,9 @@
 #   6. chaos smoke one seeded fault plan runs end to end and satisfies the
 #                  period-conservation invariant (the full 32-plan sweep
 #                  runs in CI's chaos job)
+#   7. klebd smoke the fleet daemon boots, serves lint-clean expositions,
+#                  and drains cleanly on SIGTERM (scripts/smoke_klebd.sh,
+#                  also CI's klebd-smoke job)
 #
 # Exits non-zero on the first failing stage. Run from anywhere inside
 # the repository.
@@ -47,5 +50,8 @@ go test ./internal/kernel ./internal/pmu -run 'NONE' -bench . -benchtime 1x >/de
 
 echo "==> chaos smoke (1 fault plan)"
 go run ./cmd/experiments -seeds 1 chaos >/dev/null
+
+echo "==> klebd smoke (boot, scrape, drain)"
+./scripts/smoke_klebd.sh >/dev/null
 
 echo "lint: OK"

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# smoke_klebd.sh — boot a small klebd fleet, validate every HTTP endpoint
+# with the daemon's own scrape prober (no curl, no grep on expositions),
+# and assert a clean SIGTERM drain:
+#
+#   1. build klebd and start it on an ephemeral port
+#   2. wait for the listen line, extract the URL
+#   3. `klebd scrape URL` — /healthz ok, /metrics passes the strict
+#      exposition lint with the klebd_* self section present, /trace is
+#      well-formed Chrome-trace JSON, /fleetz decodes with a balanced
+#      period-conservation ledger
+#   4. SIGTERM, then require exit 0 and the drain summary on stdout
+#
+# Runs locally and as CI's smoke job. Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel 2>/dev/null || dirname "$0")/."
+
+bin=$(mktemp -d)/klebd
+out=$(mktemp)
+trap 'rm -rf "$(dirname "$bin")" "$out"; kill "$pid" 2>/dev/null || true' EXIT
+
+echo "==> build"
+go build -o "$bin" ./cmd/klebd
+
+echo "==> boot (ephemeral port, background fault rate, cluster nodes)"
+"$bin" -listen 127.0.0.1:0 -nodes 8 -shards 4 -fault-every 5 -cluster-every 6 >"$out" 2>&1 &
+pid=$!
+
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's|^klebd: .* serving \(http://[^ ]*\) .*$|\1|p' "$out")
+    [[ -n "$url" ]] && break
+    kill -0 "$pid" 2>/dev/null || { echo "klebd died at boot:" >&2; cat "$out" >&2; exit 1; }
+    sleep 0.1
+done
+[[ -n "$url" ]] || { echo "klebd never printed its listen URL:" >&2; cat "$out" >&2; exit 1; }
+echo "    $url"
+
+echo "==> scrape"
+"$bin" scrape "$url"
+
+echo "==> drain (SIGTERM)"
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "klebd exited non-zero after SIGTERM:" >&2
+    cat "$out" >&2
+    exit 1
+fi
+if ! grep -q "^klebd: drained:" "$out"; then
+    echo "drain summary missing from klebd output:" >&2
+    cat "$out" >&2
+    exit 1
+fi
+if ! grep -q "balanced: true" "$out"; then
+    echo "drained fleet did not report a balanced ledger:" >&2
+    cat "$out" >&2
+    exit 1
+fi
+sed -n 's/^klebd: /    /p' "$out"
+echo "smoke_klebd: OK"
