@@ -1,21 +1,31 @@
 // Command klebvet is the simulator's static-analysis gate: it runs the
-// seven internal/analysis analyzers (walltime, seededrand, maporder,
-// emitguard, lockdiscipline, droppederr, httpguard) over Go packages and
-// reports determinism and telemetry invariant violations.
+// ten internal/analysis analyzers — seven per-package (walltime,
+// seededrand, maporder, emitguard, lockdiscipline, droppederr,
+// httpguard) and three whole-program (detertaint, hotalloc,
+// ledgerguard) — over Go packages and reports determinism, telemetry
+// and ledger invariant violations.
 //
 // Two modes share one binary:
 //
-//	klebvet [-walltime] [-maporder] ... [packages]
+//	klebvet [-walltime] [-maporder] ... [-json] [packages]
 //
 // runs standalone over the named package patterns (default ./...),
 // loading dependencies from compiler export data so it works offline.
-// With no analyzer flags the whole suite runs.
+// With no analyzer flags the whole suite runs: the per-package analyzers
+// over each package, then the whole-program analyzers over one Program
+// built from every loaded package (dependency-ordered, shared type
+// identity — see internal/analysis/program.go). With -json the findings
+// are additionally written to stdout as a JSON array with stable field
+// order (file, line, col, analyzer, message) for baseline/ratchet
+// tooling.
 //
 //	go vet -vettool=$(which klebvet) ./...
 //
-// drives the same analyzers through cmd/go's vet-tool protocol: cmd/go
-// invokes the tool once per package with a JSON *.cfg file and caches
-// results keyed on the tool's -V=full fingerprint.
+// drives the per-package analyzers through cmd/go's vet-tool protocol:
+// cmd/go invokes the tool once per package with a JSON *.cfg file and
+// caches results keyed on the tool's -V=full fingerprint. The
+// whole-program analyzers need every package at once, so they run only
+// in standalone mode (scripts/lint.sh runs both).
 //
 // Findings go to stderr as file:line:col: message; the exit status is
 // nonzero when anything is reported. Per-line suppressions use
@@ -27,8 +37,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"kleb/internal/analysis"
@@ -58,6 +70,7 @@ func run(args []string) int {
 		selected[a.Name] = fs.Bool(a.Name, false, a.Doc)
 	}
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	jsonOut := fs.Bool("json", false, "write findings to stdout as a JSON array (standalone mode)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,10 +82,18 @@ func run(args []string) int {
 	rest := fs.Args()
 
 	// cmd/go's unit protocol: a single argument naming a JSON config.
+	// Only the per-package analyzers fit its one-package-at-a-time shape;
+	// the whole-program ones run in standalone mode.
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		return unitcheck(rest[0], enabled)
+		var unit []*analysis.Analyzer
+		for _, a := range enabled {
+			if a.Run != nil {
+				unit = append(unit, a)
+			}
+		}
+		return unitcheck(rest[0], unit)
 	}
-	return standalone(rest, enabled)
+	return standalone(rest, enabled, *jsonOut)
 }
 
 // enabledAnalyzers returns the analyzers whose flags are set, or the
@@ -102,32 +123,116 @@ func skipPackage(importPath string) bool {
 	return false
 }
 
+// finding is one diagnostic in the -json output. The field order is the
+// stable contract baseline/ratchet tooling keys on.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // standalone loads the package patterns from source (plus export data
-// for dependencies) and runs the suite, printing findings to stderr.
-func standalone(patterns []string, enabled []*analysis.Analyzer) int {
+// for dependencies) and runs the suite: per-package analyzers over each
+// package, then whole-program analyzers over one Program built from
+// every non-exempt package. Findings print to stderr (and, with -json,
+// to stdout as a JSON array sorted by position).
+func standalone(patterns []string, enabled []*analysis.Analyzer, jsonOut bool) int {
 	pkgs, err := load.Packages("", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "klebvet: %v\n", err)
 		return 1
 	}
-	found := false
+	findings := []finding{}
+	collect := func(fset *token.FileSet, a *analysis.Analyzer, diags []analysis.Diagnostic) {
+		for _, d := range diags {
+			p := fset.Position(d.Pos)
+			findings = append(findings, finding{
+				File:     p.Filename,
+				Line:     p.Line,
+				Col:      p.Column,
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		}
+	}
+	var analyzed []*load.Package
 	for _, pkg := range pkgs {
 		if skipPackage(pkg.ImportPath) {
 			continue
 		}
+		analyzed = append(analyzed, pkg)
 		for _, a := range enabled {
+			if a.Run == nil {
+				continue
+			}
 			diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "klebvet: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
 				return 1
 			}
-			for _, d := range diags {
-				found = true
-				fmt.Fprintf(os.Stderr, "%s: %s (klebvet/%s)\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
-			}
+			collect(pkg.Fset, a, diags)
 		}
 	}
-	if found {
+
+	var whole []*analysis.Analyzer
+	for _, a := range enabled {
+		if a.RunProgram != nil {
+			whole = append(whole, a)
+		}
+	}
+	if len(whole) > 0 && len(analyzed) > 0 {
+		fset := analyzed[0].Fset // load.Packages shares one FileSet
+		var srcs []*analysis.SourcePackage
+		for _, pkg := range analyzed {
+			srcs = append(srcs, &analysis.SourcePackage{
+				ImportPath: pkg.ImportPath,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+			})
+		}
+		prog, err := analysis.BuildProgram(fset, srcs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "klebvet: building program: %v\n", err)
+			return 1
+		}
+		for _, a := range whole {
+			diags, err := analysis.RunProgram(a, prog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "klebvet: %s: %v\n", a.Name, err)
+				return 1
+			}
+			collect(fset, a, diags)
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (klebvet/%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+	if jsonOut {
+		data, err := json.MarshalIndent(findings, "", "\t")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "klebvet: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stdout, "%s\n", data)
+	}
+	if len(findings) > 0 {
 		return 2
 	}
 	return 0

@@ -1,6 +1,11 @@
 package analysis
 
-import "testing"
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
 
 func TestParseAllow(t *testing.T) {
 	cases := []struct {
@@ -35,6 +40,53 @@ func TestParseAllow(t *testing.T) {
 			if !names[n] {
 				t.Errorf("parseAllow(%q) missing %q", c.text, n)
 			}
+		}
+	}
+}
+
+// TestAllowStatementSpan pins the statement-span behaviour of allow
+// comments: a trailing //klebvet:allow on the last line of a multi-line
+// call chain suppresses findings on every line of that statement, while
+// an identical chain without the allow stays unsuppressed — and the
+// suppression never leaks past the statement's own lines.
+func TestAllowStatementSpan(t *testing.T) {
+	const src = `package p
+
+import "time"
+
+func suppressed() time.Duration {
+	d := time.Since(
+		time.
+			Now(),
+	) //klebvet:allow walltime -- covers the whole chain
+	return d
+}
+
+func unsuppressed() time.Duration {
+	d := time.Since(
+		time.
+			Now(),
+	)
+	return d
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "span.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := buildAllowIndex(fset, []*ast.File{f}, "walltime")
+	// The allow trails line 9; the chain it closes spans lines 6-9.
+	for line := 6; line <= 9; line++ {
+		if !ai.suppresses(token.Position{Filename: "span.go", Line: line}) {
+			t.Errorf("line %d of the allowed multi-line chain not suppressed", line)
+		}
+	}
+	// The twin without an allow (lines 14-17) and the surrounding
+	// returns must stay live.
+	for _, line := range []int{5, 11, 14, 15, 16, 17, 18} {
+		if ai.suppresses(token.Position{Filename: "span.go", Line: line}) {
+			t.Errorf("line %d suppressed without an allow covering it", line)
 		}
 	}
 }

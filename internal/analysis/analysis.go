@@ -7,14 +7,22 @@
 // stays dependency-free; if the repo ever vendors x/tools the analyzers
 // port mechanically.
 //
-// Findings are suppressed per line with an allow comment:
+// Findings are suppressed with an allow comment:
 //
 //	t0 := time.Now() //klebvet:allow walltime -- real benchmark timing
 //
 // The comment names one or more analyzers (comma-separated) and applies
-// to its own line and the line directly below, so it also works as a
-// standalone comment above the offending statement. Everything after
-// " -- " is a free-form reason.
+// to the full span of its enclosing statement (so a trailing comment on
+// any line of a multi-line call chain covers the whole chain), to the
+// statement directly below when written standalone, and — as a
+// conservative floor — always to its own line and the next. Everything
+// after " -- " is a free-form reason.
+//
+// Two analyzer shapes share the suite: per-package analyzers implement
+// Run and see one type-checked package at a time; whole-program
+// analyzers implement RunProgram and see a Program — every loaded
+// package in dependency order plus the cross-package call graph and the
+// per-function facts propagated over it (see program.go).
 package analysis
 
 import (
@@ -33,8 +41,14 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
 	// Run applies the check to one package, reporting findings via
-	// pass.Report (or pass.Reportf).
+	// pass.Report (or pass.Reportf). Exactly one of Run and RunProgram
+	// is set.
 	Run func(*Pass) error
+	// RunProgram applies a whole-program check to a Program (every
+	// loaded package plus call graph and propagated facts), reporting
+	// findings via pass.Report. Exactly one of Run and RunProgram is
+	// set.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass provides one analyzer with one type-checked package.
@@ -65,9 +79,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// All returns the full klebvet suite in stable order.
+// All returns the full klebvet suite in stable order: the seven
+// per-package analyzers first, then the three whole-program facts
+// analyzers (detertaint, hotalloc, ledgerguard).
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, SeededRand, MapOrder, EmitGuard, LockDiscipline, DroppedErr, HTTPGuard}
+	return []*Analyzer{
+		Walltime, SeededRand, MapOrder, EmitGuard, LockDiscipline, DroppedErr, HTTPGuard,
+		DeterTaint, HotAlloc, LedgerGuard,
+	}
 }
 
 // ByName resolves an analyzer by its Name, or nil.
@@ -83,6 +102,9 @@ func ByName(name string) *Analyzer {
 // Run applies a to one type-checked package and returns the surviving
 // (non-allowlisted) diagnostics sorted by position.
 func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	if a.Run == nil {
+		return nil, fmt.Errorf("analysis: %s is a whole-program analyzer; drive it with RunProgram", a.Name)
+	}
 	allow := buildAllowIndex(fset, files, a.Name)
 	var out []Diagnostic
 	pass := &Pass{
@@ -117,10 +139,17 @@ func (ai allowIndex) suppresses(pos token.Position) bool {
 }
 
 // buildAllowIndex scans every comment for //klebvet:allow directives
-// naming the analyzer and marks the comment's line plus the next line.
+// naming the analyzer and marks the full line span of the statement the
+// comment belongs to: the innermost simple statement whose lines include
+// the comment (so a trailing comment on the last line of a multi-line
+// call chain covers the whole chain), or the statement starting on the
+// next line for a standalone comment. The comment's own line and the
+// line below are always marked, preserving the original floor.
 func buildAllowIndex(fset *token.FileSet, files []*ast.File, name string) allowIndex {
 	ai := make(allowIndex)
 	for _, f := range files {
+		var spans []stmtSpan
+		haveSpans := false
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				names, ok := parseAllow(c.Text)
@@ -135,10 +164,90 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File, name string) allowI
 				}
 				lines[p.Line] = true
 				lines[p.Line+1] = true
+				if !haveSpans {
+					spans = fileStmtSpans(fset, f)
+					haveSpans = true
+				}
+				if start, end, ok := spanForAllow(spans, p.Line); ok {
+					for l := start; l <= end; l++ {
+						lines[l] = true
+					}
+				}
 			}
 		}
 	}
 	return ai
+}
+
+// stmtSpan is the line extent of one statement-like node. simple marks
+// nodes safe to use for containing-line matches: a trailing allow
+// comment inside an if/for/switch body must suppress only the simple
+// statement it trails, never the whole compound construct around it.
+type stmtSpan struct {
+	start, end int
+	simple     bool
+}
+
+// fileStmtSpans collects the line spans of every statement, declaration,
+// spec and field in f, classifying compound statements (whose bodies
+// contain other statements) separately from simple ones.
+func fileStmtSpans(fset *token.FileSet, f *ast.File) []stmtSpan {
+	var spans []stmtSpan
+	add := func(n ast.Node, simple bool) {
+		spans = append(spans, stmtSpan{
+			start:  fset.Position(n.Pos()).Line,
+			end:    fset.Position(n.End()).Line,
+			simple: simple,
+		})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.GoStmt,
+			*ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.BranchStmt,
+			*ast.ValueSpec, *ast.TypeSpec, *ast.ImportSpec, *ast.Field:
+			add(n, true)
+		case *ast.GenDecl:
+			add(n, !n.Lparen.IsValid())
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt,
+			*ast.FuncDecl, *ast.CaseClause, *ast.CommClause:
+			add(n, false)
+		}
+		return true
+	})
+	return spans
+}
+
+// spanForAllow resolves the statement span an allow comment on `line`
+// suppresses: the narrowest simple statement whose lines contain the
+// comment, else the narrowest statement starting on the next line.
+func spanForAllow(spans []stmtSpan, line int) (start, end int, ok bool) {
+	best := -1
+	for i, s := range spans {
+		if !s.simple || s.start > line || line > s.end {
+			continue
+		}
+		if best < 0 || s.end-s.start < spans[best].end-spans[best].start {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Standalone comment: suppress the statement starting directly
+		// below (compound statements included — the comment names its
+		// target explicitly).
+		for i, s := range spans {
+			if s.start != line+1 {
+				continue
+			}
+			if best < 0 || s.end-s.start < spans[best].end-spans[best].start {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return spans[best].start, spans[best].end, true
 }
 
 // parseAllow extracts the analyzer names from one allow comment.

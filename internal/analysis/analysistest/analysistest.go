@@ -1,6 +1,6 @@
-// Package analysistest runs one klebvet analyzer over golden-file
-// packages under testdata/src and matches its diagnostics against
-// expectations written in the sources, mirroring the conventions of
+// Package analysistest runs klebvet analyzers over golden-file packages
+// under testdata/src and matches their diagnostics against expectations
+// written in the sources, mirroring the conventions of
 // golang.org/x/tools/go/analysis/analysistest:
 //
 //	m[k] = append(m[k], v) // nothing expected on this line
@@ -11,11 +11,22 @@
 // Testdata packages import only the standard library; dependency types
 // come from compiler export data (load.StdImporter), so the harness
 // works offline.
+//
+// Two entry points share the machinery: Run drives one per-package
+// analyzer over flat testdata packages, and RunTree loads a whole
+// multi-package tree (each subdirectory one package, importable by its
+// tree-relative path), builds an analysis.Program over it in dependency
+// order and drives whole-program analyzers — optionally pinning the
+// program's propagated facts against a facts.golden file at the tree
+// root (regenerate with KLEBVET_UPDATE_FACTS=1).
 package analysistest
 
 import (
 	"fmt"
+	"go/ast"
+	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -43,17 +54,10 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 
 func runPackage(t *testing.T, a *analysis.Analyzer, dir, pkg string) {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
+	files, err := goFilesIn(dir)
 	if err != nil {
 		t.Fatalf("%s: %v", pkg, err)
 	}
-	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(dir, e.Name()))
-		}
-	}
-	sort.Strings(files)
 	if len(files) == 0 {
 		t.Fatalf("%s: no Go files in %s", pkg, dir)
 	}
@@ -66,12 +70,223 @@ func runPackage(t *testing.T, a *analysis.Analyzer, dir, pkg string) {
 	if err != nil {
 		t.Fatalf("%s: analyzer %s: %v", pkg, a.Name, err)
 	}
-	wants := collectWants(t, loaded)
+	wants := collectWants(t, fset, loaded.Files)
+	compareDiags(t, fset, wants, diags)
+}
 
-	type lineKey struct {
-		file string
-		line int
+// RunTree loads testdata/src/<tree> as one multi-package program — every
+// subdirectory holding Go files is a package whose import path is its
+// tree-relative path prefixed with the tree name — builds the
+// analysis.Program and applies each analyzer (whole-program analyzers to
+// the Program, per-package analyzers to every package). Diagnostics
+// from all analyzers are matched against the // want expectations of
+// every file in the tree. When <tree>/facts.golden exists, the
+// program's sorted fact export must match it byte-for-byte; run with
+// KLEBVET_UPDATE_FACTS=1 to (re)generate it.
+func RunTree(t *testing.T, analyzers []*analysis.Analyzer, tree string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", tree))
+	if err != nil {
+		t.Fatal(err)
 	}
+	fset := token.NewFileSet()
+	pkgs, err := loadTree(fset, root, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcs []*analysis.SourcePackage
+	var allFiles []*ast.File
+	for _, p := range pkgs {
+		srcs = append(srcs, &analysis.SourcePackage{
+			ImportPath: p.ImportPath,
+			Files:      p.Files,
+			Pkg:        p.Types,
+			Info:       p.Info,
+		})
+		allFiles = append(allFiles, p.Files...)
+	}
+	prog, err := analysis.BuildProgram(fset, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			ds, err := analysis.RunProgram(a, prog)
+			if err != nil {
+				t.Fatalf("%s: analyzer %s: %v", tree, a.Name, err)
+			}
+			diags = append(diags, ds...)
+			continue
+		}
+		for _, p := range pkgs {
+			ds, err := analysis.Run(a, fset, p.Files, p.Types, p.Info)
+			if err != nil {
+				t.Fatalf("%s: analyzer %s: %v", p.ImportPath, a.Name, err)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	wants := collectWants(t, fset, allFiles)
+	compareDiags(t, fset, wants, diags)
+	checkFactsGolden(t, root, prog)
+}
+
+// loadTree parses and type-checks every package under root in dependency
+// order, resolving in-tree imports to the already-checked packages and
+// everything else through the standard importer.
+func loadTree(fset *token.FileSet, root, tree string) ([]*load.Package, error) {
+	type rawPkg struct {
+		path, dir string
+		files     []string
+		imports   []string
+	}
+	var raw []*rawPkg
+	err := filepath.WalkDir(root, func(dir string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		files, err := goFilesIn(dir)
+		if err != nil || len(files) == 0 {
+			return err
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		path := tree
+		if rel != "." {
+			path = tree + "/" + filepath.ToSlash(rel)
+		}
+		p := &rawPkg{path: path, dir: dir, files: files}
+		for _, name := range files {
+			f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				if ipath, err := strconv.Unquote(imp.Path.Value); err == nil {
+					p.imports = append(p.imports, ipath)
+				}
+			}
+		}
+		raw = append(raw, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("no Go packages under %s", root)
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i].path < raw[j].path })
+
+	// Topologically order in-tree dependencies, then check each package
+	// against the chain of already-checked ones.
+	byPath := make(map[string]*rawPkg, len(raw))
+	for _, p := range raw {
+		byPath[p.path] = p
+	}
+	local := make(map[string]*types.Package)
+	imp := treeImporter{local: local, next: load.NewStdImporter(fset)}
+	var out []*load.Package
+	state := make(map[*rawPkg]int)
+	var visit func(p *rawPkg) error
+	visit = func(p *rawPkg) error {
+		switch state[p] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("import cycle through %s", p.path)
+		}
+		state[p] = 1
+		for _, ipath := range p.imports {
+			if dep, ok := byPath[ipath]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, err := load.Check(fset, p.path, p.dir, p.files, imp)
+		if err != nil {
+			return err
+		}
+		local[p.path] = pkg.Types
+		out = append(out, pkg)
+		state[p] = 2
+		return nil
+	}
+	for _, p := range raw {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// treeImporter resolves in-tree import paths to already-checked
+// packages, everything else through the standard importer.
+type treeImporter struct {
+	local map[string]*types.Package
+	next  types.Importer
+}
+
+func (ti treeImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ti.local[path]; ok {
+		return p, nil
+	}
+	return ti.next.Import(path)
+}
+
+// checkFactsGolden pins prog.Facts() against <root>/facts.golden when
+// present (always when regenerating).
+func checkFactsGolden(t *testing.T, root string, prog *analysis.Program) {
+	t.Helper()
+	golden := filepath.Join(root, "facts.golden")
+	text := strings.Join(prog.Facts(), "\n") + "\n"
+	if os.Getenv("KLEBVET_UPDATE_FACTS") != "" {
+		if err := os.WriteFile(golden, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if os.IsNotExist(err) {
+		return // tree without a fact pin
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != text {
+		t.Errorf("%s: fact export drifted from golden (KLEBVET_UPDATE_FACTS=1 to regenerate)\ngot:\n%swant:\n%s", golden, text, want)
+	}
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// lineKey addresses one source line across the loaded file set.
+type lineKey struct {
+	file string
+	line int
+}
+
+// compareDiags matches diagnostics against want expectations, reporting
+// unmatched wants and unexpected diagnostics on t.
+func compareDiags(t *testing.T, fset *token.FileSet, wants map[lineKey][]*regexp.Regexp, diags []analysis.Diagnostic) {
+	t.Helper()
 	got := make(map[lineKey][]string)
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
@@ -107,24 +322,17 @@ func runPackage(t *testing.T, a *analysis.Analyzer, dir, pkg string) {
 var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
 // collectWants extracts the // want expectations per (file, line).
-func collectWants(t *testing.T, pkg *load.Package) map[struct {
-	file string
-	line int
-}][]*regexp.Regexp {
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*regexp.Regexp {
 	t.Helper()
-	type lineKey = struct {
-		file string
-		line int
-	}
 	out := make(map[lineKey][]*regexp.Regexp)
-	for _, f := range pkg.Files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := wantRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
-				p := pkg.Fset.Position(c.Pos())
+				p := fset.Position(c.Pos())
 				rxs, err := parseWantPatterns(m[1])
 				if err != nil {
 					t.Fatalf("%s:%d: bad want comment: %v", p.Filename, p.Line, err)

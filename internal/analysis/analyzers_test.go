@@ -42,13 +42,16 @@ func TestHTTPGuard(t *testing.T) {
 
 func TestAllAndByName(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 7 {
-		t.Fatalf("All() returned %d analyzers, want 7", len(all))
+	if len(all) != 10 {
+		t.Fatalf("All() returned %d analyzers, want 10", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v is missing Name, Doc or Run", a)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v is missing Name or Doc", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunProgram", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)

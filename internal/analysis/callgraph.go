@@ -1,0 +1,781 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file builds the Program's conservative call graph and collects
+// each function's intrinsic allocation facts in the same pass. Three
+// call shapes produce edges:
+//
+//   - static calls — a resolved function or method object; one callee;
+//   - interface method calls — every source type whose method set
+//     satisfies the interface contributes its method;
+//   - calls through func values — every function value that escapes
+//     into a variable, field, argument or return (stored func) with an
+//     identical signature is a candidate callee.
+//
+// Callees without source (standard library) are invisible to taint
+// (they cannot read the repo's banned clocks on its behalf) but are
+// assumed to allocate unless explicitly allowlisted — the conservative
+// direction for each fact.
+
+// gcSizes fixes the size model to gc/amd64 so boxing verdicts (and with
+// them whole-program facts) are identical on every host.
+var gcSizes = types.SizesFor("gc", "amd64")
+
+// allocFreeFuncs are sourceless callees known not to allocate.
+var allocFreeFuncs = map[string]bool{
+	"container/heap.Init": true, "container/heap.Push": true,
+	"container/heap.Pop": true, "container/heap.Remove": true,
+	"container/heap.Fix": true,
+	"sort.Search":        true, "sort.SearchInts": true,
+	"(*sync.Mutex).Lock": true, "(*sync.Mutex).Unlock": true,
+	"(*sync.RWMutex).RLock": true, "(*sync.RWMutex).RUnlock": true,
+	"(*sync.RWMutex).Lock": true, "(*sync.RWMutex).Unlock": true,
+	"(*sync.Once).Do":   true,
+	"(*sync.Cond).Wait": true, "(*sync.Cond).Signal": true,
+	"(*sync.Cond).Broadcast": true,
+	"(*sync.WaitGroup).Add":  true, "(*sync.WaitGroup).Done": true,
+	"(*sync.WaitGroup).Wait": true,
+}
+
+// allocFreePkgs are packages whose every member is allocation-free.
+var allocFreePkgs = map[string]bool{
+	"math": true, "math/bits": true, "sync/atomic": true, "unsafe": true,
+}
+
+// heapDispatch are the container/heap entry points that call back into
+// the concrete heap.Interface argument; the resolver adds dispatch edges
+// to that type's method set so heap-backed hot paths stay analyzable.
+var heapDispatch = map[string]bool{
+	"Init": true, "Push": true, "Pop": true, "Remove": true, "Fix": true,
+}
+
+var heapInterfaceMethods = []string{"Len", "Less", "Swap", "Push", "Pop"}
+
+type resolver struct {
+	prog *Program
+
+	allowCache map[*SourcePackage]allowIndex
+
+	ifaceCalls []deferredIface
+	sigCalls   []deferredSig
+}
+
+type deferredIface struct {
+	site   *CallSite
+	method *types.Func
+}
+
+type deferredSig struct {
+	site *CallSite
+	key  string
+}
+
+// allowHot returns the cached hotalloc allow index for sp: allocation
+// facts under a //klebvet:allow hotalloc span never become facts, which
+// is how audited cold branches inside hot functions are sanctioned.
+func (r *resolver) allowHot(sp *SourcePackage) allowIndex {
+	if r.allowCache == nil {
+		r.allowCache = make(map[*SourcePackage]allowIndex)
+	}
+	ai, ok := r.allowCache[sp]
+	if !ok {
+		ai = buildAllowIndex(r.prog.Fset, sp.Files, HotAlloc.Name)
+		r.allowCache[sp] = ai
+	}
+	return ai
+}
+
+func (r *resolver) allocFact(n *FuncNode, pos token.Pos, desc string) {
+	if r.allowHot(n.Pkg).suppresses(r.prog.Fset.Position(pos)) {
+		return
+	}
+	n.AllocSrc = append(n.AllocSrc, Fact{Pos: pos, Desc: desc})
+}
+
+func (r *resolver) staticEdge(n *FuncNode, pos token.Pos, callee *FuncNode, desc string) {
+	n.Calls = append(n.Calls, &CallSite{Pos: pos, Desc: desc, Callees: []*FuncNode{callee}})
+}
+
+func (r *resolver) dynamicSite(n *FuncNode, pos token.Pos, desc string) *CallSite {
+	cs := &CallSite{Pos: pos, Desc: desc, Dynamic: true}
+	n.Calls = append(n.Calls, cs)
+	return cs
+}
+
+// scanBody walks one function body, resolving calls and collecting
+// allocation intrinsics. Nested function literals are not descended
+// into — each literal is its own FuncNode with its own scan — but
+// creating one adds a static edge (the literal's code is reachable from
+// its creator) and, when it escapes, registers it as a stored func.
+func (r *resolver) scanBody(n *FuncNode) {
+	info := n.Pkg.Info
+	body := n.body()
+
+	// Call-position expressions: their identifiers are calls, not
+	// stored function values.
+	callFuns := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	walkStack(body, func(x ast.Node, stack []ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if x == n.Lit {
+				return true // the root literal itself
+			}
+			lit := r.prog.byLit[x]
+			if lit == nil {
+				return false
+			}
+			r.staticEdge(n, x.Pos(), lit, "func literal")
+			if !callFuns[ast.Expr(x)] {
+				r.store(sigKey(info.TypeOf(x)), lit)
+				r.allocFact(n, x.Pos(), "func literal allocates a closure")
+			}
+			return false // the literal's own scan covers its body
+		case *ast.CallExpr:
+			r.call(n, x)
+		case *ast.Ident:
+			r.identValue(n, x, stack, callFuns)
+		case *ast.SelectorExpr:
+			if !callFuns[ast.Expr(x)] {
+				r.selectorValue(n, x)
+			}
+		case *ast.CompositeLit:
+			r.compositeAlloc(n, x, stack)
+		case *ast.AssignStmt:
+			r.assignAlloc(n, x)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.TypeOf(x)) {
+				r.allocFact(n, x.Pos(), "string concatenation allocates")
+			}
+		case *ast.GoStmt:
+			r.allocFact(n, x.Pos(), "go statement allocates a goroutine")
+		case *ast.ReturnStmt:
+			r.returnAlloc(n, x)
+		case *ast.ValueSpec:
+			if x.Type != nil {
+				dst := info.TypeOf(x.Type)
+				for _, v := range x.Values {
+					r.boxCheck(n, v.Pos(), dst, v)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// store registers a stored function value under its signature key.
+func (r *resolver) store(key string, node *FuncNode) {
+	if key == "" {
+		return
+	}
+	for _, existing := range r.prog.stored[key] {
+		if existing == node {
+			return
+		}
+	}
+	r.prog.stored[key] = append(r.prog.stored[key], node)
+}
+
+// identValue records a package-level function referenced as a value
+// (telemetry hooks, Analyzer.Run fields, sort less functions).
+func (r *resolver) identValue(n *FuncNode, id *ast.Ident, stack []ast.Node, callFuns map[ast.Expr]bool) {
+	if callFuns[ast.Expr(id)] {
+		return
+	}
+	if len(stack) > 0 {
+		if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == id {
+			return // handled at the selector level
+		}
+	}
+	obj, ok := n.Pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if node := r.prog.byObj[obj]; node != nil {
+		r.store(sigKey(n.Pkg.Info.TypeOf(id)), node)
+	}
+}
+
+// selectorValue records method values (m.onTimer — binds its receiver,
+// which allocates), method expressions (T.M) and cross-package function
+// references used as values.
+func (r *resolver) selectorValue(n *FuncNode, sel *ast.SelectorExpr) {
+	info := n.Pkg.Info
+	if s, ok := info.Selections[sel]; ok {
+		obj, ok := s.Obj().(*types.Func)
+		if !ok {
+			return
+		}
+		switch s.Kind() {
+		case types.MethodVal:
+			if node := r.prog.byObj[obj]; node != nil {
+				r.store(sigKey(info.TypeOf(sel)), node)
+			}
+			r.allocFact(n, sel.Pos(), "method value "+exprKey(sel)+" binds its receiver")
+		case types.MethodExpr:
+			if node := r.prog.byObj[obj]; node != nil {
+				r.store(sigKey(info.TypeOf(sel)), node)
+			}
+		}
+		return
+	}
+	if obj, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		if node := r.prog.byObj[obj]; node != nil {
+			r.store(sigKey(info.TypeOf(sel)), node)
+		}
+	}
+}
+
+// call resolves one call expression into edges and/or allocation facts.
+func (r *resolver) call(n *FuncNode, call *ast.CallExpr) {
+	info := n.Pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Generic instantiation: unwrap to the underlying func object.
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		if funcObjOf(info, ix.X) != nil {
+			fun = ast.Unparen(ix.X)
+		}
+	case *ast.IndexListExpr:
+		if funcObjOf(info, ix.X) != nil {
+			fun = ast.Unparen(ix.X)
+		}
+	}
+
+	// Type conversion, not a call.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		r.conversionAlloc(n, call, tv.Type)
+		return
+	}
+
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Builtin:
+			r.builtinCall(n, call, obj.Name())
+			return
+		case *types.Func:
+			r.resolveStatic(n, call, obj)
+			return
+		}
+		// A local func value (variable, parameter).
+		r.resolveFuncValue(n, call, info.TypeOf(f))
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[f]; ok {
+			switch s.Kind() {
+			case types.MethodVal:
+				obj := s.Obj().(*types.Func)
+				if types.IsInterface(s.Recv()) {
+					site := r.dynamicSite(n, call.Pos(), "interface call "+ifaceCallDesc(s.Recv(), obj))
+					r.ifaceCalls = append(r.ifaceCalls, deferredIface{site: site, method: obj})
+					return
+				}
+				r.resolveStatic(n, call, obj)
+			case types.FieldVal:
+				// Calling a func-typed field: m.hook(...).
+				r.resolveFuncValue(n, call, info.TypeOf(f))
+			case types.MethodExpr:
+				obj := s.Obj().(*types.Func)
+				r.resolveStatic(n, call, obj)
+			}
+			return
+		}
+		switch obj := info.Uses[f.Sel].(type) {
+		case *types.Func:
+			r.resolveStatic(n, call, obj)
+		case *types.Var:
+			// Package-level func variable.
+			r.resolveFuncValue(n, call, info.TypeOf(f))
+		}
+	case *ast.FuncLit:
+		// Immediately invoked literal; the edge was added at the
+		// FuncLit visit.
+	default:
+		// f()() and friends: a call through an arbitrary func-typed
+		// expression.
+		r.resolveFuncValue(n, call, info.TypeOf(fun))
+	}
+}
+
+func funcObjOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// resolveStatic adds the edge for a resolved function object, or for a
+// sourceless callee the conservative allocation fact (plus container/
+// heap dispatch edges so intrusive heaps stay analyzable).
+func (r *resolver) resolveStatic(n *FuncNode, call *ast.CallExpr, obj *types.Func) {
+	if node := r.prog.byObj[obj]; node != nil {
+		r.staticEdge(n, call.Pos(), node, node.Short)
+		r.boxArgs(n, call, obj.Type())
+		return
+	}
+	name := sourcelessName(obj)
+	if obj.Pkg() != nil && obj.Pkg().Path() == "container/heap" && heapDispatch[obj.Name()] && len(call.Args) > 0 {
+		r.heapDispatchEdges(n, call)
+	} else if !allocFree(obj, name) {
+		r.allocFact(n, call.Pos(), "calls "+name+" (no source here; assumed to allocate)")
+	}
+	r.boxArgs(n, call, obj.Type())
+}
+
+// heapDispatchEdges models container/heap calling back into the
+// concrete heap.Interface argument's methods.
+func (r *resolver) heapDispatchEdges(n *FuncNode, call *ast.CallExpr) {
+	t := n.Pkg.Info.TypeOf(call.Args[0])
+	if t == nil {
+		return
+	}
+	site := r.dynamicSite(n, call.Pos(), "container/heap dispatch")
+	ms := types.NewMethodSet(t)
+	for _, name := range heapInterfaceMethods {
+		for i := 0; i < ms.Len(); i++ {
+			obj, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || obj.Name() != name {
+				continue
+			}
+			if node := r.prog.byObj[obj]; node != nil {
+				site.Callees = append(site.Callees, node)
+			}
+		}
+	}
+}
+
+// resolveFuncValue adds a dynamic edge matched against every stored
+// function value with an identical signature.
+func (r *resolver) resolveFuncValue(n *FuncNode, call *ast.CallExpr, t types.Type) {
+	key := sigKey(t)
+	if key == "" {
+		return
+	}
+	site := r.dynamicSite(n, call.Pos(), "call through func value")
+	r.sigCalls = append(r.sigCalls, deferredSig{site: site, key: key})
+	if sig, ok := t.Underlying().(*types.Signature); ok {
+		r.boxArgs(n, call, sig)
+	}
+}
+
+// resolveDeferred fills in the callee sets of interface and func-value
+// calls once every package has been indexed — a later package may
+// implement an earlier package's interface, which is exactly the blind
+// spot per-package analysis has.
+func (r *resolver) resolveDeferred() {
+	for _, d := range r.ifaceCalls {
+		d.site.Callees = r.implementers(d.method)
+	}
+	for _, d := range r.sigCalls {
+		d.site.Callees = append(d.site.Callees, r.prog.stored[d.key]...)
+	}
+}
+
+// implementers returns the source methods that an interface method call
+// could dispatch to, in deterministic (type index) order.
+func (r *resolver) implementers(method *types.Func) []*FuncNode {
+	recv := method.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*FuncNode
+	for _, named := range r.prog.named {
+		if named.TypeParams().Len() > 0 {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		sel := types.NewMethodSet(ptr).Lookup(method.Pkg(), method.Name())
+		if sel == nil {
+			continue
+		}
+		obj, ok := sel.Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		if node := r.prog.byObj[obj]; node != nil {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// builtinCall handles the builtins with allocation behavior.
+func (r *resolver) builtinCall(n *FuncNode, call *ast.CallExpr, name string) {
+	switch name {
+	case "make":
+		r.allocFact(n, call.Pos(), "make allocates")
+	case "new":
+		r.allocFact(n, call.Pos(), "new allocates")
+	case "append":
+		if len(call.Args) > 0 && !r.scratchBacked(n, call.Args[0]) {
+			r.allocFact(n, call.Pos(), "append to "+appendDstName(call.Args[0])+" may grow the backing array")
+		}
+	case "panic":
+		if len(call.Args) == 1 {
+			r.boxCheck(n, call.Pos(), anyInterface, call.Args[0])
+		}
+	case "print", "println":
+		r.allocFact(n, call.Pos(), name+" allocates")
+	}
+}
+
+var anyInterface = types.NewInterfaceType(nil, nil)
+
+func appendDstName(e ast.Expr) string {
+	if k := exprKey(e); k != "" {
+		return k
+	}
+	return "slice"
+}
+
+// scratchBacked reports whether an append destination is backed by
+// pre-sized storage the function does not own growing: a field, a
+// dereference, an indexed slot, a parameter, or a local initialized by
+// reslicing a field or parameter (the `woken := k.woken[:0]` scratch
+// idiom). Appends to such destinations are amortized-free and the
+// runtime alloc gates keep them honest.
+func (r *resolver) scratchBacked(n *FuncNode, dst ast.Expr) bool {
+	switch d := ast.Unparen(dst).(type) {
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	case *ast.Ident:
+		if r.isParam(n, d.Name) {
+			return true
+		}
+		return r.initializedFromState(n, d.Name)
+	}
+	return false
+}
+
+func (r *resolver) isParam(n *FuncNode, name string) bool {
+	var ft *ast.FuncType
+	if n.Decl != nil {
+		ft = n.Decl.Type
+	} else {
+		ft = n.Lit.Type
+	}
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		for _, id := range f.Names {
+			if id.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// initializedFromState reports whether some assignment to name inside
+// the function derives from a field or parameter (contains a selector
+// or a parameter identifier).
+func (r *resolver) initializedFromState(n *FuncNode, name string) bool {
+	found := false
+	ast.Inspect(n.body(), func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := x.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name != name {
+				continue
+			}
+			rhs := as.Rhs[i]
+			ast.Inspect(rhs, func(y ast.Node) bool {
+				switch y := y.(type) {
+				case *ast.SelectorExpr:
+					found = true
+					return false
+				case *ast.Ident:
+					if r.isParam(n, y.Name) {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// compositeAlloc flags composite literals that allocate: address-taken
+// literals and slice/map literals. Struct and array literals used by
+// value are free.
+func (r *resolver) compositeAlloc(n *FuncNode, lit *ast.CompositeLit, stack []ast.Node) {
+	if len(stack) > 0 {
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND && ast.Unparen(u.X) == ast.Expr(lit) {
+			r.allocFact(n, u.Pos(), "&"+typeName(n.Pkg.Info.TypeOf(lit))+"{} literal escapes to the heap")
+			return
+		}
+	}
+	t := n.Pkg.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		r.allocFact(n, lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		r.allocFact(n, lit.Pos(), "map literal allocates")
+	}
+}
+
+// assignAlloc checks assignments for interface boxing and string
+// concatenation compounds.
+func (r *resolver) assignAlloc(n *FuncNode, as *ast.AssignStmt) {
+	info := n.Pkg.Info
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isStringType(info.TypeOf(as.Lhs[0])) {
+		r.allocFact(n, as.Pos(), "string concatenation allocates")
+		return
+	}
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		dst := info.TypeOf(lhs)
+		if dst == nil {
+			continue
+		}
+		r.boxCheck(n, as.Rhs[i].Pos(), dst, as.Rhs[i])
+	}
+}
+
+// returnAlloc checks returned values against the function's interface
+// results.
+func (r *resolver) returnAlloc(n *FuncNode, ret *ast.ReturnStmt) {
+	sig := n.signature()
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, v := range ret.Results {
+		r.boxCheck(n, v.Pos(), sig.Results().At(i).Type(), v)
+	}
+}
+
+func (n *FuncNode) signature() *types.Signature {
+	if n.Obj != nil {
+		sig, _ := n.Obj.Type().(*types.Signature)
+		return sig
+	}
+	if n.Lit != nil {
+		sig, _ := n.Pkg.Info.TypeOf(n.Lit).(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// boxArgs checks a call's arguments against interface parameters.
+func (r *resolver) boxArgs(n *FuncNode, call *ast.CallExpr, t types.Type) {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt != nil {
+			r.boxCheck(n, arg.Pos(), pt, arg)
+		}
+	}
+}
+
+// boxCheck flags a conversion of a concrete value into an interface
+// when the value is not pointer-shaped and not zero-sized — the cases
+// the runtime must heap-allocate for.
+func (r *resolver) boxCheck(n *FuncNode, pos token.Pos, dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	st := n.Pkg.Info.TypeOf(src)
+	if st == nil || types.IsInterface(st) {
+		return
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if pointerShaped(st) || gcSizes.Sizeof(st) == 0 {
+		return
+	}
+	r.allocFact(n, pos, "boxing "+typeName(st)+" into an interface allocates")
+}
+
+// conversionAlloc flags allocating conversions: string↔[]byte/[]rune
+// and conversions straight into an interface type.
+func (r *resolver) conversionAlloc(n *FuncNode, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	if types.IsInterface(target) {
+		r.boxCheck(n, call.Pos(), target, call.Args[0])
+		return
+	}
+	src := n.Pkg.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if isStringType(target) && isByteOrRuneSlice(src) || isStringType(src) && isByteOrRuneSlice(target) {
+		r.allocFact(n, call.Pos(), "string conversion allocates")
+	}
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without allocating.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Basic:
+		b, ok := t.Underlying().(*types.Basic)
+		if ok {
+			return b.Kind() == types.UnsafePointer
+		}
+		return true
+	}
+	return false
+}
+
+func typeName(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// sourcelessName renders a callee without source for diagnostics:
+// "fmt.Sprintf", "(*sync.Mutex).Lock", "time.Time.Add".
+func sourcelessName(obj *types.Func) string {
+	sig, _ := obj.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		q := func(p *types.Package) string { return p.Name() }
+		if p, ok := rt.(*types.Pointer); ok {
+			return "(*" + types.TypeString(p.Elem(), q) + ")." + obj.Name()
+		}
+		return types.TypeString(rt, q) + "." + obj.Name()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// allocFree reports whether a sourceless callee is known not to
+// allocate.
+func allocFree(obj *types.Func, name string) bool {
+	if obj.Pkg() == nil {
+		// Universe-scope methods (error.Error): the call itself is free.
+		return true
+	}
+	if allocFreePkgs[obj.Pkg().Path()] {
+		return true
+	}
+	// Map the display name onto the allowlist's package-path form.
+	sig, _ := obj.Type().(*types.Signature)
+	q := func(p *types.Package) string { return p.Path() }
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			return allocFreeFuncs["(*"+types.TypeString(p.Elem(), q)+")."+obj.Name()]
+		}
+		return allocFreeFuncs[types.TypeString(rt, q)+"."+obj.Name()]
+	}
+	return allocFreeFuncs[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// ifaceCallDesc renders "Program.Next" for an interface method call.
+func ifaceCallDesc(recv types.Type, m *types.Func) string {
+	name := typeName(recv)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + "." + m.Name()
+}
+
+// sigKey canonicalizes a signature (receiver excluded — method values
+// are matched by their bound shape) with full package paths, the
+// identity used to match calls through func values to stored functions.
+func sigKey(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	q := func(p *types.Package) string { return p.Path() }
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), q))
+	}
+	b.WriteString(")(")
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Results().At(i).Type(), q))
+	}
+	b.WriteByte(')')
+	if sig.Variadic() {
+		b.WriteString("...")
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import "go/token"
+
+// DeterTaint is the whole-program determinism-taint analyzer: any
+// function reachable from a //klebvet:artifact root must be transitively
+// free of wall-clock reads, unseeded math/rand and unsorted map
+// iteration — the cross-package closure of what walltime, seededrand and
+// maporder each check one package at a time. Suppressed sources inside
+// the artifact call tree are audited too: only the sanctioned
+// fleet.wallNs self-telemetry seam may carry one.
+var DeterTaint = &Analyzer{
+	Name: "detertaint",
+	Doc: "report determinism taint (wall clock, unseeded rand, map order) " +
+		"reaching a //klebvet:artifact root through any chain of calls, " +
+		"including interface dispatch and stored func values; the only " +
+		"allowlisted source inside an artifact call tree is the " +
+		"fleet.wallNs self-telemetry seam",
+	RunProgram: runDeterTaint,
+}
+
+// taintSeams are the canonical names of the functions sanctioned to hold
+// a suppressed determinism source while reachable from an artifact root.
+// The fleet self-telemetry clock is deliberately the only entry: its
+// values feed gauges that describe the daemon itself, never a
+// deterministic artifact, and every new seam must be argued into this
+// list rather than quietly allowlisted at the call site.
+var taintSeams = map[string]bool{
+	"kleb/internal/fleet.wallNs": true,
+}
+
+func runDeterTaint(pass *ProgramPass) error {
+	prog := pass.Prog
+
+	var roots []*FuncNode
+	for _, n := range prog.Nodes {
+		if !n.Artifact {
+			continue
+		}
+		roots = append(roots, n)
+		if n.Tainted() != nil {
+			pass.Reportf(n.pos(), "artifact root %s is determinism-tainted: %s",
+				n.Short, prog.Chain(n, "taint"))
+		}
+	}
+
+	// Seam audit: flood reachability from every artifact root and check
+	// each suppressed determinism source the flood reaches against the
+	// seam allowlist — an //klebvet:allow walltime deep inside an
+	// artifact call tree is exactly the hole this analyzer closes.
+	reached := make(map[*FuncNode]*FuncNode) // function → first root reaching it
+	for _, root := range roots {
+		if _, ok := reached[root]; !ok {
+			reached[root] = root
+		}
+		queue := []*FuncNode{root}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, cs := range n.Calls {
+				for _, callee := range cs.Callees {
+					if _, ok := reached[callee]; ok {
+						continue
+					}
+					reached[callee] = root
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+	reported := make(map[token.Pos]bool)
+	for _, n := range prog.Nodes {
+		root := reached[n]
+		if root == nil || len(n.SuppTaint) == 0 || taintSeams[n.Name] {
+			continue
+		}
+		for _, f := range n.SuppTaint {
+			if reported[f.Pos] {
+				continue
+			}
+			reported[f.Pos] = true
+			pass.Reportf(f.Pos, "suppressed determinism source in %s is reachable from artifact root %s: %s (only the fleet.wallNs seam may carry one)",
+				n.Short, root.Short, f.Desc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import "go/token"
+
+// HotAlloc is the whole-program zero-alloc prover: every function
+// annotated //klebvet:hotpath must be statically allocation-free through
+// its entire call tree — no escaping composite literals, no growing
+// appends onto non-scratch slices, no interface boxing, no fmt or string
+// concatenation, no closures — turning the runtime alloc-count gates
+// (TestSteadyRunCurrentNoAlloc, TestCaptureSampleNoAlloc) into lint-time
+// proofs that cover every hotpath caller, not just the benchmarked
+// entry points. Audited cold branches inside hot functions are
+// sanctioned with //klebvet:allow hotalloc at the allocation site.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "prove //klebvet:hotpath functions allocation-free transitively: " +
+		"report every allocation site (composite literal escapes, growing " +
+		"appends, interface boxing, string building, closures, calls into " +
+		"sourceless code assumed to allocate) reachable from a hotpath " +
+		"root, and every dynamic call that may reach an allocating callee",
+	RunProgram: runHotAlloc,
+}
+
+func runHotAlloc(pass *ProgramPass) error {
+	prog := pass.Prog
+	reportedFact := make(map[token.Pos]bool)
+	reportedSite := make(map[token.Pos]bool)
+	for _, root := range prog.Nodes {
+		if !root.Hotpath || root.Allocates() == nil {
+			continue
+		}
+		seen := make(map[*FuncNode]bool)
+		var visit func(n *FuncNode)
+		visit = func(n *FuncNode) {
+			if seen[n] {
+				return
+			}
+			seen[n] = true
+			for _, f := range n.AllocSrc {
+				if reportedFact[f.Pos] {
+					continue
+				}
+				reportedFact[f.Pos] = true
+				if n == root {
+					pass.Reportf(f.Pos, "allocation on hot path %s: %s", root.Short, f.Desc)
+				} else {
+					pass.Reportf(f.Pos, "allocation on hot path %s: %s (in %s)", root.Short, f.Desc, n.Short)
+				}
+			}
+			for _, cs := range n.Calls {
+				if cs.Dynamic {
+					// A dynamic dispatch is proven cold only when every
+					// candidate callee is allocation-free; otherwise the
+					// callsite itself is the finding (and the place an
+					// audited allow belongs).
+					for _, callee := range cs.Callees {
+						if callee.Allocates() == nil {
+							continue
+						}
+						if !reportedSite[cs.Pos] {
+							reportedSite[cs.Pos] = true
+							pass.Reportf(cs.Pos, "dynamic call on hot path %s (%s) may reach allocating %s: %s",
+								root.Short, cs.Desc, callee.Short, prog.Chain(callee, "alloc"))
+						}
+						break
+					}
+					continue
+				}
+				for _, callee := range cs.Callees {
+					if callee.Allocates() != nil {
+						visit(callee)
+					}
+				}
+			}
+		}
+		visit(root)
+	}
+	return nil
+}

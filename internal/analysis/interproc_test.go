@@ -1,0 +1,25 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"kleb/internal/analysis"
+	"kleb/internal/analysis/analysistest"
+)
+
+// The whole-program analyzers run over multi-package trees under
+// testdata/src: each subdirectory is one package importable by its
+// tree-relative path, and each tree pins the engine's propagated facts
+// in a facts.golden (regenerate with KLEBVET_UPDATE_FACTS=1).
+
+func TestDeterTaintTree(t *testing.T) {
+	analysistest.RunTree(t, []*analysis.Analyzer{analysis.DeterTaint}, "detertaint")
+}
+
+func TestHotAllocTree(t *testing.T) {
+	analysistest.RunTree(t, []*analysis.Analyzer{analysis.HotAlloc}, "hotalloc")
+}
+
+func TestLedgerGuardTree(t *testing.T) {
+	analysistest.RunTree(t, []*analysis.Analyzer{analysis.LedgerGuard}, "ledgerguard")
+}

@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LedgerGuard enforces the period-conservation ledger's write
+// discipline. A struct type declares its conservation equation in a doc
+// directive:
+//
+//	//klebvet:ledger fires = captured + dropped + lostFault
+//	type Module struct { ... }
+//
+// Two rules follow. Ledger fields may only be written inside the
+// package that owns the struct — every other package must go through an
+// audited method (CounterPoint's every-writer-audited discipline). And
+// inside the owning package, any increment of the total field must sit
+// on a path that also writes one of the balancing fields — an audited
+// method that bumps fires without ever touching captured/dropped/lost
+// has broken conservation before any runtime test can notice.
+var LedgerGuard = &Analyzer{
+	Name: "ledgerguard",
+	Doc: "enforce //klebvet:ledger conservation-field write discipline: " +
+		"ledger fields are written only in the struct's owning package, " +
+		"and every in-package increment of the total field transitively " +
+		"reaches a write to one of the balancing fields",
+	RunProgram: runLedgerGuard,
+}
+
+// ledgerSpec is one parsed //klebvet:ledger directive.
+type ledgerSpec struct {
+	owner    *SourcePackage
+	typeName string // "kleb.Module", for diagnostics
+	named    *types.Named
+	total    *types.Var
+	balance  []*types.Var
+}
+
+func (s *ledgerSpec) balanceNames() string {
+	names := make([]string, len(s.balance))
+	for i, v := range s.balance {
+		names[i] = v.Name()
+	}
+	return strings.Join(names, "/")
+}
+
+// ledgerRole locates one struct field inside its spec.
+type ledgerRole struct {
+	spec  *ledgerSpec
+	total bool
+}
+
+// ledgerWrite is one write to a ledger field.
+type ledgerWrite struct {
+	pos   token.Pos
+	field *types.Var
+	role  ledgerRole
+	in    *FuncNode      // enclosing function (nil at package scope)
+	pkg   *SourcePackage // package the write appears in
+	inc   bool           // ++ / += : an increment needing balance
+}
+
+func runLedgerGuard(pass *ProgramPass) error {
+	prog := pass.Prog
+	specs, roles := collectLedgerSpecs(pass)
+	if len(specs) == 0 {
+		return nil
+	}
+
+	writes := collectLedgerWrites(prog, roles)
+
+	// Per-function write sets back the balance reachability search.
+	written := make(map[*FuncNode]map[*types.Var]bool)
+	for _, w := range writes {
+		if w.in == nil {
+			continue
+		}
+		set := written[w.in]
+		if set == nil {
+			set = make(map[*types.Var]bool)
+			written[w.in] = set
+		}
+		set[w.field] = true
+	}
+
+	for _, w := range writes {
+		spec := w.role.spec
+		if w.pkg != spec.owner {
+			pass.Reportf(w.pos, "ledger field %s.%s written outside its owning package %s; use an audited method of %s",
+				spec.typeName, w.field.Name(), spec.owner.ImportPath, spec.typeName)
+			continue
+		}
+		if !w.role.total || !w.inc || w.in == nil {
+			continue
+		}
+		if !reachesBalanceWrite(w.in, spec, written) {
+			pass.Reportf(w.pos, "increment of ledger total %s.%s never reaches a balancing write (%s); the conservation equation cannot hold",
+				spec.typeName, w.field.Name(), spec.balanceNames())
+		}
+	}
+	return nil
+}
+
+// collectLedgerSpecs parses every //klebvet:ledger directive, reporting
+// malformed equations and unknown fields at the type declaration.
+func collectLedgerSpecs(pass *ProgramPass) ([]*ledgerSpec, map[*types.Var]ledgerRole) {
+	prog := pass.Prog
+	var specs []*ledgerSpec
+	roles := make(map[*types.Var]ledgerRole)
+	for _, sp := range prog.Packages {
+		for _, f := range sp.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, s := range gd.Specs {
+					ts, ok := s.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					eq, ok := directiveArg(gd.Doc, ledgerDirective)
+					if !ok {
+						eq, ok = directiveArg(ts.Doc, ledgerDirective)
+					}
+					if !ok {
+						continue
+					}
+					spec := parseLedgerSpec(pass, sp, ts, eq, roles)
+					if spec != nil {
+						specs = append(specs, spec)
+					}
+				}
+			}
+		}
+	}
+	return specs, roles
+}
+
+// parseLedgerSpec resolves one "total = b1 + b2 [+ ...]" equation
+// against the struct's fields.
+func parseLedgerSpec(pass *ProgramPass, sp *SourcePackage, ts *ast.TypeSpec, eq string, roles map[*types.Var]ledgerRole) *ledgerSpec {
+	tn, _ := sp.Info.Defs[ts.Name].(*types.TypeName)
+	if tn == nil {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		pass.Reportf(ts.Pos(), "//klebvet:ledger directive on non-struct type %s", ts.Name.Name)
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "//klebvet:ledger directive on non-struct type %s", ts.Name.Name)
+		return nil
+	}
+	sides := strings.SplitN(eq, "=", 2)
+	if len(sides) != 2 {
+		pass.Reportf(ts.Pos(), "malformed //klebvet:ledger equation %q (want \"total = a + b\")", eq)
+		return nil
+	}
+	fieldByName := make(map[string]*types.Var, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fieldByName[st.Field(i).Name()] = st.Field(i)
+	}
+	lookup := func(name string) *types.Var {
+		v := fieldByName[name]
+		if v == nil {
+			pass.Reportf(ts.Pos(), "//klebvet:ledger equation names unknown field %q of %s", name, ts.Name.Name)
+		}
+		return v
+	}
+	spec := &ledgerSpec{
+		owner:    sp,
+		typeName: sp.Pkg.Name() + "." + ts.Name.Name,
+		named:    named,
+	}
+	if spec.total = lookup(strings.TrimSpace(sides[0])); spec.total == nil {
+		return nil
+	}
+	for _, term := range strings.Split(sides[1], "+") {
+		v := lookup(strings.TrimSpace(term))
+		if v == nil {
+			return nil
+		}
+		spec.balance = append(spec.balance, v)
+	}
+	if len(spec.balance) == 0 {
+		pass.Reportf(ts.Pos(), "malformed //klebvet:ledger equation %q (no balancing fields)", eq)
+		return nil
+	}
+	roles[spec.total] = ledgerRole{spec: spec, total: true}
+	for _, v := range spec.balance {
+		roles[v] = ledgerRole{spec: spec}
+	}
+	return spec
+}
+
+// directiveArg returns the text after a //klebvet: directive line in a
+// doc comment group.
+func directiveArg(doc *ast.CommentGroup, directive string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if strings.HasPrefix(text, directive+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(text, directive+" ")), true
+		}
+	}
+	return "", false
+}
+
+// collectLedgerWrites walks every function body for assignments,
+// increments and composite literals targeting ledger fields.
+func collectLedgerWrites(prog *Program, roles map[*types.Var]ledgerRole) []ledgerWrite {
+	var writes []ledgerWrite
+	record := func(n *FuncNode, sp *SourcePackage, pos token.Pos, v *types.Var, inc bool) {
+		role, ok := roles[v]
+		if !ok {
+			return
+		}
+		writes = append(writes, ledgerWrite{pos: pos, field: v, role: role, in: n, pkg: sp, inc: inc})
+	}
+	for _, n := range prog.Nodes {
+		body := n.body()
+		if body == nil {
+			continue
+		}
+		sp := n.Pkg
+		info := sp.Info
+		node := n
+		ast.Inspect(body, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				// Literal bodies are their own nodes; attribute their
+				// writes there.
+				return false
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if v := fieldVarOf(info, lhs); v != nil {
+						record(node, sp, lhs.Pos(), v, x.Tok == token.ADD_ASSIGN)
+					}
+				}
+			case *ast.IncDecStmt:
+				if v := fieldVarOf(info, x.X); v != nil {
+					record(node, sp, x.X.Pos(), v, x.Tok == token.INC)
+				}
+			case *ast.CompositeLit:
+				t := info.TypeOf(x)
+				if t == nil {
+					return true
+				}
+				st, ok := t.Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				for i, elt := range x.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if v, ok := info.Uses[key].(*types.Var); ok {
+							record(node, sp, kv.Pos(), v, false)
+						}
+						continue
+					}
+					if i < st.NumFields() {
+						record(node, sp, elt.Pos(), st.Field(i), false)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return writes
+}
+
+// fieldVarOf resolves a selector expression to the struct field it
+// names, or nil.
+func fieldVarOf(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		v, _ := s.Obj().(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// reachesBalanceWrite reports whether start, or any function it can
+// (transitively) call, writes one of spec's balancing fields.
+func reachesBalanceWrite(start *FuncNode, spec *ledgerSpec, written map[*FuncNode]map[*types.Var]bool) bool {
+	seen := map[*FuncNode]bool{start: true}
+	queue := []*FuncNode{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if set := written[n]; set != nil {
+			for _, v := range spec.balance {
+				if set[v] {
+					return true
+				}
+			}
+		}
+		for _, cs := range n.Calls {
+			for _, callee := range cs.Callees {
+				if !seen[callee] {
+					seen[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+	return false
+}

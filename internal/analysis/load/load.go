@@ -46,8 +46,16 @@ type listedPackage struct {
 
 // Packages loads, parses and type-checks the packages matching patterns
 // (relative to dir; empty dir = current directory). Only root packages —
-// the ones the patterns name — are returned; their dependencies are
-// consumed as export data.
+// the ones the patterns name — are returned, but every non-stdlib
+// dependency is source-checked too (stdlib comes from export data):
+// export data materializes its own copies of every package it
+// references, so an in-module dependency loaded from export data would
+// hand dependents types that fail identity checks against the
+// source-checked siblings. `go list -deps` emits dependencies before
+// dependents, and source-checked packages are preferred over export
+// data when later packages import them — so every package under
+// analysis shares one set of type objects, the property the
+// whole-program call graph's cross-package identity checks rest on.
 func Packages(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -63,13 +71,14 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 	fset := token.NewFileSet()
-	imp := ExportImporter(fset, func(path string) (string, bool) {
+	local := make(map[string]*types.Package)
+	imp := chainImporter{local: local, next: ExportImporter(fset, func(path string) (string, bool) {
 		f, ok := exports[path]
 		return f, ok
-	})
+	})}
 	var out []*Package
 	for _, lp := range listed {
-		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+		if lp.Standard || len(lp.GoFiles) == 0 {
 			continue
 		}
 		if lp.Error != nil {
@@ -79,9 +88,27 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, pkg)
+		local[lp.ImportPath] = pkg.Types
+		if !lp.DepOnly {
+			out = append(out, pkg)
+		}
 	}
 	return out, nil
+}
+
+// chainImporter resolves imports from already source-checked packages
+// first, falling back to export data. Packages under analysis must be
+// checked in dependency order for the chain to hit.
+type chainImporter struct {
+	local map[string]*types.Package
+	next  types.Importer
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.next.Import(path)
 }
 
 // Check parses the given files and type-checks them as one package

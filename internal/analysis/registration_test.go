@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRegistrationAgreement pins the three places the analyzer roster is
+// spelled out — All(), the README's analyzer table, and cmd/klebvet's
+// package doc — to the same ten names, so adding an analyzer without
+// documenting and registering it everywhere fails the build.
+func TestRegistrationAgreement(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("All() returned %d analyzers, want 10", len(all))
+	}
+
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	maindoc, err := os.ReadFile("../../cmd/klebvet/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the package doc counts, not identifiers further down the file.
+	docEnd := strings.Index(string(maindoc), "package main")
+	if docEnd < 0 {
+		t.Fatal("cmd/klebvet/main.go has no package clause")
+	}
+	doc := string(maindoc[:docEnd])
+
+	// Scope the row count to the klebvet section: the README has other
+	// tables (the klebd endpoint list) using the same markdown shape.
+	section := string(readme)
+	if i := strings.Index(section, "## Static analysis: klebvet"); i >= 0 {
+		section = section[i:]
+		if j := strings.Index(section[1:], "\n## "); j >= 0 {
+			section = section[:j+1]
+		}
+	} else {
+		t.Fatal("README has no \"Static analysis: klebvet\" section")
+	}
+	rows := 0
+	for _, line := range strings.Split(section, "\n") {
+		if strings.HasPrefix(line, "| `") && strings.Contains(line, "` |") {
+			rows++
+		}
+	}
+	if rows != len(all) {
+		t.Errorf("README analyzer table has %d rows, want %d (one per analyzer)", rows, len(all))
+	}
+
+	for _, a := range all {
+		if !strings.Contains(section, fmt.Sprintf("| `%s` |", a.Name)) {
+			t.Errorf("analyzer %q missing from the README analyzer table", a.Name)
+		}
+		if !strings.Contains(doc, a.Name) {
+			t.Errorf("analyzer %q missing from cmd/klebvet's package doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package clock is the fixture's determinism-taint source package.
+package clock
+
+import "time"
+
+// Wall reads the wall clock: an unsuppressed taint source that must
+// poison every artifact root reaching it.
+func Wall() int64 {
+	return time.Now().UnixNano()
+}
+
+// Quiet reads the wall clock behind an allow comment — suppressed for
+// walltime, but still audited by detertaint's seam check when an
+// artifact root can reach it.
+func Quiet() int64 {
+	return time.Now().UnixNano() //klebvet:allow walltime -- fixture seam // want `suppressed determinism source in clock\.Quiet is reachable from artifact root root\.Status`
+}
+
+// Lone holds a suppressed source no artifact root reaches; the seam
+// audit must stay silent about it.
+func Lone() int64 {
+	return time.Now().UnixNano() //klebvet:allow walltime -- unreachable from any artifact root
+}
+
+// Pure is taint-free.
+func Pure() int64 { return 42 }

@@ -1,0 +1,22 @@
+// Package iface routes taint through an interface method set: the call
+// graph must consider every source implementation of Source.
+package iface
+
+import "detertaint/clock"
+
+// Source yields one sample value.
+type Source interface {
+	Sample() int64
+}
+
+// Wally implements Source over the wall clock — tainted.
+type Wally struct{}
+
+// Sample reads the wall clock one package away.
+func (Wally) Sample() int64 { return clock.Wall() }
+
+// Fixed implements Source deterministically.
+type Fixed struct{ V int64 }
+
+// Sample returns the stored value.
+func (f Fixed) Sample() int64 { return f.V }

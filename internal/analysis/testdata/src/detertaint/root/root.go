@@ -1,0 +1,39 @@
+// Package root holds the fixture's artifact-producing roots.
+package root
+
+import (
+	"detertaint/clock"
+	"detertaint/iface"
+)
+
+// Emit folds a sample from any Source into an artifact; taint arrives
+// through interface dispatch to Wally.Sample two packages away.
+//
+//klebvet:artifact
+func Emit(s iface.Source) int64 { // want `artifact root root\.Emit is determinism-tainted: root\.Emit → iface\.Wally\.Sample → clock\.Wall`
+	return s.Sample()
+}
+
+// Direct reaches the clock through a plain static cross-package call.
+//
+//klebvet:artifact
+func Direct() int64 { // want `artifact root root\.Direct is determinism-tainted: root\.Direct → clock\.Wall`
+	return clock.Wall()
+}
+
+// Status calls the suppressed source: not tainted (the source is
+// allowlisted), but the seam audit flags Quiet because only the
+// sanctioned fleet.wallNs seam may sit inside an artifact call tree.
+//
+//klebvet:artifact
+func Status() int64 {
+	return clock.Quiet()
+}
+
+// Clean is a taint-free artifact root: a concrete deterministic source
+// resolved statically.
+//
+//klebvet:artifact
+func Clean(s iface.Fixed) int64 {
+	return s.Sample() + clock.Pure()
+}

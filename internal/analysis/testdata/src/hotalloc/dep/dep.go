@@ -1,0 +1,25 @@
+// Package dep holds the callees hotpath fixtures reach across the
+// package boundary.
+package dep
+
+// Node is a value fixtures allocate.
+type Node struct{ V int }
+
+// Sum is allocation-free: the proof must clear Fast through it.
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Grow allocates: it appends onto a fresh local slice with no scratch
+// backing, so its caller's hotpath proof must fail here.
+func Grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `allocation on hot path hot\.Bad: append to out may grow the backing array \(in dep\.Grow\)`
+	}
+	return out
+}

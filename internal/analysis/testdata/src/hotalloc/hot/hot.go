@@ -1,0 +1,52 @@
+// Package hot annotates the fixture's hot paths.
+package hot
+
+import "hotalloc/dep"
+
+// Fast is proven allocation-free transitively through dep.Sum.
+//
+//klebvet:hotpath
+func Fast(xs []int) int {
+	return dep.Sum(xs)
+}
+
+// Bad reaches an allocating callee one package away; the finding lands
+// on the allocation site inside dep.Grow.
+//
+//klebvet:hotpath
+func Bad(xs []int) []int {
+	return dep.Grow(xs)
+}
+
+// Mk allocates directly on the hot path.
+//
+//klebvet:hotpath
+func Mk() *dep.Node {
+	return &dep.Node{} // want `allocation on hot path hot\.Mk: &dep\.Node\{\} literal escapes to the heap`
+}
+
+// runner carries a stored func value the hot path dispatches through.
+type runner struct {
+	fn func(int) int
+}
+
+// newRunner stores boxy as a func value; the call graph must remember
+// it as a candidate callee for every func(int) int dispatch.
+func newRunner() *runner {
+	return &runner{fn: boxy}
+}
+
+// boxy allocates by boxing its argument into an interface.
+func boxy(v int) int {
+	var sink interface{} = v
+	_ = sink
+	return v
+}
+
+// Dyn calls through the stored func value: the dispatch may reach the
+// allocating boxy, so the callsite itself is the finding.
+//
+//klebvet:hotpath
+func (r *runner) Dyn(v int) int {
+	return r.fn(v) // want `dynamic call on hot path hot\.\(\*runner\)\.Dyn \(call through func value\) may reach allocating hot\.boxy`
+}

@@ -1,0 +1,21 @@
+// Package outside tries to write the ledger from the wrong side of the
+// package boundary.
+package outside
+
+import "ledgerguard/owner"
+
+// Poke writes a ledger field directly from outside the owning package.
+func Poke(b *owner.Book) {
+	b.Captured++ // want `ledger field owner\.Book\.Captured written outside its owning package ledgerguard/owner`
+}
+
+// Forge constructs a ledger struct with non-zero conservation fields —
+// each keyed field is a write.
+func Forge() owner.Book {
+	return owner.Book{Fires: 1, Captured: 1} // want `ledger field owner\.Book\.Fires written outside its owning package` `ledger field owner\.Book\.Captured written outside its owning package`
+}
+
+// Read-only access is fine.
+func Total(b *owner.Book) int {
+	return b.Fires
+}

@@ -1,0 +1,46 @@
+// Package owner declares the fixture's conservation ledger and its
+// audited writers.
+package owner
+
+// Book tracks period conservation for the fixture.
+//
+//klebvet:ledger Fires = Captured + Dropped
+type Book struct {
+	Fires    int
+	Captured int
+	Dropped  int
+}
+
+// Tick is balanced: every fire lands in exactly one bucket.
+func Tick(b *Book, ok bool) {
+	b.Fires++
+	if ok {
+		b.Captured++
+	} else {
+		b.Dropped++
+	}
+}
+
+// Leak increments the total with no balancing write anywhere on its
+// call tree — conservation cannot hold.
+func Leak(b *Book) {
+	b.Fires++ // want `increment of ledger total owner\.Book\.Fires never reaches a balancing write \(Captured/Dropped\)`
+}
+
+// Reset uses plain assignment: allowed, a reset is not an increment.
+func Reset(b *Book) {
+	b.Fires = 0
+	b.Captured = 0
+	b.Dropped = 0
+}
+
+// capture is the balancing helper indirect increments reach.
+func capture(b *Book) {
+	b.Captured++
+}
+
+// TickIndirect balances through a helper call one edge away.
+func TickIndirect(b *Book) {
+	b.Fires++
+	capture(b)
+}

@@ -31,3 +31,23 @@ func allowedAbove() time.Time {
 	//klebvet:allow walltime -- harness timing, not simulation
 	return time.Now()
 }
+
+// allowedSpan exercises the statement-span form: the trailing allow on
+// the closing line of a multi-line call chain covers the banned
+// selectors on its earlier lines.
+func allowedSpan() time.Duration {
+	d := time.Since(
+		time.
+			Now(),
+	) //klebvet:allow walltime -- harness timing; the allow spans the whole chain
+	return d
+}
+
+// deniedSpan is the unsuppressed twin of allowedSpan.
+func deniedSpan() time.Duration {
+	d := time.Since( // want `time\.Since`
+		time. // want `time\.Now`
+			Now(),
+	)
+	return d
+}

@@ -359,15 +359,12 @@ func (c *Core) simulateMemory(b isa.Block, counts *isa.Counts) uint64 {
 	if steady.n == 0 {
 		steady = h[0]
 	}
-	ext := func(simTotal, steadyCount uint64) uint64 {
-		return simTotal + scale64(steadyCount, rest, steady.n)
-	}
-	counts[isa.EvL1DMisses] += ext(h[0].l1m+h[1].l1m, steady.l1m)
-	counts[isa.EvL2Misses] += ext(h[0].l2m+h[1].l2m, steady.l2m)
-	counts[isa.EvLLCRefs] += ext(h[0].llcRef+h[1].llcRef, steady.llcRef)
-	counts[isa.EvLLCMisses] += ext(h[0].llcMiss+h[1].llcMiss, steady.llcMiss)
-	counts[isa.EvDTLBMisses] += ext(h[0].tlbm+h[1].tlbm, steady.tlbm) + tlbWalkMiss
-	return pairStall + tlbWalkCycles + ext(h[0].cycles+h[1].cycles, steady.cycles)
+	counts[isa.EvL1DMisses] += extrapolate(h[0].l1m+h[1].l1m, steady.l1m, rest, steady.n)
+	counts[isa.EvL2Misses] += extrapolate(h[0].l2m+h[1].l2m, steady.l2m, rest, steady.n)
+	counts[isa.EvLLCRefs] += extrapolate(h[0].llcRef+h[1].llcRef, steady.llcRef, rest, steady.n)
+	counts[isa.EvLLCMisses] += extrapolate(h[0].llcMiss+h[1].llcMiss, steady.llcMiss, rest, steady.n)
+	counts[isa.EvDTLBMisses] += extrapolate(h[0].tlbm+h[1].tlbm, steady.tlbm, rest, steady.n) + tlbWalkMiss
+	return pairStall + tlbWalkCycles + extrapolate(h[0].cycles+h[1].cycles, steady.cycles, rest, steady.n)
 }
 
 // nextAddr produces the next address of the pattern: mostly a strided walk
@@ -417,6 +414,14 @@ func (c *Core) simulateBranches(b isa.Block) uint64 {
 		}
 	}
 	return scale64(miss, b.Branches, sim)
+}
+
+// extrapolate scales a steady-phase count over the unsimulated tail of a
+// sweep: simTotal touches were simulated, rest were not, and each of the
+// rest behaves like one of the n steady touches that produced steadyCount.
+// A plain function (not a closure) keeps simulateMemory off the heap.
+func extrapolate(simTotal, steadyCount, rest, n uint64) uint64 {
+	return simTotal + scale64(steadyCount, rest, n)
 }
 
 func scale64(v, num, den uint64) uint64 {

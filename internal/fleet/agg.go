@@ -10,6 +10,8 @@ import (
 // nodeResult is one node's completed monitoring round, as handed from a
 // shard to the aggregator. Everything in it is a pure function of (seed,
 // node, round), so folding is deterministic however shards interleave.
+//
+//klebvet:ledger fires = captured + dropped + lost
 type nodeResult struct {
 	node    int
 	sink    *telemetry.Sink // the run's private metrics-only sink
@@ -90,6 +92,8 @@ func (a *aggregator) closeFleet() {
 // deliver hands one shard's completed round to the aggregator and folds
 // every round that just became complete. self (non-nil in the daemon)
 // observes wall-clock merge latency per fold.
+//
+//klebvet:artifact
 func (a *aggregator) deliver(shard int, round uint64, results []nodeResult, self *selfMetrics) {
 	a.mu.Lock()
 	a.pending[round] = append(a.pending[round], results...)
@@ -112,6 +116,8 @@ func (a *aggregator) deliver(shard int, round uint64, results []nodeResult, self
 // fleet-level trace events on the fleet's virtual clock: each node event
 // at roundStart + that node's elapsed time, the round event at roundStart
 // + the round's span (its longest node run). Called with mu held.
+//
+//klebvet:artifact
 func (a *aggregator) foldLocked(round uint64, results []nodeResult) {
 	// Shards deliver their stripes in ascending node order; interleave them
 	// into global node order without assuming anything about slice order.

@@ -88,12 +88,16 @@ func (h *eventHeap) Pop() any {
 
 // armEvent queues n and refreshes the cached next-event time. n.at, n.kind
 // and n.id must already be set.
+//
+//klebvet:hotpath
 func (k *Kernel) armEvent(n *eventNode) {
 	heap.Push(&k.events, n)
 	k.refreshNext()
 }
 
 // cancelEvent removes n from the queue if present and refreshes the cache.
+//
+//klebvet:hotpath
 func (k *Kernel) cancelEvent(n *eventNode) {
 	if !n.queued() {
 		return
@@ -104,6 +108,8 @@ func (k *Kernel) cancelEvent(n *eventNode) {
 
 // popEvent removes and returns the earliest event. The heap must be
 // non-empty.
+//
+//klebvet:hotpath
 func (k *Kernel) popEvent() *eventNode {
 	n := heap.Pop(&k.events).(*eventNode)
 	k.refreshNext()
@@ -113,6 +119,8 @@ func (k *Kernel) popEvent() *eventNode {
 // refreshNext re-derives the cached next-event time from the heap top. It
 // runs only when the heap mutates (arm/cancel/pop), so the scheduler loop
 // reads nextAt/nextOk without touching the heap at all.
+//
+//klebvet:hotpath
 func (k *Kernel) refreshNext() {
 	if len(k.events) == 0 {
 		k.nextAt, k.nextOk = 0, false

@@ -36,20 +36,36 @@ func (t *HRTimer) Active() bool { return t.active }
 // includes interrupt-latency jitter, which is resampled on every re-arm —
 // this is the jitter the paper warns about for sub-100µs sampling.
 func (k *Kernel) StartHRTimer(delay, period ktime.Duration, fn HRTimerFn) *HRTimer {
+	t := &HRTimer{}
+	k.ArmHRTimer(t, delay, period, fn)
+	return t
+}
+
+// ArmHRTimer arms a caller-owned timer value, reusing its storage across
+// re-arms so a hot caller (the K-LEB switch probe arms on every tracked
+// switch-in) allocates nothing — StartHRTimer is the same operation with
+// a fresh allocation. Every arm draws a fresh timer id, so the two paths
+// produce byte-identical artifacts. An already-armed timer is disarmed
+// first.
+//
+//klebvet:hotpath
+func (k *Kernel) ArmHRTimer(t *HRTimer, delay, period ktime.Duration, fn HRTimerFn) {
+	// Only an active timer can sit in the event queue; the zero value's
+	// node.index is 0, so queued() alone would misread a fresh timer.
+	if t.active && t.node.queued() {
+		k.cancelEvent(&t.node)
+	}
 	k.ChargeKernel(k.costs.TimerProgram)
 	k.timerID++
-	t := &HRTimer{
-		id:      k.timerID,
-		fn:      fn,
-		period:  period,
-		nominal: k.clock.Now().Add(delay),
-		active:  true,
-	}
+	t.id = k.timerID
+	t.fn = fn
+	t.period = period
+	t.nominal = k.clock.Now().Add(delay)
+	t.active = true
 	t.node = eventNode{kind: evTimer, id: t.id, index: -1, timer: t}
 	t.node.at = t.nominal.Add(k.timerJitter())
 	k.armEvent(&t.node)
 	k.tel.TimerArm(k.clock.Now(), t.id, t.nominal)
-	return t
 }
 
 // CancelHRTimer disarms a timer. Safe to call on an already-expired one.
@@ -79,6 +95,8 @@ func (k *Kernel) timerJitter() ktime.Duration {
 // entry/exit costs, the handler runs in kernel context, and a periodic
 // timer is re-armed on its nominal grid so sampling does not drift. The
 // caller has already popped the timer's node off the event queue.
+//
+//klebvet:hotpath
 func (k *Kernel) fireTimer(t *HRTimer) {
 	if !t.active {
 		return
@@ -88,7 +106,10 @@ func (k *Kernel) fireTimer(t *HRTimer) {
 	k.core.Caches().L1D().EvictFraction(k.costs.IntPolluteL1)
 	restart := false
 	if t.fn != nil {
-		restart = t.fn(k, t)
+		// Each handler is audited on its own: K-LEB's onTimer carries its
+		// own //klebvet:hotpath proof, and the mux-rotation closure runs
+		// only for multiplexed contexts, which K-LEB rejects at configure.
+		restart = t.fn(k, t) //klebvet:allow hotalloc -- handlers individually verified; see comment above
 	}
 	// An injected spurious PMI rides the interrupt path: the queued event is
 	// delivered (entry/exit costs, telemetry) by the next drainPMIs pass.

@@ -234,6 +234,7 @@ func (k *Kernel) Resume(p *Process) {
 
 func (k *Kernel) spawn(name string, prog Program, ppid PID) *Process {
 	k.nextPID++
+	//klebvet:allow hotalloc -- clone allocates a task struct by definition; spawns are workload events, not sampling-period work
 	p := &Process{
 		pid:       k.nextPID,
 		ppid:      ppid,
@@ -389,6 +390,8 @@ func (k *Kernel) runUntil(deadline ktime.Time) error {
 //   - timers that became due only because handlers advanced the clock do
 //     NOT fire in this round; they are set aside and re-queued for the next
 //     loop iteration.
+//
+//klebvet:hotpath
 func (k *Kernel) fireDue() {
 	now := k.clock.Now()
 	woken := k.woken[:0]
@@ -502,12 +505,18 @@ func pidOf(p *Process) PID {
 }
 
 // runCurrent advances the current process by at most budget.
+//
+//klebvet:hotpath
 func (k *Kernel) runCurrent(budget ktime.Duration) {
 	p := k.current
 	if p.pendingLen() == 0 {
+		//klebvet:allow hotalloc -- program step generation is the workload's own code; its cost is charged to the workload, not the sampler
 		op := p.prog.Next(k, p)
 		if op == nil {
-			op = OpExit{}
+			// A drained program exits directly; assigning OpExit{} to op
+			// would box it into the interface on every natural exit.
+			k.doExit(p, 0)
+			return
 		}
 		switch op := op.(type) {
 		case OpExec:
@@ -521,10 +530,11 @@ func (k *Kernel) runCurrent(budget ktime.Duration) {
 		case OpSyscall:
 			k.startSyscall(p, op.Name, op.Fn)
 		case OpSpawn:
+			//klebvet:allow hotalloc -- the clone closure captures the spawn op; spawning is a workload event, not sampling-period work
 			k.startSyscall(p, "clone", func(k *Kernel, p *Process) any {
 				child := k.spawn(op.Name, op.Prog, p.pid)
 				k.fireForkProbes(p, child)
-				return child.pid
+				return child.pid //klebvet:allow hotalloc -- clone's return value boxes the child PID once per spawn, a workload event
 			})
 		case OpWait:
 			k.doWait(p, op.PID)
@@ -533,6 +543,7 @@ func (k *Kernel) runCurrent(budget ktime.Duration) {
 			k.doExit(p, op.Code)
 			return
 		default:
+			//klebvet:allow hotalloc -- unreachable crash path for a malformed program; allocation is irrelevant mid-panic
 			panic(fmt.Sprintf("kernel: unknown op %T", op))
 		}
 		if p.pendingLen() == 0 {
@@ -546,7 +557,7 @@ func (k *Kernel) runCurrent(budget ktime.Duration) {
 		done := w.onDone
 		p.popPending()
 		if done != nil {
-			done(k, p)
+			done(k, p) //klebvet:allow hotalloc -- completion callbacks belong to the op that queued them (syscall exit bookkeeping), audited below
 		}
 	} else {
 		w.work = tail
@@ -579,6 +590,7 @@ func (k *Kernel) startSyscall(p *Process, name string, fn SyscallFn) {
 		Time:   k.rng.Jitter(k.costs.SyscallEntry, k.costs.NoiseRel),
 		Priv:   isa.Kernel,
 	}
+	//klebvet:allow hotalloc -- syscall entry/exit continuations allocate per syscall the workload issues, never per HRTimer sample
 	p.pushPending(pendingWork{
 		work: entry,
 		onDone: func(k *Kernel, p *Process) {

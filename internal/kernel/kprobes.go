@@ -106,7 +106,7 @@ func (k *Kernel) fireSwitchProbes(prev, next *Process) {
 			k.tel.Kprobe(k.clock.Now(), "switch", int32(pidOf(next)))
 		}
 		if p.fn != nil {
-			p.fn(k, prev, next)
+			p.fn(k, prev, next) //klebvet:allow hotalloc -- probe callbacks are audited at their definitions (K-LEB's onSwitch is hotpath-proved); modules own their probe cost
 		}
 	}
 }
@@ -116,7 +116,7 @@ func (k *Kernel) fireForkProbes(parent, child *Process) {
 		k.ChargeKernel(k.costs.KprobeOverhead)
 		k.tel.Kprobe(k.clock.Now(), "fork", int32(child.pid))
 		if p.fn != nil {
-			p.fn(k, parent, child)
+			p.fn(k, parent, child) //klebvet:allow hotalloc -- fork probes fire per clone, a workload event; K-LEB's onFork is audited at its definition
 		}
 	}
 }
@@ -126,7 +126,7 @@ func (k *Kernel) fireExitProbes(proc *Process) {
 		k.ChargeKernel(k.costs.KprobeOverhead)
 		k.tel.Kprobe(k.clock.Now(), "exit", int32(proc.pid))
 		if p.fn != nil {
-			p.fn(k, proc)
+			p.fn(k, proc) //klebvet:allow hotalloc -- exit probes fire per process exit, a workload event; K-LEB's onExit is audited at its definition
 		}
 	}
 }

@@ -29,6 +29,7 @@ func (q *runQueue) grow() {
 	if cap == 0 {
 		cap = 8
 	}
+	//klebvet:allow hotalloc -- amortized capacity doubling; a steady-state run reuses the ring and never reaches here
 	buf := make([]*Process, cap)
 	for i := 0; i < q.n; i++ {
 		buf[i] = q.At(i)

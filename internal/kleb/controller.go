@@ -335,6 +335,8 @@ func (c *Controller) logOp(k *kernel.Kernel, n int) kernel.Op {
 // the kernel's filesystem, paying the journal/flush cost plus the VFS
 // per-byte copy price. Write failures are recorded, never fatal: the
 // drained samples are already safe in c.Samples.
+//
+//klebvet:artifact
 func (c *Controller) writeOp(n int) kernel.Op {
 	return kernel.OpSyscall{Name: "write", Fn: func(k *kernel.Kernel, p *kernel.Process) any {
 		k.ChargeKernel(350 * ktime.Microsecond) // journal + page-cache flush

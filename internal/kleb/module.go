@@ -91,6 +91,8 @@ type ReadRequest struct {
 }
 
 // Module is the K-LEB kernel module.
+//
+//klebvet:ledger fires = captured + dropped + lostFault
 type Module struct {
 	k   *kernel.Kernel
 	cfg ModuleConfig
@@ -105,16 +107,21 @@ type Module struct {
 
 	tracked map[kernel.PID]bool
 
-	running   bool
-	paused    bool
-	done      bool
-	timer     *kernel.HRTimer
-	buf       *ring
-	last      []uint64 // per-cfg.Events counter snapshot
-	fires     uint64   // timer-handler invocations while running
-	dropped   uint64   // periods lost to the buffer-full safety pause
-	lostFault uint64   // periods lost to injected faults
-	captured  uint64
+	running bool
+	paused  bool
+	done    bool
+	timer   *kernel.HRTimer
+	// timerStore is the timer's backing storage and timerFn the handler
+	// bound once at Init, so the switch probe re-arms with zero
+	// allocations (a method-value bind per switch-in would allocate).
+	timerStore kernel.HRTimer
+	timerFn    kernel.HRTimerFn
+	buf        *ring
+	last       []uint64 // per-cfg.Events counter snapshot
+	fires      uint64   // timer-handler invocations while running
+	dropped    uint64   // periods lost to the buffer-full safety pause
+	lostFault  uint64   // periods lost to injected faults
+	captured   uint64
 
 	// Interrupt-handler scratch, sized at configure time so the hot path
 	// never allocates (enforced by TestCaptureSampleNoAlloc).
@@ -127,6 +134,8 @@ type Module struct {
 // invocation while the module runs ends in exactly one bucket, so
 // Fires == Captured + Dropped + LostFault always holds — the invariant the
 // chaos sweep asserts across fault plans.
+//
+//klebvet:ledger Fires = Captured + Dropped + LostFault
 type Accounting struct {
 	// Fires counts HRTimer handler invocations (plus final flushes that
 	// produced or attempted a sample).
@@ -171,6 +180,7 @@ func (m *Module) Init(k *kernel.Kernel) error {
 	m.switchProbe = k.RegisterSwitchProbe(m.onSwitch)
 	m.forkProbe = k.RegisterForkProbe(m.onFork)
 	m.exitProbe = k.RegisterExitProbe(m.onExit)
+	m.timerFn = m.onTimer
 	m.tracked = make(map[kernel.PID]bool)
 	return nil
 }
@@ -372,6 +382,8 @@ func (m *Module) globalEnableMask() uint64 {
 
 // onSwitch is the kprobe on the scheduler's context-switch handler: gate
 // counting and the sampling timer on whether a tracked process runs next.
+//
+//klebvet:hotpath
 func (m *Module) onSwitch(k *kernel.Kernel, prev, next *kernel.Process) {
 	if !m.running {
 		return
@@ -398,7 +410,8 @@ func (m *Module) onSwitch(k *kernel.Kernel, prev, next *kernel.Process) {
 		// m.timer == nil guard prevents double-arming when the probe fires
 		// for a tracked→tracked switch.
 		if m.timer == nil {
-			m.timer = k.StartHRTimer(m.cfg.Period, m.cfg.Period, m.onTimer)
+			k.ArmHRTimer(&m.timerStore, m.cfg.Period, m.cfg.Period, m.timerFn)
+			m.timer = &m.timerStore
 		}
 	}
 }
@@ -439,6 +452,8 @@ func (m *Module) onExit(k *kernel.Kernel, p *kernel.Process) {
 // onTimer is the HRTimer handler: every invocation while running is one
 // sampling period, accounted to exactly one of captured / dropped /
 // lost-to-fault so the ledger stays balanced under any fault plan.
+//
+//klebvet:hotpath
 func (m *Module) onTimer(k *kernel.Kernel, t *kernel.HRTimer) bool {
 	if !m.running {
 		return false
@@ -495,6 +510,8 @@ const (
 // appends one delta sample. When final is set, an all-zero delta is
 // suppressed. The hot path allocates nothing: push copies the scratch into
 // the ring's slab.
+//
+//klebvet:hotpath
 func (m *Module) captureSample(final bool) capResult {
 	if m.buf == nil {
 		return capSkipped

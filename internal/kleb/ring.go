@@ -42,13 +42,15 @@ func newRing(capacity, width int) *ring {
 // push appends one sample, copying deltas into the slot's preallocated
 // backing; it reports false (and stores nothing) when full. len(deltas)
 // must not exceed the configured width.
+//
+//klebvet:hotpath
 func (r *ring) push(t ktime.Time, deltas []uint64) bool {
 	if r.count == len(r.buf) {
 		return false
 	}
 	s := &r.buf[(r.head+r.count)%len(r.buf)]
 	s.Time = t
-	s.Deltas = append(s.Deltas[:0], deltas...)
+	s.Deltas = append(s.Deltas[:0], deltas...) //klebvet:allow hotalloc -- slot backing is reserved at newRing with cap == width and len(deltas) <= width, so this append can never grow
 	r.count++
 	return true
 }

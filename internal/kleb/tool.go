@@ -123,10 +123,7 @@ func (t *Tool) Collect() monitor.Result {
 		Totals:  make(map[isa.Event]uint64, len(t.cfg.Events)),
 	}
 	if t.module != nil {
-		res.Fires = t.module.fires
-		res.Captured = t.module.captured
-		res.Dropped = t.module.dropped
-		res.LostToFault = t.module.lostFault
+		res.RecordLedger(t.module.fires, t.module.captured, t.module.dropped, t.module.lostFault)
 	}
 	if t.ctl != nil {
 		res.Degraded = t.ctl.Degraded()

@@ -128,7 +128,24 @@ type Sample struct {
 	Deltas []uint64
 }
 
-// Result is what a tool hands back after a run.
+// RecordLedger installs a tool's period-conservation ledger into the
+// result. Tool implementations must use it instead of assigning the four
+// fields directly: it is the single audited write path ledgerguard
+// recognizes from outside this package, and it keeps the equation's terms
+// from being set piecemeal (a half-copied ledger cannot balance).
+func (r *Result) RecordLedger(fires, captured, dropped, lostToFault uint64) {
+	r.Fires = fires
+	r.Captured = captured
+	r.Dropped = dropped
+	r.LostToFault = lostToFault
+}
+
+// Result is what a tool hands back after a run. The ledger fields obey the
+// period-conservation equation below; tools install them through
+// RecordLedger, the one audited writer outside this package (enforced by
+// klebvet/ledgerguard).
+//
+//klebvet:ledger Fires = Captured + Dropped + LostToFault
 type Result struct {
 	// Tool is the producing tool's name.
 	Tool string

@@ -11,6 +11,7 @@
 package pmu
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -181,6 +182,15 @@ func (p *PMU) SetOverflowObserver(fn func(counter int, fixed bool)) { p.onOverfl
 // Table returns the PMU's event encoding table.
 func (p *PMU) Table() *EventTable { return p.table }
 
+// MSR access errors are predeclared so the WRMSR/RDMSR error paths — which
+// run in (simulated) interrupt context — never allocate; fmt.Errorf with
+// the offending address would heap-allocate on a path hotalloc proves clean.
+var (
+	errMSRReadOnly  = errors.New("pmu: IA32_PERF_GLOBAL_STATUS is read-only")
+	errUnknownWRMSR = errors.New("pmu: WRMSR to unknown MSR")
+	errUnknownRDMSR = errors.New("pmu: RDMSR from unknown MSR")
+)
+
 // WriteMSR implements WRMSR for the PMU register range.
 func (p *PMU) WriteMSR(addr uint32, val uint64) error {
 	switch {
@@ -209,9 +219,9 @@ func (p *PMU) WriteMSR(addr uint32, val uint64) error {
 		p.uncGlobalCtrl = val
 		p.recomputeActive()
 	case addr == MSRGlobalStatus:
-		return fmt.Errorf("pmu: IA32_PERF_GLOBAL_STATUS is read-only")
+		return errMSRReadOnly
 	default:
-		return fmt.Errorf("pmu: WRMSR to unknown MSR %#x", addr)
+		return errUnknownWRMSR
 	}
 	return nil
 }
@@ -238,7 +248,7 @@ func (p *PMU) ReadMSR(addr uint32) (uint64, error) {
 	case addr == MSRUncGlobalCtrl:
 		return p.uncGlobalCtrl, nil
 	default:
-		return 0, fmt.Errorf("pmu: RDMSR from unknown MSR %#x", addr)
+		return 0, errUnknownRDMSR
 	}
 }
 

@@ -6,6 +6,8 @@ import "kleb/internal/telemetry"
 // human-facing third exporter next to the Chrome trace and the Prometheus
 // text. Nil sinks render nothing, so callers can pass their sink through
 // unconditionally.
+//
+//klebvet:artifact
 func (r *Writer) Telemetry(s *telemetry.Sink) {
 	if s == nil {
 		return

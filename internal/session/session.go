@@ -208,6 +208,8 @@ func (s *Session) Drain() *Result {
 }
 
 // Run executes the whole lifecycle: boot, attach, drive, drain.
+//
+//klebvet:artifact
 func (s *Session) Run() (*Result, error) {
 	if err := s.Drive(); err != nil {
 		return nil, err

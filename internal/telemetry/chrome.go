@@ -18,6 +18,8 @@ const (
 // (the JSON Array Format wrapped in an object), loadable in Perfetto or
 // chrome://tracing. Timestamps are virtual microseconds with nanosecond
 // decimals; the output is byte-deterministic for a given event stream.
+//
+//klebvet:artifact
 func (s *Sink) WriteChromeTrace(w io.Writer) error {
 	if s == nil {
 		return WriteChromeEvents(w, nil)
@@ -29,6 +31,8 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 // same trace shape Sink.WriteChromeTrace produces. A live server renders a
 // Snapshot's copied ring this way without holding the owning lock while
 // formatting.
+//
+//klebvet:artifact
 func WriteChromeEvents(w io.Writer, events []Event) error {
 	cw := &chromeWriter{w: w}
 	cw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")

@@ -8,6 +8,8 @@ import (
 
 // WritePrometheus renders the sink's registry in the Prometheus text
 // exposition format (version 0.0.4). See Registry.WritePrometheus.
+//
+//klebvet:artifact
 func (s *Sink) WritePrometheus(w io.Writer) error {
 	if s == nil {
 		return nil
@@ -21,6 +23,8 @@ func (s *Sink) WritePrometheus(w io.Writer) error {
 // given registry state. Durations are exported in virtual nanoseconds.
 // Rendering a Snapshot's cloned registry lets a live server serve scrapes
 // without holding the owning lock while formatting.
+//
+//klebvet:artifact
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	pw := &promWriter{w: w}
 	pw.counter("kleb_ctx_switches_total", "Context switches performed by the simulated scheduler.", &r.CtxSwitches)

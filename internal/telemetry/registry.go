@@ -136,7 +136,7 @@ type CounterVec struct {
 // Add increments the counter for label by d.
 func (v *CounterVec) Add(label string, d uint64) {
 	if v.m == nil {
-		v.m = make(map[string]uint64)
+		v.m = make(map[string]uint64) //klebvet:allow hotalloc -- one-time lazy init so the zero CounterVec stays usable; every later add reuses the map
 	}
 	v.m[label] += d
 }

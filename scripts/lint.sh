@@ -5,6 +5,10 @@
 #   2. go vet      the standard analyzer suite
 #   3. klebvet     the simulator's determinism/telemetry analyzers,
 #                  driven through go vet's -vettool protocol
+#   3b. klebvet standalone — the full ten-analyzer suite including the
+#                  whole-program passes (detertaint, hotalloc,
+#                  ledgerguard), timed against a 60s budget and writing
+#                  klebvet-findings.json (CI uploads it as an artifact)
 #   4. go generate the generated PMU event tables must match the
 #                  checked-in spec (events.spec is the source of truth)
 #   5. bench smoke the kernel/PMU micro-benchmarks compile and survive one
@@ -41,6 +45,21 @@ klebvet_bin=$(mktemp -d)/klebvet
 trap 'rm -rf "$(dirname "$klebvet_bin")"' EXIT
 go build -o "$klebvet_bin" ./cmd/klebvet
 go vet -vettool="$klebvet_bin" ./...
+
+echo "==> klebvet standalone (whole-program suite, 60s budget)"
+# The per-package vettool pass above cannot run the whole-program
+# analyzers; this stage runs everything in one process, emits the
+# machine-readable findings file, and enforces the interprocedural
+# engine's own latency budget so it never quietly becomes too slow to
+# keep in the gate.
+klebvet_start=$SECONDS
+"$klebvet_bin" -json ./... > klebvet-findings.json
+klebvet_elapsed=$((SECONDS - klebvet_start))
+echo "    klebvet standalone took ${klebvet_elapsed}s ($(grep -c '"analyzer"' klebvet-findings.json || true) findings)"
+if (( klebvet_elapsed > 60 )); then
+    echo "klebvet: standalone suite took ${klebvet_elapsed}s, budget is 60s" >&2
+    exit 1
+fi
 
 echo "==> generated event tables up to date"
 (cd internal/pmu && go run ./gen -spec events.spec -out events_gen.go -check)
