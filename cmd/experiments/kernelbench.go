@@ -52,8 +52,19 @@ type kernelBench struct {
 	// One pid-ordered walk of a 384-entry process table (the doExit
 	// waiter scan and the Processes snapshot both take this shape).
 	ProcTableNsPerOp float64 `json:"proc_table_ns_per_op"`
-	// Wall time of table2 scaled to 3 trials, serial. Informational:
-	// recorded so runs are comparable on one host, not gated in CI.
+	// One block through the batched compiled-stream path (a BlockStream
+	// whose stable memo replays collapse into run-length priced units) —
+	// the amortized per-block cost the table2 win rests on. Must not
+	// allocate.
+	BlockExecuteNsPerOp     float64 `json:"block_execute_ns_per_op"`
+	BlockExecuteAllocsPerOp float64 `json:"block_execute_allocs_per_op"`
+	// One block of a steady phase mixing compute, memory and branchy
+	// blocks in runs of 64: blends stable replays with the run-boundary
+	// Next calls and memo re-probes a real compiled phase incurs.
+	SteadyPhaseNsPerOp float64 `json:"steady_phase_ns_per_op"`
+	// Wall time of table2 scaled to 3 trials, serial. Gated at twice the
+	// ns/op bound (wall clock on shared runners is noisier than
+	// nanobenchmarks) so the batched-execution win stays locked in.
 	Table2ScaledSeconds float64 `json:"table2_scaled_seconds"`
 	RegressionBoundPct  float64 `json:"regression_bound_pct"`
 }
@@ -170,6 +181,95 @@ func benchTimerChurn(b *testing.B) {
 	}
 }
 
+// benchStream is the smallest BlockStream program: it emits left copies of
+// one block, announcing the remaining run length so the kernel's executeRun
+// can batch stable memo replays (mirrors the internal/kernel bench rig).
+type benchStream struct {
+	block isa.Block
+	left  uint64
+}
+
+func (s *benchStream) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
+	if s.left == 0 {
+		return kernel.OpExit{}
+	}
+	s.left--
+	return kernel.OpExec{Block: s.block}
+}
+
+func (s *benchStream) PeekRun() (isa.Block, uint64) { return s.block, s.left }
+func (s *benchStream) ConsumeRun(n uint64)          { s.left -= n }
+
+// benchBlockExecute prices one block through the batched compiled-stream
+// path; one op is one block, amortized over run-length batches.
+func benchBlockExecute(b *testing.B) {
+	k := benchKernel(6)
+	k.Spawn("stream", &benchStream{block: benchBlock(10_000), left: uint64(b.N)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// phaseStream cycles a block mix in runs of runLen — the shape of a
+// compiled multi-phase workload.
+type phaseStream struct {
+	blocks []isa.Block
+	runLen uint64
+	total  uint64
+	left   uint64
+	bi     int
+}
+
+func (s *phaseStream) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
+	if s.total == 0 {
+		return kernel.OpExit{}
+	}
+	if s.left == 0 {
+		s.bi = (s.bi + 1) % len(s.blocks)
+		s.left = s.runLen
+	}
+	s.left--
+	s.total--
+	return kernel.OpExec{Block: s.blocks[s.bi]}
+}
+
+func (s *phaseStream) PeekRun() (isa.Block, uint64) {
+	n := s.left
+	if n > s.total {
+		n = s.total
+	}
+	return s.blocks[s.bi], n
+}
+
+func (s *phaseStream) ConsumeRun(n uint64) {
+	s.left -= n
+	s.total -= n
+}
+
+// benchSteadyPhase prices one block of a steady phase with a realistic mix:
+// compute-bound, memory-bound and branchy blocks alternating in runs of 64.
+func benchSteadyPhase(b *testing.B) {
+	compute := benchBlock(10_000)
+	memory := benchBlock(10_000)
+	memory.Loads = 5_000
+	memory.Mem = isa.MemPattern{Base: 0xB000_0000, Footprint: 8 << 20, Stride: 64, RandomFrac: 1}
+	branchy := benchBlock(10_000)
+	branchy.Branches = 2_000
+	k := benchKernel(7)
+	k.Spawn("phase", &phaseStream{
+		blocks: []isa.Block{compute, memory, branchy},
+		runLen: 64,
+		total:  uint64(b.N),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // benchCounterFeed prices one AddCounts with the K-LEB monitoring shape
 // active: two programmable counters plus one fixed counter.
 func benchCounterFeed(b *testing.B) {
@@ -233,9 +333,18 @@ func benchProcTable(b *testing.B) {
 }
 
 // runBench runs fn under the testing harness and returns its result, or an
-// error if the benchmark body failed.
+// error if the benchmark body failed. It keeps the fastest of three runs:
+// the batched fast path prices in hundreds of nanoseconds or less, where a
+// single descheduling on a shared runner shows up as a double-digit
+// percentage — the minimum is the stable estimate of the code's true cost.
 func runBench(name string, fn func(b *testing.B)) (testing.BenchmarkResult, error) {
-	res := testing.Benchmark(fn)
+	var res testing.BenchmarkResult
+	for try := 0; try < 3; try++ {
+		r := testing.Benchmark(fn)
+		if try == 0 || (r.N > 0 && r.NsPerOp() < res.NsPerOp()) {
+			res = r
+		}
+	}
 	if res.N == 0 {
 		return res, fmt.Errorf("benchmark %s failed", name)
 	}
@@ -281,6 +390,19 @@ func writeKernelBench(path, basePath string, seed uint64) error {
 		return err
 	}
 	bench.ProcTableNsPerOp = float64(table.NsPerOp())
+	blockExec, err := runBench("block-execute", benchBlockExecute)
+	if err != nil {
+		return err
+	}
+	// Batched replays amortize to under a nanosecond per block; keep the
+	// fractional part or the figure would round to 0 and escape the gate.
+	bench.BlockExecuteNsPerOp = float64(blockExec.T.Nanoseconds()) / float64(blockExec.N)
+	bench.BlockExecuteAllocsPerOp = float64(blockExec.AllocsPerOp())
+	phase, err := runBench("steady-phase", benchSteadyPhase)
+	if err != nil {
+		return err
+	}
+	bench.SteadyPhaseNsPerOp = float64(phase.NsPerOp())
 
 	t0 := time.Now() //klebvet:allow walltime -- host-side benchmark harness timing
 	if _, err := experiments.RunOverhead(experiments.OverheadConfig{
@@ -303,9 +425,9 @@ func writeKernelBench(path, basePath string, seed uint64) error {
 		bench.SteadyNsPerOp, bench.SteadyAllocsPerOp, path)
 
 	// Hard gates, baseline or not: the fast path must not allocate.
-	if bench.SleeperStormAllocsPerOp != 0 || bench.SteadyAllocsPerOp != 0 {
-		return fmt.Errorf("scheduler fast path allocates (sleeper storm %.0f, steady %.0f allocs/op), want 0",
-			bench.SleeperStormAllocsPerOp, bench.SteadyAllocsPerOp)
+	if bench.SleeperStormAllocsPerOp != 0 || bench.SteadyAllocsPerOp != 0 || bench.BlockExecuteAllocsPerOp != 0 {
+		return fmt.Errorf("scheduler fast path allocates (sleeper storm %.0f, steady %.0f, block execute %.0f allocs/op), want 0",
+			bench.SleeperStormAllocsPerOp, bench.SteadyAllocsPerOp, bench.BlockExecuteAllocsPerOp)
 	}
 	if basePath == "" {
 		return nil
@@ -331,24 +453,31 @@ func compareKernelBench(bench kernelBench, basePath string) error {
 	gated := []struct {
 		name      string
 		got, base float64
+		bound     float64
 	}{
-		{"sleeper_storm_ns_per_op", bench.SleeperStormNsPerOp, base.SleeperStormNsPerOp},
-		{"steady_ns_per_op", bench.SteadyNsPerOp, base.SteadyNsPerOp},
-		{"timer_churn_ns_per_op", bench.TimerChurnNsPerOp, base.TimerChurnNsPerOp},
-		{"counter_feed_ns_per_op", bench.CounterFeedNsPerOp, base.CounterFeedNsPerOp},
-		{"proc_table_ns_per_op", bench.ProcTableNsPerOp, base.ProcTableNsPerOp},
+		{"sleeper_storm_ns_per_op", bench.SleeperStormNsPerOp, base.SleeperStormNsPerOp, bound},
+		{"steady_ns_per_op", bench.SteadyNsPerOp, base.SteadyNsPerOp, bound},
+		{"timer_churn_ns_per_op", bench.TimerChurnNsPerOp, base.TimerChurnNsPerOp, bound},
+		{"counter_feed_ns_per_op", bench.CounterFeedNsPerOp, base.CounterFeedNsPerOp, bound},
+		{"proc_table_ns_per_op", bench.ProcTableNsPerOp, base.ProcTableNsPerOp, bound},
+		{"block_execute_ns_per_op", bench.BlockExecuteNsPerOp, base.BlockExecuteNsPerOp, bound},
+		{"steady_phase_ns_per_op", bench.SteadyPhaseNsPerOp, base.SteadyPhaseNsPerOp, bound},
+		// The table2 ratchet: end-to-end wall clock is noisier than a
+		// nanobenchmark, so it gets twice the bound — still tight enough
+		// that losing the batched-execution win (a >4× slowdown) fails.
+		{"table2_scaled_seconds", bench.Table2ScaledSeconds, base.Table2ScaledSeconds, 2 * bound},
 	}
 	var failed []string
 	for _, g := range gated {
 		if g.base <= 0 {
 			continue // baseline predates this metric
 		}
-		limit := g.base * (1 + bound/100)
+		limit := g.base * (1 + g.bound/100)
 		pct := (g.got - g.base) / g.base * 100
 		fmt.Fprintf(os.Stderr, "kernel-bench gate %-26s %10.1f vs baseline %10.1f (%+.1f%%, bound +%.0f%%)\n",
-			g.name, g.got, g.base, pct, bound)
+			g.name, g.got, g.base, pct, g.bound)
 		if g.got > limit {
-			failed = append(failed, fmt.Sprintf("%s regressed %.1f%% (%.1f -> %.1f ns/op)",
+			failed = append(failed, fmt.Sprintf("%s regressed %.1f%% (%.1f -> %.1f)",
 				g.name, pct, g.base, g.got))
 		}
 	}

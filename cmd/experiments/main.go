@@ -53,6 +53,7 @@ import (
 	"kleb/internal/prof"
 	"kleb/internal/report"
 	"kleb/internal/session"
+	"kleb/internal/workload"
 )
 
 // stopProfiles flushes any active -cpuprofile / -memprofile capture; fail
@@ -80,6 +81,7 @@ func main() {
 		basePath = flag.String("baseline", "", "with kernel-bench: compare against this BENCH_kernel.json and fail on regression")
 		cpuProf  = flag.String("cpuprofile", "", "write a host CPU profile (pprof) to this file")
 		memProf  = flag.String("memprofile", "", "write a host heap profile (pprof) to this file on exit")
+		legacy   = flag.Bool("legacy-exec", false, "run workloads through the per-step legacy interpreter instead of compiled block streams (differential testing; artifacts are byte-identical)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|multiplex|events|chaos|all|md-only|bench|telemetry-bench|kernel-bench>\n")
@@ -90,6 +92,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	workload.SetLegacyExec(*legacy)
 	stop, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
 		fail("experiments: %v\n", err)

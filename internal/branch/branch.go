@@ -64,12 +64,45 @@ func (p *Predictor) Predict(pc uint64, taken bool) bool {
 // Stats returns the accumulated statistics.
 func (p *Predictor) Stats() Stats { return p.stats }
 
+// History returns the current global history register. The CPU's memo layer
+// folds it into the state-class key so a cached block cost is only replayed
+// when the predictor would start from an equivalent state.
+func (p *Predictor) History() uint64 { return p.history }
+
 // ResetStats clears statistics without clearing learned state.
 func (p *Predictor) ResetStats() { p.stats = Stats{} }
 
 // FlushHistory clears the global history (modelled on a context switch);
 // learned counter state survives, as it does on real hardware.
 func (p *Predictor) FlushHistory() { p.history = 0 }
+
+// SetHistory restores a previously observed history register. The CPU's
+// memo layer uses it when replaying a cached block cost: a replay must
+// reproduce the block's state transition, so the history advances to where
+// the measured execution left it.
+func (p *Predictor) SetHistory(h uint64) { p.history = h }
+
+// State is a deep copy of the predictor's mutable state; the backing table
+// slice is recycled across saves (see cache.State for the pattern).
+type State struct {
+	table   []uint8
+	history uint64
+	stats   Stats
+}
+
+// Save captures the predictor's complete mutable state into s.
+func (p *Predictor) Save(s *State) {
+	s.table = append(s.table[:0], p.table...)
+	s.history = p.history
+	s.stats = p.stats
+}
+
+// Restore rewinds the predictor to a state captured by Save.
+func (p *Predictor) Restore(s *State) {
+	copy(p.table, s.table)
+	p.history = s.history
+	p.stats = s.stats
+}
 
 func b2u(b bool) uint64 {
 	if b {

@@ -80,6 +80,7 @@ type Cache struct {
 	ages     []uint64 // LRU stamp per way
 	stamp    uint64
 	stats    Stats
+	gen      uint64 // mutation generation, see Gen
 }
 
 // New builds a cache from cfg. It panics on invalid geometry: profiles are
@@ -116,11 +117,50 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	return line & c.setMask, line | 1<<63 // high bit marks valid
 }
 
+// Gen returns the cache's mutation generation: a counter bumped by every
+// state-changing operation (Access, an evicting Flush, EvictFraction). Two
+// equal Gen readings bracket a window in which the cache contents were
+// untouched; the CPU's memo layer uses this on the shared LLC to detect
+// interleaved accesses from sibling cores and fall back to measurement.
+func (c *Cache) Gen() uint64 { return c.gen }
+
+// State is a deep copy of one cache's mutable state, captured by Save and
+// applied by Restore. A State value is reusable across Save calls — the
+// backing slices are recycled — so a long-lived probe can snapshot without
+// allocating. The CPU's memo layer brackets its canonical block
+// measurements with a Save/Restore pair to keep them side-effect-free (see
+// internal/cpu/memo.go).
+type State struct {
+	tags, ages []uint64
+	stamp      uint64
+	stats      Stats
+	gen        uint64
+}
+
+// Save captures the cache's complete mutable state into s.
+func (c *Cache) Save(s *State) {
+	s.tags = append(s.tags[:0], c.tags...) //klebvet:allow hotalloc -- grows only on the first Save into a State; the CPU's long-lived snapshots reuse the backing array on every later probe
+	s.ages = append(s.ages[:0], c.ages...) //klebvet:allow hotalloc -- same recycled backing array as tags above
+	s.stamp = c.stamp
+	s.stats = c.stats
+	s.gen = c.gen
+}
+
+// Restore rewinds the cache to a state captured by Save on the same cache.
+func (c *Cache) Restore(s *State) {
+	copy(c.tags, s.tags)
+	copy(c.ages, s.ages)
+	c.stamp = s.stamp
+	c.stats = s.stats
+	c.gen = s.gen
+}
+
 // Access looks up addr, filling the line on a miss. It returns true on hit.
 func (c *Cache) Access(addr uint64) bool {
 	set, tag := c.index(addr)
 	base := set * uint64(c.cfg.Ways)
 	c.stamp++
+	c.gen++
 	c.stats.Accesses++
 	victim := base
 	oldest := ^uint64(0)
@@ -164,6 +204,7 @@ func (c *Cache) Flush(addr uint64) bool {
 		if c.tags[i] == tag {
 			c.tags[i] = 0
 			c.ages[i] = 0
+			c.gen++
 			return true
 		}
 	}
@@ -178,6 +219,7 @@ func (c *Cache) EvictFraction(frac float64) {
 	if frac <= 0 {
 		return
 	}
+	c.gen++
 	if frac >= 1 {
 		for i := range c.tags {
 			c.tags[i] = 0

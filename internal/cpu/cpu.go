@@ -47,7 +47,16 @@ type Config struct {
 	MaxSimAccesses uint64
 	// TLB sizes the data TLB (zero values select the defaults).
 	TLB TLBConfig
+	// NoMemo disables the block-cost memo layer (DESIGN.md §13), forcing
+	// every Execute through the raw cache/branch simulation. Model unit
+	// tests use it to probe the underlying simulators directly.
+	NoMemo bool
 }
+
+// defaultFootprint is the memory-pattern footprint assumed when a block
+// declares none; simulateMemory and the memo layer's warmth class must
+// agree on it.
+const defaultFootprint = 4096
 
 // Costed is a fully priced batch of executed work: the event counts it
 // generated and the virtual time it took, at a given privilege level. A
@@ -92,6 +101,27 @@ type Core struct {
 	// cursors holds the sequential-walk position per memory region so that
 	// streaming patterns persist across blocks of the same workload phase.
 	cursors map[uint64]uint64
+	// swept accumulates the bytes each region's walk cursor has covered;
+	// swept/footprint is the cache-warmth class of the memo key.
+	swept map[uint64]uint64
+
+	// Memo layer state (memo.go). memo caches Costed results per
+	// (block, state-class); pollution is the recovery window after a context
+	// switch or interrupt eviction, counting down one per executed block;
+	// llcSeen detects foreign mutation of a shared LLC; replaySwept is the
+	// walk advance of the last replayed block, consumed by AdvanceReplays.
+	memo        map[memoKey]memoEntry
+	pollution   uint8
+	llcSeen     uint64
+	replaySwept uint64
+	// classRng is the reusable class-seeded stream memoizable measurements
+	// draw from (see memo.go's classSeed).
+	classRng *ktime.Rand
+	// snapL1/snapL2/snapLLC/snapTLB are the reusable snapshots that bracket
+	// a memoized measurement so the canonical probe leaves no trace in the
+	// memory-side state (memo.go).
+	snapL1, snapL2, snapLLC cache.State
+	snapTLB                 tlbState
 }
 
 // New builds a core. The PMU is created by the caller (it belongs to the
@@ -112,13 +142,16 @@ func NewShared(cfg Config, p *pmu.PMU, rng *ktime.Rand, sharedLLC *cache.Cache) 
 	}
 	cfg.TLB.defaults()
 	return &Core{
-		cfg:     cfg,
-		caches:  cache.NewHierarchyShared(cfg.Hierarchy, sharedLLC),
-		pred:    branch.New(cfg.PredictorBits),
-		tlb:     newTLB(cfg.TLB),
-		pmu:     p,
-		rng:     rng,
-		cursors: make(map[uint64]uint64),
+		cfg:      cfg,
+		caches:   cache.NewHierarchyShared(cfg.Hierarchy, sharedLLC),
+		pred:     branch.New(cfg.PredictorBits),
+		tlb:      newTLB(cfg.TLB),
+		pmu:      p,
+		rng:      rng,
+		cursors:  make(map[uint64]uint64),
+		swept:    make(map[uint64]uint64),
+		memo:     make(map[memoKey]memoEntry),
+		classRng: ktime.NewRand(0),
 	}
 }
 
@@ -142,18 +175,42 @@ func (c *Core) OnContextSwitch(l1Frac, l2Frac, llcFrac float64) {
 	c.caches.Pollute(l1Frac, l2Frac, llcFrac)
 	c.pred.FlushHistory()
 	c.tlb.flush()
+	c.pollution = pollutionWindow
+	// The pollution above was self-inflicted and is captured by the memo
+	// key's pollution class; resync so it is not mistaken for a sibling
+	// core's shared-LLC traffic.
+	c.llcSeen = c.caches.LLC().Gen()
+}
+
+// InterruptPollute applies the L1D eviction an interrupt handler inflicts
+// on the running process's working set. Unlike a context switch it does
+// NOT open the memo layer's recovery window: the eviction touches a
+// fraction of one 32KB level that refills within a single block, so its
+// per-block cost is noise-level — while opening the window would move
+// every block of a high-frequency-sampled run into pollution classes
+// disjoint from its baseline's, destroying the common-mode cancellation
+// that makes monitored/baseline runtime ratios low-variance (the paper's
+// Fig 8 signal). Interrupt overhead is charged where it belongs: in the
+// interrupt entry/exit/handler costs.
+func (c *Core) InterruptPollute(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	c.caches.L1D().EvictFraction(frac)
 }
 
 // TLBMisses exposes the cumulative data-TLB miss count.
 func (c *Core) TLBMisses() uint64 { return c.tlb.Misses() }
 
-// Execute prices one instruction block: it runs the block's memory accesses
-// through the cache hierarchy (sampled and scaled when large), its branches
-// through the predictor, computes cycles from the cost model and returns
-// the resulting event counts and duration. Execute does NOT feed the PMU;
-// the kernel applies counts after deciding how the block interleaves with
-// timer events.
-func (c *Core) Execute(b isa.Block) Costed {
+// measure prices one instruction block through the raw model: it runs the
+// block's memory accesses through the cache hierarchy (sampled and scaled
+// when large), its branches through the predictor, computes cycles from the
+// cost model and returns the resulting event counts and duration plus the
+// bytes the region walk cursor advanced (the memo layer replays that
+// advance arithmetically). Execute (memo.go) wraps this with the
+// state-class memo; neither feeds the PMU — the kernel applies counts after
+// deciding how the block interleaves with timer events.
+func (c *Core) measure(b isa.Block) (Costed, uint64) {
 	var counts isa.Counts
 	counts[isa.EvInstructions] = b.Instr
 	counts[isa.EvLoads] = b.Loads
@@ -163,7 +220,7 @@ func (c *Core) Execute(b isa.Block) Costed {
 	counts[isa.EvFPOps] = b.FPOps
 	counts[isa.EvCacheFlushes] = b.Flushes
 
-	memStall := c.simulateMemory(b, &counts)
+	memStall, swept := c.simulateMemory(b, &counts)
 	missCount := c.simulateBranches(b)
 	counts[isa.EvBranchMisses] = missCount
 
@@ -191,20 +248,23 @@ func (c *Core) Execute(b isa.Block) Costed {
 		counts[isa.EvCASWrites] = (llcMiss*b.Stores + mem/2) / mem
 	}
 
-	return Costed{Counts: counts, Time: c.cfg.Freq.Duration(cycles), Priv: b.Priv}
+	return Costed{Counts: counts, Time: c.cfg.Freq.Duration(cycles), Priv: b.Priv}, swept
 }
 
 // simulateMemory runs the block's flushes and data accesses through the
-// hierarchy and returns the stall cycles beyond L1-hit latency. Large
-// blocks are sampled: sim accesses are taken, results scaled by total/sim.
-func (c *Core) simulateMemory(b isa.Block, counts *isa.Counts) uint64 {
+// hierarchy and returns the stall cycles beyond L1-hit latency plus the
+// bytes the region's walk cursor advanced (recorded in c.swept and in the
+// memo entry so a replay can advance the cursor without resimulating).
+// Large blocks are sampled: sim accesses are taken, results scaled by
+// total/sim.
+func (c *Core) simulateMemory(b isa.Block, counts *isa.Counts) (uint64, uint64) {
 	total := b.MemOps()
 	if total == 0 && b.Flushes == 0 {
-		return 0
+		return 0, 0
 	}
 	pat := b.Mem
 	if pat.Footprint == 0 {
-		pat.Footprint = 4096
+		pat.Footprint = defaultFootprint
 	}
 	if pat.Stride == 0 {
 		pat.Stride = c.cfg.Hierarchy.L1D.LineSize
@@ -214,7 +274,7 @@ func (c *Core) simulateMemory(b isa.Block, counts *isa.Counts) uint64 {
 	// reload of the same line (the covert channel's probe), which misses
 	// the whole hierarchy by construction. Loads beyond the flush count
 	// flow through the normal access path below.
-	var pairStall uint64
+	var pairStall, sweptBytes uint64
 	if b.Flushes > 0 {
 		pairs := b.Flushes
 		if pairs > b.Loads {
@@ -226,7 +286,10 @@ func (c *Core) simulateMemory(b isa.Block, counts *isa.Counts) uint64 {
 		}
 		var missCycles uint64
 		for i := uint64(0); i < simPairs; i++ {
-			addr, _ := c.nextAddr(pat)
+			addr, random := c.nextAddr(pat)
+			if !random {
+				sweptBytes += pat.Stride
+			}
 			c.caches.Flush(addr)
 			r := c.caches.Access(addr)
 			missCycles += r.Cycles - c.cfg.Hierarchy.L1D.LatencyCycles
@@ -244,13 +307,17 @@ func (c *Core) simulateMemory(b isa.Block, counts *isa.Counts) uint64 {
 			extraFlush = c.cfg.MaxSimAccesses
 		}
 		for i := uint64(0); i < extraFlush; i++ {
-			addr, _ := c.nextAddr(pat)
+			addr, random := c.nextAddr(pat)
+			if !random {
+				sweptBytes += pat.Stride
+			}
 			c.caches.Flush(addr)
 		}
 	}
 
 	if total == 0 {
-		return pairStall
+		c.swept[pat.Base] += sweptBytes
+		return pairStall, sweptBytes
 	}
 
 	// The unit of simulation is a cache-line *touch*, not an individual
@@ -326,6 +393,7 @@ func (c *Core) simulateMemory(b isa.Block, counts *isa.Counts) uint64 {
 		} else {
 			cur := c.cursors[pat.Base]
 			c.cursors[pat.Base] = (cur + walkStep) % pat.Footprint
+			sweptBytes += walkStep
 			addr = pat.Base + cur
 		}
 		r := c.caches.Access(addr)
@@ -364,15 +432,22 @@ func (c *Core) simulateMemory(b isa.Block, counts *isa.Counts) uint64 {
 	counts[isa.EvLLCRefs] += extrapolate(h[0].llcRef+h[1].llcRef, steady.llcRef, rest, steady.n)
 	counts[isa.EvLLCMisses] += extrapolate(h[0].llcMiss+h[1].llcMiss, steady.llcMiss, rest, steady.n)
 	counts[isa.EvDTLBMisses] += extrapolate(h[0].tlbm+h[1].tlbm, steady.tlbm, rest, steady.n) + tlbWalkMiss
-	return pairStall + tlbWalkCycles + extrapolate(h[0].cycles+h[1].cycles, steady.cycles, rest, steady.n)
+	c.swept[pat.Base] += sweptBytes
+	return pairStall + tlbWalkCycles + extrapolate(h[0].cycles+h[1].cycles, steady.cycles, rest, steady.n), sweptBytes
 }
 
 // nextAddr produces the next address of the pattern: mostly a strided walk
 // with a RandomFrac admixture of uniform accesses over the footprint. The
 // second result reports whether this was a random (non-prefetchable) access.
+// Random draws are offsets *relative to the walk cursor* (still uniform over
+// the footprint): their overlap with the recently-walked, still-cached
+// window is then independent of the cursor's absolute position, which is
+// what lets the memo layer measure a block's canonical instance at any
+// point of the sweep and get the same cost (memo.go).
 func (c *Core) nextAddr(p isa.MemPattern) (uint64, bool) {
 	if p.RandomFrac > 0 && c.rng.Float64() < p.RandomFrac {
-		return p.Base + c.rng.Uint64n(p.Footprint)&^7, true
+		off := (c.cursors[p.Base] + c.rng.Uint64n(p.Footprint)) % p.Footprint
+		return p.Base + off&^7, true
 	}
 	cur := c.cursors[p.Base]
 	c.cursors[p.Base] = (cur + p.Stride) % p.Footprint

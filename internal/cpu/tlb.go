@@ -98,3 +98,27 @@ func (t *TLB) flush() {
 
 // Misses returns the cumulative miss count.
 func (t *TLB) Misses() uint64 { return t.misses }
+
+// tlbState is a deep copy of the TLB's mutable state; the backing slices
+// are recycled across saves (see cache.State for the pattern).
+type tlbState struct {
+	tags, ages []uint64
+	stamp      uint64
+	misses     uint64
+}
+
+// save captures the TLB's complete mutable state into s.
+func (t *TLB) save(s *tlbState) {
+	s.tags = append(s.tags[:0], t.tags...) //klebvet:allow hotalloc -- grows only on the first save into a tlbState; the core's long-lived snapshot reuses the backing array on every later probe
+	s.ages = append(s.ages[:0], t.ages...) //klebvet:allow hotalloc -- same recycled backing array as tags above
+	s.stamp = t.stamp
+	s.misses = t.misses
+}
+
+// restore rewinds the TLB to a state captured by save.
+func (t *TLB) restore(s *tlbState) {
+	copy(t.tags, s.tags)
+	copy(t.ages, s.ages)
+	t.stamp = s.stamp
+	t.misses = s.misses
+}

@@ -187,6 +187,16 @@ func (c Counts) Sub(o Counts) Counts {
 	return out
 }
 
+// Mul returns c with every count multiplied by k, used when the kernel
+// batches k identical replayed blocks into one priced unit.
+func (c Counts) Mul(k uint64) Counts {
+	var out Counts
+	for i, v := range c {
+		out[i] = v * k
+	}
+	return out
+}
+
 // Scale returns c scaled by num/den (rounding to nearest), used when an
 // instruction block is split at a timer boundary.
 func (c Counts) Scale(num, den uint64) Counts {

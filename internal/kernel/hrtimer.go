@@ -103,7 +103,7 @@ func (k *Kernel) fireTimer(t *HRTimer) {
 	}
 	k.tel.TimerFire(k.clock.Now(), t.id, t.nominal, t.node.at)
 	k.ChargeKernel(k.costs.InterruptEntry)
-	k.core.Caches().L1D().EvictFraction(k.costs.IntPolluteL1)
+	k.core.InterruptPollute(k.costs.IntPolluteL1)
 	restart := false
 	if t.fn != nil {
 		// Each handler is audited on its own: K-LEB's onTimer carries its

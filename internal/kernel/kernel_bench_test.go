@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"kleb/internal/isa"
 	"kleb/internal/ktime"
 )
 
@@ -115,6 +116,101 @@ func BenchmarkProcessTable(b *testing.B) {
 	}
 	if exited != 256 {
 		b.Fatalf("exited = %d, want 256", exited)
+	}
+}
+
+// benchStream is the smallest possible BlockStream program: it emits `left`
+// copies of one block, announcing the remaining run length so executeRun
+// can batch stable memo replays exactly as a compiled workload phase does.
+type benchStream struct {
+	block isa.Block
+	left  uint64
+}
+
+func (s *benchStream) Next(k *Kernel, p *Process) Op {
+	if s.left == 0 {
+		return OpExit{}
+	}
+	s.left--
+	return OpExec{Block: s.block}
+}
+
+func (s *benchStream) PeekRun() (isa.Block, uint64) { return s.block, s.left }
+func (s *benchStream) ConsumeRun(n uint64)          { s.left -= n }
+
+// BenchmarkBlockExecute prices one block through the batched compiled-stream
+// path: a BlockStream program whose blocks freeze into stable memo replays,
+// so executeRun collapses whole timeslices into single priced units. One op
+// is one block; ns/op is the amortized per-block cost the table2 win rests
+// on (compare BenchmarkSteadyRunCurrent, the same shape unbatched).
+func BenchmarkBlockExecute(b *testing.B) {
+	k := testKernel(6)
+	k.Spawn("stream", &benchStream{block: workBlock(10_000), left: uint64(b.N)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// phaseStream cycles through a block mix in runs of runLen, the shape of a
+// compiled multi-phase workload: batching works within a run, and every run
+// boundary forces a real Next call and (on the first visits) a memo measure.
+type phaseStream struct {
+	blocks []isa.Block
+	runLen uint64
+	total  uint64 // blocks still to emit overall
+	left   uint64 // copies of blocks[bi] still to emit
+	bi     int
+}
+
+func (s *phaseStream) Next(k *Kernel, p *Process) Op {
+	if s.total == 0 {
+		return OpExit{}
+	}
+	if s.left == 0 {
+		s.bi = (s.bi + 1) % len(s.blocks)
+		s.left = s.runLen
+	}
+	s.left--
+	s.total--
+	return OpExec{Block: s.blocks[s.bi]}
+}
+
+func (s *phaseStream) PeekRun() (isa.Block, uint64) {
+	n := s.left
+	if n > s.total {
+		n = s.total
+	}
+	return s.blocks[s.bi], n
+}
+
+func (s *phaseStream) ConsumeRun(n uint64) {
+	s.left -= n
+	s.total -= n
+}
+
+// BenchmarkSteadyPhase prices the compiled execution of a steady phase with
+// a realistic block mix: compute-bound, memory-bound and branchy blocks
+// alternating in runs of 64, so the figure blends stable replays with the
+// run-boundary Next calls and warmth-class re-probes a real phase incurs.
+func BenchmarkSteadyPhase(b *testing.B) {
+	compute := workBlock(10_000)
+	memory := workBlock(10_000)
+	memory.Loads = 5_000
+	memory.Mem = isa.MemPattern{Base: 0xB000_0000, Footprint: 8 << 20, Stride: 64, RandomFrac: 1}
+	branchy := workBlock(10_000)
+	branchy.Branches = 2_000
+	k := testKernel(7)
+	k.Spawn("phase", &phaseStream{
+		blocks: []isa.Block{compute, memory, branchy},
+		runLen: 64,
+		total:  uint64(b.N),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(0); err != nil {
+		b.Fatal(err)
 	}
 }
 

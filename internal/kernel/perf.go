@@ -481,9 +481,6 @@ func (ps *PerfSubsystem) handlePMI(counter int, fixed bool) {
 		if e.overflowFn != nil {
 			e.overflowFn(ps.k, e, rec)
 		}
-		if e.spec.SampleFreq > 0 {
-			e.retunePeriod(now)
-		}
 		// Re-arm, carrying over the events that landed after the overflow
 		// point (the wrapped counter holds exactly that excess).
 		pm := ps.k.core.PMU()
@@ -493,10 +490,38 @@ func (ps *PerfSubsystem) handlePMI(counter int, fixed bool) {
 		} else {
 			excess, _ = pm.ReadMSR(pmu.MSRPmc0 + uint32(e.assigned))
 		}
-		init := pmu.OverflowInit(e.period)
-		if excess < e.period {
-			init += excess
+		// The simulator applies a whole block's counts atomically, so the
+		// wrapped counter can hold more than a full period of excess — on
+		// hardware those overflows would have fired mid-block. Record the
+		// samples hardware would have taken so the count estimate and the
+		// frequency feedback both see the true rate.
+		pmis := uint64(1)
+		for excess >= e.period {
+			excess -= e.period
+			rec := SampleRecord{Time: now, Period: e.period}
+			e.samples = append(e.samples, rec)
+			e.value += e.period
+			if e.overflowFn != nil {
+				e.overflowFn(ps.k, e, rec)
+			}
+			pmis++
 		}
+		if e.spec.SampleFreq > 0 {
+			e.retunePeriod(now, pmis)
+			// Retuning may shrink the period below the leftover excess;
+			// consume it against the new period too, or the re-armed value
+			// would start past the overflow point and never wrap.
+			for excess >= e.period {
+				excess -= e.period
+				rec := SampleRecord{Time: now, Period: e.period}
+				e.samples = append(e.samples, rec)
+				e.value += e.period
+				if e.overflowFn != nil {
+					e.overflowFn(ps.k, e, rec)
+				}
+			}
+		}
+		init := pmu.OverflowInit(e.period) + excess
 		if e.fixedIdx >= 0 {
 			mustWriteMSR(pm, pmu.MSRFixedCtr0+uint32(e.fixedIdx), init)
 		} else {
@@ -508,10 +533,12 @@ func (ps *PerfSubsystem) handlePMI(counter int, fixed bool) {
 }
 
 // retunePeriod implements perf's frequency mode: nudge the period so
-// overflows land every 1/freq seconds of target runtime.
-func (e *PerfEvent) retunePeriod(now ktime.Time) {
+// overflows land every 1/freq seconds of target runtime. pmis is how many
+// overflows the interval since the last retune actually contained (block
+// atomicity can fold several into one hardware PMI, see handlePMI).
+func (e *PerfEvent) retunePeriod(now ktime.Time, pmis uint64) {
 	want := ktime.Duration(uint64(ktime.Second) / e.spec.SampleFreq)
-	got := now.Sub(e.lastPMI)
+	got := now.Sub(e.lastPMI) / ktime.Duration(pmis)
 	e.lastPMI = now
 	if got == 0 {
 		got = 1

@@ -14,6 +14,11 @@ type Rand struct {
 // statistically independent streams.
 func NewRand(seed uint64) *Rand { return &Rand{state: seed + 0x9e3779b97f4a7c15} }
 
+// Reseed resets the generator to the stream NewRand(seed) would produce,
+// reusing the allocation — for hot paths that need a fresh deterministic
+// stream per use without allocating.
+func (r *Rand) Reseed(seed uint64) { r.state = seed + 0x9e3779b97f4a7c15 }
+
 // Uint64 returns the next raw 64-bit value.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -96,5 +96,48 @@ func (c *Cluster) Run(quantum, limit ktime.Duration) error {
 		if deadline > 0 && t >= deadline {
 			return nil
 		}
+		// Idle fast-forward: when no core can run, nothing happens until the
+		// earliest pending event, so the intervening lockstep windows are
+		// pure clock advances — skip them in one jump. The jump lands on the
+		// last grid point strictly before the event (capped at the deadline),
+		// so the window boundaries after wake-up, and with them the shared-LLC
+		// interleaving, match the unbatched schedule exactly; each kernel's
+		// idle time telescopes to the same sum either way.
+		if next, ok := c.idleUntil(); ok {
+			if deadline > 0 && next > deadline {
+				next = deadline
+			}
+			if next > t.Add(quantum) {
+				// Skip every whole window that ends before next; the loop's
+				// increment then lands on the first grid point ≥ next.
+				steps := uint64(next.Sub(t)-1) / uint64(quantum)
+				t = t.Add(ktime.Duration(steps) * quantum)
+			}
+		}
 	}
+}
+
+// idleUntil returns the earliest pending event across all live cores, but
+// only when none of them is runnable — a runnable core can mutate shared
+// state inside any window, so no window may be skipped.
+func (c *Cluster) idleUntil() (ktime.Time, bool) {
+	var best ktime.Time
+	ok := false
+	for _, m := range c.cores {
+		k := m.Kernel()
+		if k.Idle() {
+			continue
+		}
+		if k.Runnable() {
+			return 0, false
+		}
+		at, has := k.NextEventAt()
+		if !has {
+			continue
+		}
+		if !ok || at < best {
+			best, ok = at, true
+		}
+	}
+	return best, ok
 }

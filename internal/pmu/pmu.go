@@ -341,6 +341,44 @@ func (p *PMU) AddCounts(c isa.Counts, priv isa.Priv) {
 	}
 }
 
+// Headroom reports how many copies of the per-block delta c can be added
+// at privilege priv (capped at max) before any active programmable or
+// fixed counter would cross its 48-bit wrap. The kernel's batch executor
+// uses it so a batched AddCounts(c.Mul(n)) raises overflows and PMIs on
+// exactly the same block as n individual AddCounts calls would — the batch
+// stops one copy short of the first wrap, and the overflowing copy is
+// applied alone. Always at least 1: the first copy has already executed
+// and its overflow, if any, fires as in the unbatched path. Uncore
+// counters are excluded — they wrap modularly with no PMI, and modular
+// addition is associative, so batching cannot misplace an uncore wrap.
+func (p *PMU) Headroom(c isa.Counts, priv isa.Priv, max uint64) uint64 {
+	pi := privIdx(priv)
+	for m := p.activeProg[pi]; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros8(m)
+		n := c[p.progEvent[i]]
+		if n == 0 {
+			continue
+		}
+		if room := (counterMask - p.pmc[i]) / n; room < max {
+			max = room
+		}
+	}
+	for m := p.activeFixed[pi]; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros8(m)
+		n := c[fixedEvents[i]]
+		if n == 0 {
+			continue
+		}
+		if room := (counterMask - p.fixed[i]) / n; room < max {
+			max = room
+		}
+	}
+	if max < 1 {
+		max = 1
+	}
+	return max
+}
+
 func (p *PMU) overflowProg(i int) {
 	p.globalStatus |= 1 << uint(i)
 	if p.onOverflow != nil {

@@ -68,12 +68,36 @@ func (s Scheduler) batch() *telemetry.Sink {
 	return BatchTelemetry()
 }
 
-// workers resolves the effective pool size.
+// workers resolves the configured pool size.
 func (s Scheduler) workers() int {
 	if s.Workers > 0 {
 		return s.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// minRunsPerWorker is the striping threshold: below it, the per-goroutine
+// setup and the load imbalance of a static assignment swamp any overlap
+// (BENCH_experiments.json recorded the sweep's 4-run batch at 14.98 s
+// parallel vs 13.71 s serial before this bound existed).
+const minRunsPerWorker = 2
+
+// poolSize resolves the pool actually used for an n-run batch: the
+// configured worker count, clamped so every worker receives at least
+// minRunsPerWorker runs. Both ForEach's fan-out and Run's worker-slot
+// telemetry derive from this one function, so the reported index-to-worker
+// mapping stays truthful when the clamp engages. Results are seed-determined
+// and bit-identical at any pool size, so the clamp is purely a scheduling
+// decision.
+func (s Scheduler) poolSize(n int) int {
+	w := s.workers()
+	if max := n / minRunsPerWorker; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Run executes every Spec in the batch over the worker pool and returns
@@ -95,10 +119,7 @@ func (s Scheduler) Run(specs []Spec) []Outcome {
 		out[i] = Outcome{Index: i, Run: r, Err: err}
 	})
 	if batch != nil {
-		w := s.workers()
-		if w > len(specs) {
-			w = len(specs)
-		}
+		w := s.poolSize(len(specs))
 		batchMu.Lock()
 		for i := range specs {
 			sub := subs[i]
@@ -131,18 +152,16 @@ func (s Scheduler) Run(specs []Spec) []Outcome {
 // this when their jobs are not plain Specs.
 //
 // The assignment is static and striped: worker g executes indices g, g+w,
-// g+2w, ... in order. Striping keeps the mapping from index to worker a
-// pure function of (n, w) — no channel race decides placement — which is
-// what lets batch telemetry report a truthful, reproducible worker slot
-// per run.
+// g+2w, ... in order, with w the clamped pool from poolSize (small batches
+// run serial or on a reduced pool; see minRunsPerWorker). Striping keeps
+// the mapping from index to worker a pure function of (n, Workers) — no
+// channel race decides placement — which is what lets batch telemetry
+// report a truthful, reproducible worker slot per run.
 func (s Scheduler) ForEach(n int, fn func(int)) {
 	if n <= 0 {
 		return
 	}
-	w := s.workers()
-	if w > n {
-		w = n
-	}
+	w := s.poolSize(n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)

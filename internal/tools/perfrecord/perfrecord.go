@@ -78,6 +78,23 @@ func (t *Tool) Collect() monitor.Result {
 	return res
 }
 
+// FinalPeriod returns the sampling period of ev's last sample — the
+// quantization bound on its count estimate (at most one final period of
+// events goes unreported). Zero if the event took no samples.
+func (t *Tool) FinalPeriod(ev isa.Event) uint64 {
+	for i, pe := range t.proc.events {
+		if t.events[i] != ev {
+			continue
+		}
+		ss := pe.Samples()
+		if len(ss) == 0 {
+			return 0
+		}
+		return ss[len(ss)-1].Period
+	}
+	return 0
+}
+
 // SampleCount returns the total number of PMI samples taken (all events).
 func (t *Tool) SampleCount() int {
 	n := 0

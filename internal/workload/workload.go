@@ -35,11 +35,15 @@ type Phase struct {
 	Priv isa.Priv
 }
 
+// defaultBlockInstr is the emission granularity of a phase that declares
+// none; blockAt and the stream compiler must agree on it.
+const defaultBlockInstr = 100_000
+
 // blockAt returns the phase's block for the given remaining budget.
 func (ph Phase) blockAt(remaining uint64) isa.Block {
 	n := ph.BlockInstr
 	if n == 0 {
-		n = 100_000
+		n = defaultBlockInstr
 	}
 	if n > remaining {
 		n = remaining
@@ -85,9 +89,62 @@ func (s Script) TotalFPOps() uint64 {
 	return t
 }
 
-// Program returns a fresh kernel program executing the script once.
+// legacyExec selects the per-step interpreter instead of compiled streams
+// for every Program built after the switch (the -legacy-exec flag). Both
+// modes produce byte-identical artifacts — the legacy interpreter exists as
+// the differential-testing oracle for the compiled path (DESIGN.md §13).
+var legacyExec bool
+
+// SetLegacyExec switches subsequently built ScriptPrograms between the
+// compiled-stream executor (false, the default) and the legacy per-step
+// interpreter (true). Programs already built keep their mode. Not safe to
+// call concurrently with Program; flip it between runs.
+func SetLegacyExec(v bool) { legacyExec = v }
+
+// LegacyExec reports the current executor mode.
+func LegacyExec() bool { return legacyExec }
+
+// Program returns a fresh kernel program executing the script once. Unless
+// SetLegacyExec(true) is in effect the script is lowered to its compiled
+// stream, which lets the kernel batch steady-phase blocks (it implements
+// kernel.BlockStream).
 func (s Script) Program() *ScriptProgram {
-	return &ScriptProgram{script: s}
+	sp := &ScriptProgram{script: s}
+	if !legacyExec {
+		sp.stream, sp.phaseOf = s.compile()
+	}
+	return sp
+}
+
+// Compile lowers the script to its flat run-length block stream: per phase,
+// one Run of identical full blocks plus one single-copy Run for the
+// remainder. The emission order is exactly the per-step interpreter's.
+func (s Script) Compile() isa.CompiledStream {
+	cs, _ := s.compile()
+	return cs
+}
+
+func (s Script) compile() (isa.CompiledStream, []int) {
+	var runs []isa.Run
+	var phaseOf []int
+	for pi, ph := range s.Phases {
+		if ph.TotalInstr == 0 {
+			continue
+		}
+		n := ph.BlockInstr
+		if n == 0 {
+			n = defaultBlockInstr
+		}
+		if full := ph.TotalInstr / n; full > 0 {
+			runs = append(runs, isa.Run{Block: ph.blockAt(ph.TotalInstr), Count: full})
+			phaseOf = append(phaseOf, pi)
+		}
+		if rem := ph.TotalInstr % n; rem > 0 {
+			runs = append(runs, isa.Run{Block: ph.blockAt(rem), Count: 1})
+			phaseOf = append(phaseOf, pi)
+		}
+	}
+	return isa.CompiledStream{Runs: runs}, phaseOf
 }
 
 // ScriptProgram drives a Script as a kernel process. It also implements the
@@ -97,9 +154,19 @@ func (s Script) Program() *ScriptProgram {
 type ScriptProgram struct {
 	script Script
 
+	// Compiled mode (the default): the script lowered to a run-length block
+	// stream, with phaseOf mapping each run back to its phase for tracing.
+	// An empty stream selects the legacy per-step interpreter.
+	stream  isa.CompiledStream
+	phaseOf []int
+	runIx   int
+	runLeft uint64 // unemitted copies of the current run
+
+	// Legacy-interpreter walk state.
 	phase     int
 	remaining uint64
-	started   bool
+
+	started bool
 
 	// Prelude operations run once before the first phase — where
 	// instrumenting tools put their library initialization (e.g.
@@ -117,14 +184,25 @@ type ScriptProgram struct {
 }
 
 var _ kernel.Program = (*ScriptProgram)(nil)
+var _ kernel.BlockStream = (*ScriptProgram)(nil)
 
 // Script returns the underlying script.
 func (sp *ScriptProgram) Script() Script { return sp.script }
 
+// compiled reports whether the program runs its compiled stream.
+func (sp *ScriptProgram) compiled() bool { return len(sp.stream.Runs) > 0 }
+
 // PhaseName returns the name of the phase currently executing.
 func (sp *ScriptProgram) PhaseName() string {
-	if sp.phase < len(sp.script.Phases) {
-		return sp.script.Phases[sp.phase].Name
+	ix := sp.phase
+	if sp.compiled() {
+		if sp.runIx >= len(sp.phaseOf) {
+			return ""
+		}
+		ix = sp.phaseOf[sp.runIx]
+	}
+	if ix < len(sp.script.Phases) {
+		return sp.script.Phases[ix].Name
 	}
 	return ""
 }
@@ -141,13 +219,18 @@ func (sp *ScriptProgram) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
 	}
 	if !sp.started {
 		sp.started = true
-		if len(sp.script.Phases) > 0 {
+		if sp.compiled() {
+			sp.runLeft = sp.stream.Runs[0].Count
+		} else if len(sp.script.Phases) > 0 {
 			sp.remaining = sp.script.Phases[0].TotalInstr
 		}
 		if len(sp.Prelude) > 0 {
 			sp.queue = append(sp.queue, sp.Prelude...)
 			return sp.nextQueued()
 		}
+	}
+	if sp.compiled() {
+		return sp.nextCompiled(k, p)
 	}
 	for sp.phase < len(sp.script.Phases) && sp.remaining == 0 {
 		sp.phase++
@@ -156,16 +239,33 @@ func (sp *ScriptProgram) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
 		}
 	}
 	if sp.phase >= len(sp.script.Phases) {
-		sp.done = true
-		if ops := sp.fireHook(k, p); len(ops) > 0 {
-			sp.queue = append(sp.queue, ops...)
-			return sp.nextQueued()
-		}
-		return kernel.OpExit{}
+		return sp.finish(k, p)
 	}
 	ph := sp.script.Phases[sp.phase]
 	blk := ph.blockAt(sp.remaining)
 	sp.remaining -= blk.Instr
+	return sp.emit(k, p, blk)
+}
+
+// nextCompiled is Next's compiled-stream walk: identical emission order to
+// the interpreter above, but positioned by (run, copies-left) so PeekRun
+// can answer "how many identical blocks follow?" in O(1).
+func (sp *ScriptProgram) nextCompiled(k *kernel.Kernel, p *kernel.Process) kernel.Op {
+	for sp.runIx < len(sp.stream.Runs) && sp.runLeft == 0 {
+		sp.runIx++
+		if sp.runIx < len(sp.stream.Runs) {
+			sp.runLeft = sp.stream.Runs[sp.runIx].Count
+		}
+	}
+	if sp.runIx >= len(sp.stream.Runs) {
+		return sp.finish(k, p)
+	}
+	sp.runLeft--
+	return sp.emit(k, p, sp.stream.Runs[sp.runIx].Block)
+}
+
+// emit accounts one block emission against the hook cadence and wraps it.
+func (sp *ScriptProgram) emit(k *kernel.Kernel, p *kernel.Process, blk isa.Block) kernel.Op {
 	sp.sinceHook += blk.Instr
 	if sp.HookEvery > 0 && sp.sinceHook >= sp.HookEvery {
 		sp.sinceHook = 0
@@ -174,6 +274,52 @@ func (sp *ScriptProgram) Next(k *kernel.Kernel, p *kernel.Process) kernel.Op {
 		}
 	}
 	return kernel.OpExec{Block: blk}
+}
+
+// finish marks the script drained and fires the final hook.
+func (sp *ScriptProgram) finish(k *kernel.Kernel, p *kernel.Process) kernel.Op {
+	sp.done = true
+	if ops := sp.fireHook(k, p); len(ops) > 0 {
+		sp.queue = append(sp.queue, ops...)
+		return sp.nextQueued()
+	}
+	return kernel.OpExit{}
+}
+
+// PeekRun implements kernel.BlockStream: it reports the block the next Next
+// call would emit and how many consecutive identical copies are available
+// without a side effect — excluding queued hook/prelude ops, run (phase)
+// boundaries, and the copy whose emission would trip the periodic hook,
+// all of which must flow through a real Next call.
+func (sp *ScriptProgram) PeekRun() (isa.Block, uint64) {
+	if !sp.compiled() || !sp.started || sp.done || len(sp.queue) > 0 ||
+		sp.runIx >= len(sp.stream.Runs) || sp.runLeft == 0 {
+		return isa.Block{}, 0
+	}
+	blk := sp.stream.Runs[sp.runIx].Block
+	avail := sp.runLeft
+	if sp.HookEvery > 0 {
+		if sp.sinceHook >= sp.HookEvery {
+			return blk, 0
+		}
+		// Copies emittable before one trips the hook: largest c with
+		// sinceHook + c·Instr < HookEvery.
+		if hookCap := (sp.HookEvery - sp.sinceHook - 1) / blk.Instr; hookCap < avail {
+			avail = hookCap
+		}
+	}
+	return blk, avail
+}
+
+// ConsumeRun implements kernel.BlockStream: it advances past n copies the
+// caller batched, exactly as n Next calls would have (n must not exceed the
+// last PeekRun's count, so no hook or boundary is skipped).
+func (sp *ScriptProgram) ConsumeRun(n uint64) {
+	if n == 0 {
+		return
+	}
+	sp.runLeft -= n
+	sp.sinceHook += n * sp.stream.Runs[sp.runIx].Block.Instr
 }
 
 func (sp *ScriptProgram) fireHook(k *kernel.Kernel, p *kernel.Process) []kernel.Op {
