@@ -20,6 +20,10 @@
 //	experiments contention — online cross-core contention detection
 //	experiments multiplex — perf stat scaled estimates vs exact K-LEB counts
 //	                       as the event mix outgrows the counters (§II-B)
+//	experiments taillat  — monitoring overhead as tail latency: the 3-tier
+//	                       serve workload bare and under each tool, exact
+//	                       p50/p99/p999 (exits non-zero if K-LEB's p99
+//	                       effect is not strictly below perf stat's/PAPI's)
 //	experiments events   — print each machine's architectural event table
 //	experiments chaos    — fault-plan chaos sweep (-seeds plans; exits non-zero
 //	                       if any run hangs or loses samples unaccounted)
@@ -84,7 +88,7 @@ func main() {
 		legacy   = flag.Bool("legacy-exec", false, "run workloads through the per-step legacy interpreter instead of compiled block streams (differential testing; artifacts are byte-identical)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|multiplex|events|chaos|all|md-only|bench|telemetry-bench|kernel-bench>\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|timers|sweep|buffers|drains|colocate|suite|placement|contention|multiplex|taillat|events|chaos|all|md-only|bench|telemetry-bench|kernel-bench>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -144,7 +148,7 @@ func main() {
 		}
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "timers", "sweep", "buffers", "drains", "colocate", "suite", "placement", "contention", "multiplex"} {
+		for _, name := range []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "timers", "sweep", "buffers", "drains", "colocate", "suite", "placement", "contention", "multiplex", "taillat"} {
 			run(name)
 			fmt.Println()
 		}
@@ -260,6 +264,15 @@ func dispatch(name string, trials, rounds int, seed uint64, workers, seeds int) 
 		}
 		res.Render(w)
 		// Like chaos, the sweep doubles as a gate on the multiplexing model.
+		return res.Check()
+	case "taillat":
+		res, err := experiments.RunTailLat(experiments.TailLatConfig{Trials: trials, Seed: seed, Workers: workers})
+		if err != nil {
+			return err
+		}
+		res.Render(w)
+		// The study gates the overhead ordering: K-LEB's p99 inflation must
+		// stay strictly below perf stat's and PAPI's.
 		return res.Check()
 	case "events":
 		for i, arch := range pmu.Arches() {
@@ -413,6 +426,12 @@ func writeMarkdownReport(path string, trials, rounds int, seed uint64, workers i
 		return err
 	}
 	r.Multiplex(mx)
+
+	tl, err := experiments.RunTailLat(experiments.TailLatConfig{Trials: trials, Seed: seed, Workers: workers})
+	if err != nil {
+		return err
+	}
+	r.TailLatency(tl)
 	// Batch telemetry summary (present only when -trace/-metrics installed a
 	// process-wide sink before this report ran).
 	r.Telemetry(session.BatchTelemetry())

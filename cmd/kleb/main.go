@@ -28,7 +28,7 @@ var stopProfiles = func() error { return nil }
 
 func main() {
 	var (
-		workloadName = flag.String("workload", "quickstart", "workload: linpack[:N] | matmul | dgemm | docker:IMAGE | meltdown-victim | meltdown-attack | quickstart")
+		workloadName = flag.String("workload", "quickstart", "workload: linpack[:N] | matmul | dgemm | docker:IMAGE | meltdown-victim | meltdown-attack | serve | quickstart")
 		eventsFlag   = flag.String("events", "INST_RETIRED,LLC_MISSES,MEM_INST_RETIRED.LOADS,MEM_INST_RETIRED.STORES", "comma-separated event list (names or raw rUUEE encodings)")
 		periodFlag   = flag.Duration("period", 10*time.Millisecond, "sampling period (K-LEB sustains 100µs)")
 		toolFlag     = flag.String("tool", "kleb", "tool: kleb | perf-stat | perf-record | papi | limit")
@@ -68,7 +68,7 @@ func main() {
 		}
 	}()
 
-	w, err := resolveWorkload(*workloadName)
+	w, err := resolveWorkload(*workloadName, *seedFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -178,7 +178,7 @@ func main() {
 	}
 }
 
-func resolveWorkload(name string) (kleb.Workload, error) {
+func resolveWorkload(name string, seed uint64) (kleb.Workload, error) {
 	switch {
 	case name == "quickstart":
 		return kleb.Synthetic(500_000_000, 1<<20, 0.02), nil
@@ -200,6 +200,8 @@ func resolveWorkload(name string) (kleb.Workload, error) {
 		return kleb.Meltdown().Victim(), nil
 	case name == "meltdown-attack":
 		return kleb.Meltdown().Attack(), nil
+	case name == "serve":
+		return kleb.Serve(seed), nil
 	}
 	return kleb.Workload{}, fmt.Errorf("unknown workload %q (images: %s)",
 		name, strings.Join(kleb.ContainerImages(), ", "))

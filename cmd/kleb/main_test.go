@@ -18,9 +18,10 @@ func TestResolveWorkload(t *testing.T) {
 		{"docker:nginx", "docker-nginx"},
 		{"meltdown-victim", "victim"},
 		{"meltdown-attack", "victim+meltdown"},
+		{"serve", "serve"},
 	}
 	for _, c := range cases {
-		w, err := resolveWorkload(c.in)
+		w, err := resolveWorkload(c.in, 1)
 		if err != nil {
 			t.Errorf("%s: %v", c.in, err)
 			continue
@@ -33,12 +34,12 @@ func TestResolveWorkload(t *testing.T) {
 
 func TestResolveWorkloadErrors(t *testing.T) {
 	for _, in := range []string{"nope", "docker:nope", "linpack:abc"} {
-		if _, err := resolveWorkload(in); err == nil {
+		if _, err := resolveWorkload(in, 1); err == nil {
 			t.Errorf("%s should not resolve", in)
 		}
 	}
 	// Unknown workload errors list the available container images.
-	_, err := resolveWorkload("nope")
+	_, err := resolveWorkload("nope", 1)
 	if err == nil || !strings.Contains(err.Error(), "nginx") {
 		t.Errorf("error should enumerate images: %v", err)
 	}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// renderTailLat runs the default study at the given worker count and
+// returns the rendered artifact.
+func renderTailLat(t *testing.T, workers int) []byte {
+	t.Helper()
+	res, err := RunTailLat(TailLatConfig{Workers: workers})
+	if err != nil {
+		t.Fatalf("RunTailLat(workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	return buf.Bytes()
+}
+
+// TestTailLatGolden pins the study's rendered artifact byte for byte and
+// requires every run at 1, 2 and 8 workers to reproduce it — the
+// worker-count determinism contract every experiment in this package makes.
+func TestTailLatGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serve study in -short mode")
+	}
+	serial := renderTailLat(t, 1)
+
+	path := filepath.Join("testdata", "taillat.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (regenerate with go test -run TailLat -update): %v", err)
+		}
+		if !bytes.Equal(serial, want) {
+			t.Errorf("taillat artifact drifted from golden.\n--- got ---\n%s--- want ---\n%s", serial, want)
+		}
+	}
+
+	for _, workers := range []int{2, 8} {
+		if got := renderTailLat(t, workers); !bytes.Equal(got, serial) {
+			t.Errorf("%d-worker artifact differs from serial run.\n--- got ---\n%s--- want ---\n%s", workers, got, serial)
+		}
+	}
+}
+
+// TestTailLatCheck asserts the study's own gate holds on the default
+// configuration: requests conserved, nothing rejected, and K-LEB's p99
+// inflation strictly below perf stat's and PAPI's in both scenarios.
+func TestTailLatCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serve study in -short mode")
+	}
+	res, err := RunTailLat(TailLatConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d, want open- and closed-loop", len(res.Scenarios))
+	}
+	for _, sc := range res.Scenarios {
+		kleb, ok := sc.row("kleb")
+		if !ok {
+			t.Fatalf("%s: no kleb row", sc.Name)
+		}
+		if kleb.DeltaP99 <= 0 {
+			t.Errorf("%s: K-LEB Δp99 = %dns, want positive (monitoring is never free)", sc.Name, kleb.DeltaP99)
+		}
+		bare, ok := sc.row("bare")
+		if !ok || bare.Completed == 0 {
+			t.Fatalf("%s: missing or empty bare baseline", sc.Name)
+		}
+	}
+}

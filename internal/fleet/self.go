@@ -20,8 +20,8 @@ import (
 // the HTTP handlers and the deterministic aggregation path never touch
 // time directly (klebvet's walltime and httpguard passes enforce this).
 type selfMetrics struct {
-	startNs int64 // process start, wall ns (immutable after newSelfMetrics)
-	shards  int
+	start  time.Time // process start (immutable after newSelfMetrics)
+	shards int
 
 	mu sync.Mutex
 	// runsIngested / samplesIngested count folded node runs and their
@@ -39,22 +39,40 @@ type selfMetrics struct {
 }
 
 func newSelfMetrics(shards int) *selfMetrics {
-	return &selfMetrics{startNs: wallNs(), shards: shards}
+	return &selfMetrics{start: wallNs(), shards: shards}
 }
 
 // wallNs reads the host clock. The single sanctioned wall-clock seam in
 // the daemon: self-telemetry is *about* host time, so virtual time cannot
-// stand in for it.
-func wallNs() int64 {
-	return time.Now().UnixNano() //klebvet:allow walltime -- self-telemetry measures real daemon overhead
+// stand in for it. It returns the full time.Time — which carries Go's
+// monotonic reading alongside the wall reading — so every duration below
+// subtracts monotonically and a wall-clock step (NTP slew, manual reset)
+// cannot produce a negative span. The name predates the time.Time return:
+// it stays because klebvet's detertaint audit keys the one sanctioned
+// wall-clock source as fleet.wallNs.
+func wallNs() time.Time {
+	return time.Now() //klebvet:allow walltime -- self-telemetry measures real daemon overhead
+}
+
+// sinceNs returns the nanoseconds elapsed from start to end, clamped to 0.
+// When both instants carry monotonic readings (everything wallNs returns)
+// the subtraction is monotonic already; the clamp additionally covers
+// wall-only instants, so a backward step can never wrap the uint64 delta
+// and permanently poison the latency histograms' p99.
+func sinceNs(start, end time.Time) uint64 {
+	d := end.Sub(start)
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
 }
 
 // mergeStart begins timing one fold.
-func (m *selfMetrics) mergeStart() int64 { return wallNs() }
+func (m *selfMetrics) mergeStart() time.Time { return wallNs() }
 
 // mergeDone records one fold's wall latency and the ingested volume.
-func (m *selfMetrics) mergeDone(startNs int64, results []nodeResult) {
-	d := uint64(wallNs() - startNs)
+func (m *selfMetrics) mergeDone(start time.Time, results []nodeResult) {
+	d := sinceNs(start, wallNs())
 	m.mu.Lock()
 	m.mergeNs.Observe(d)
 	for _, r := range results {
@@ -65,11 +83,11 @@ func (m *selfMetrics) mergeDone(startNs int64, results []nodeResult) {
 }
 
 // scrapeStart begins timing one scrape.
-func (m *selfMetrics) scrapeStart() int64 { return wallNs() }
+func (m *selfMetrics) scrapeStart() time.Time { return wallNs() }
 
 // scrapeDone records one scrape's wall latency under its endpoint.
-func (m *selfMetrics) scrapeDone(startNs int64, endpoint string) {
-	d := uint64(wallNs() - startNs)
+func (m *selfMetrics) scrapeDone(start time.Time, endpoint string) {
+	d := sinceNs(start, wallNs())
 	m.mu.Lock()
 	m.scrapeNs.Observe(d)
 	switch endpoint {
@@ -85,7 +103,7 @@ func (m *selfMetrics) scrapeDone(startNs int64, endpoint string) {
 
 // fill copies the self-telemetry view into a Status.
 func (m *selfMetrics) fill(st *Status) {
-	up := float64(wallNs()-m.startNs) / 1e9
+	up := float64(sinceNs(m.start, wallNs())) / 1e9
 	m.mu.Lock()
 	st.UptimeSeconds = up
 	st.RunsIngested = m.runsIngested

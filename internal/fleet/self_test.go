@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSinceNsClampsBackwardSteps pins the clock-step regression: a start
+// instant that reads *later* than the end (a backward wall step on
+// monotonic-stripped instants, or a caller bug) must clamp to 0 instead of
+// wrapping to a huge uint64.
+func TestSinceNsClampsBackwardSteps(t *testing.T) {
+	// Wall-only instants (no monotonic reading) going backwards: the shape
+	// the old uint64(wallNs()-startNs) arithmetic wrapped on.
+	later := time.Date(2026, 8, 7, 12, 0, 1, 0, time.UTC)
+	earlier := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	if got := sinceNs(later, earlier); got != 0 {
+		t.Errorf("sinceNs(later, earlier) = %d, want 0", got)
+	}
+	if got := sinceNs(earlier, later); got != uint64(time.Second) {
+		t.Errorf("sinceNs(earlier, later) = %d, want 1s", got)
+	}
+	// Monotonic instants from the sanctioned seam never go backwards.
+	a := wallNs()
+	b := wallNs()
+	if got := sinceNs(b, a); got != 0 && got > uint64(time.Second) {
+		t.Errorf("monotonic reversed pair produced %d ns", got)
+	}
+}
+
+// TestSelfMetricsSurviveBackwardClockStep feeds merge/scrape timings whose
+// start instant post-dates the observation (the effect of a backward wall
+// step mid-measurement) and requires the p99s to stay sane — the old code
+// wrapped one delta to ~1.8e19 ns and permanently poisoned MergeP99Ns and
+// ScrapeP99Ns.
+func TestSelfMetricsSurviveBackwardClockStep(t *testing.T) {
+	m := newSelfMetrics(1)
+
+	// A healthy fold first, so the histogram has a real shape to poison.
+	m.mergeDone(wallNs(), nil)
+	// Now a fold whose start is an hour in the future: monotonic
+	// subtraction yields a negative span; the clamp records it as 0.
+	m.mergeDone(wallNs().Add(time.Hour), nil)
+	// Same through the scrape path.
+	m.scrapeDone(wallNs(), "/metrics")
+	m.scrapeDone(wallNs().Add(time.Hour), "/metrics")
+
+	var st Status
+	m.fill(&st)
+	// Anything under a minute is "sane"; the wrapped value was ~585 years.
+	const sane = uint64(time.Minute)
+	if st.MergeP99Ns >= sane {
+		t.Errorf("MergeP99Ns = %d, poisoned by a backward clock step", st.MergeP99Ns)
+	}
+	if st.ScrapeP99Ns >= sane {
+		t.Errorf("ScrapeP99Ns = %d, poisoned by a backward clock step", st.ScrapeP99Ns)
+	}
+	if st.UptimeSeconds < 0 {
+		t.Errorf("UptimeSeconds = %v, negative", st.UptimeSeconds)
+	}
+	if st.Scrapes != 2 {
+		t.Errorf("Scrapes = %d, want 2", st.Scrapes)
+	}
+}

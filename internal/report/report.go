@@ -226,5 +226,31 @@ func (r *Writer) Multiplex(res *experiments.MultiplexResult) {
 	}
 }
 
+// TailLatency renders the serve-workload tail-latency study.
+func (r *Writer) TailLatency(res *experiments.TailLatResult) {
+	r.section("Tail latency under monitoring — 3-tier serve workload")
+	r.printf("Exact percentiles over the merged per-trial populations (%d trials, period %v);\n", res.Trials, res.Period)
+	r.printf("Δp99 is against the same-machine unmonitored baseline on paired seeds.\n\n")
+	for _, sc := range res.Scenarios {
+		r.printf("**%s** (%s)\n\n", sc.Name, sc.Load)
+		r.printf("| tool | machine | p50 ms | p99 ms | p999 ms | Δp99 ms | req/s |\n")
+		r.printf("|---|---|---|---|---|---|---|\n")
+		for _, row := range sc.Rows {
+			if row.Unsupported != "" {
+				r.printf("| %s | %s | n/a | n/a | n/a | n/a | n/a |\n", row.Tool, row.Machine)
+				continue
+			}
+			delta := "—"
+			if row.Tool != "bare" {
+				delta = fmt.Sprintf("%+.3f", float64(row.DeltaP99)/1e6)
+			}
+			r.printf("| %s | %s | %.3f | %.3f | %.3f | %s | %.1f |\n",
+				row.Tool, row.Machine, row.P50.Milliseconds(), row.P99.Milliseconds(),
+				row.P999.Milliseconds(), delta, row.Throughput)
+		}
+		r.printf("\n")
+	}
+}
+
 // Sections returns how many sections were emitted (for tests).
 func (r *Writer) Sections() int { return r.sections }

@@ -1,0 +1,88 @@
+package telemetry
+
+import "sort"
+
+// ExactQuantiles is an exact-percentile accumulator: it retains every
+// observation, so Quantile answers with the actual q-quantile observation
+// rather than a bucket bound. The log2 Histogram is the right tool for
+// order-of-magnitude shapes (timer jitter, PMI latency); it is the wrong
+// tool for tail-latency reporting, where a factor-of-two bucket swallows
+// the very p99/p999 differences an overhead study exists to measure.
+//
+// Memory is one uint64 per observation, which is fine for the request
+// populations the workload experiments produce (thousands to low millions);
+// it is not a streaming sketch and should not be wired into unbounded
+// hot-path telemetry.
+//
+// The zero value is ready to use. Not safe for concurrent use; like the
+// rest of the registry types, one accumulator belongs to one run, and
+// cross-run aggregation goes through Merge.
+type ExactQuantiles struct {
+	vals   []uint64
+	sum    uint64
+	sorted bool
+}
+
+// Observe records one value.
+func (e *ExactQuantiles) Observe(v uint64) {
+	e.vals = append(e.vals, v)
+	e.sum += v
+	e.sorted = false
+}
+
+// Count returns the number of observations.
+func (e *ExactQuantiles) Count() uint64 { return uint64(len(e.vals)) }
+
+// Sum returns the sum of all observed values.
+func (e *ExactQuantiles) Sum() uint64 { return e.sum }
+
+// Mean returns the average observed value (0 with no observations).
+func (e *ExactQuantiles) Mean() float64 {
+	if len(e.vals) == 0 {
+		return 0
+	}
+	return float64(e.sum) / float64(len(e.vals))
+}
+
+// Quantile returns the exact q-quantile observation (q in [0,1]) under the
+// same nearest-rank rule the log2 Histogram uses: the observation at
+// 0-indexed rank ceil(q·n)−1 of the sorted values. q=0 selects the minimum,
+// q=1 the maximum. Returns 0 with no observations.
+func (e *ExactQuantiles) Quantile(q float64) uint64 {
+	n := uint64(len(e.vals))
+	if n == 0 {
+		return 0
+	}
+	e.ensureSorted()
+	return e.vals[nearestRank(q, n)]
+}
+
+// Max returns the largest observation (0 with none).
+func (e *ExactQuantiles) Max() uint64 {
+	if len(e.vals) == 0 {
+		return 0
+	}
+	e.ensureSorted()
+	return e.vals[len(e.vals)-1]
+}
+
+// Merge folds o's observations into e. Because quantiles are computed over
+// the sorted union, Merge is commutative and associative — a batch
+// accumulator assembled from per-run accumulators reads identically
+// regardless of completion order or worker count.
+func (e *ExactQuantiles) Merge(o *ExactQuantiles) {
+	if o == nil || len(o.vals) == 0 {
+		return
+	}
+	e.vals = append(e.vals, o.vals...)
+	e.sum += o.sum
+	e.sorted = false
+}
+
+func (e *ExactQuantiles) ensureSorted() {
+	if e.sorted {
+		return
+	}
+	sort.Slice(e.vals, func(i, j int) bool { return e.vals[i] < e.vals[j] })
+	e.sorted = true
+}

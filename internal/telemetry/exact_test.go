@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// TestNearestRank pins the nearest-rank definition both quantile
+// implementations share: 0-indexed rank ceil(q·n)−1, clamped to [0, n−1].
+func TestNearestRank(t *testing.T) {
+	cases := []struct {
+		q    float64
+		n    uint64
+		want uint64
+	}{
+		{0, 1, 0},
+		{0, 10, 0},
+		{1, 1, 0},
+		{1, 10, 9},
+		{0.5, 1, 0},
+		{0.5, 2, 0},  // q·n integral: ceil(1)−1 = 0, not 1
+		{0.5, 3, 1},  // ceil(1.5)−1 = 1
+		{0.5, 4, 1},  // q·n integral again
+		{0.5, 5, 2},  // ceil(2.5)−1 = 2
+		{0.25, 4, 0}, // q·n integral
+		{0.75, 4, 2},
+		{0.99, 100, 98}, // q·n integral: the 99th of 100, 0-indexed 98
+		{0.99, 101, 99}, // ceil(99.99)−1
+		{0.999, 1000, 998},
+	}
+	for _, c := range cases {
+		if got := nearestRank(c.q, c.n); got != c.want {
+			t.Errorf("nearestRank(%v, %d) = %d, want %d", c.q, c.n, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileBoundaries drives the log2 histogram through the
+// boundary semantics the nearest-rank fix pins: empty, single observation,
+// exact-boundary q, and q = 0 / 1.
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %d, want 0", got)
+	}
+
+	var one Histogram
+	one.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 63 { // bucket of 42: [32,64) → upper 63
+			t.Errorf("single-observation q=%v = %d, want 63", q, got)
+		}
+	}
+
+	// The ISSUE's motivating case: p50 of {1, 1000} must land in 1's bucket
+	// (upper bound 1), not 1000's (upper bound 1023).
+	var two Histogram
+	two.Observe(1)
+	two.Observe(1000)
+	if got := two.Quantile(0.5); got != 1 {
+		t.Errorf("p50 of {1,1000} = %d, want 1", got)
+	}
+	if got := two.Quantile(0); got != 1 {
+		t.Errorf("p0 of {1,1000} = %d, want 1", got)
+	}
+	if got := two.Quantile(1); got != 1023 {
+		t.Errorf("p100 of {1,1000} = %d, want 1023", got)
+	}
+
+	// Exact-boundary q on a larger set: 4 observations in distinct buckets.
+	var h Histogram
+	for _, v := range []uint64{1, 10, 100, 1000} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0.25, 1},   // rank 0 → bucket of 1
+		{0.5, 15},   // rank 1 → bucket of 10: [8,16)
+		{0.75, 127}, // rank 2 → bucket of 100: [64,128)
+		{1, 1023},   // rank 3 → bucket of 1000
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+// TestExactQuantiles pins the exact accumulator's nearest-rank semantics on
+// the same boundary table.
+func TestExactQuantiles(t *testing.T) {
+	var empty ExactQuantiles
+	if empty.Quantile(0.5) != 0 || empty.Count() != 0 || empty.Mean() != 0 || empty.Max() != 0 {
+		t.Error("empty accumulator must read as zero")
+	}
+
+	var one ExactQuantiles
+	one.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := one.Quantile(q); got != 42 {
+			t.Errorf("single-observation q=%v = %d, want 42", q, got)
+		}
+	}
+
+	var e ExactQuantiles
+	for _, v := range []uint64{1000, 1, 100, 10} { // insertion order must not matter
+		e.Observe(v)
+	}
+	if e.Count() != 4 || e.Sum() != 1111 {
+		t.Fatalf("Count=%d Sum=%d", e.Count(), e.Sum())
+	}
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0, 1},
+		{0.25, 1},   // q·n integral: rank 0
+		{0.5, 10},   // q·n integral: rank 1 — the fixed off-by-one
+		{0.75, 100}, // rank 2
+		{0.9, 1000}, // ceil(3.6)−1 = 3
+		{1, 1000},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if got := e.Max(); got != 1000 {
+		t.Errorf("Max = %d, want 1000", got)
+	}
+	// Observing after a quantile read must keep the accumulator coherent.
+	e.Observe(5)
+	if got := e.Quantile(0.5); got != 10 { // sorted {1,5,10,100,1000}: rank ceil(2.5)−1 = 2
+		t.Errorf("post-observe p50 = %d, want 10", got)
+	}
+}
+
+// TestExactQuantilesMergeCommutative asserts the worker-pool contract: a
+// batch accumulator built by merging per-run accumulators in any order
+// reads identically, including against one flat accumulator of the union.
+func TestExactQuantilesMergeCommutative(t *testing.T) {
+	parts := [][]uint64{
+		{900, 30, 4},
+		{1, 2, 3, 4, 5},
+		{},
+		{1000000},
+		{77, 77, 77},
+	}
+	var flat ExactQuantiles
+	for _, p := range parts {
+		for _, v := range p {
+			flat.Observe(v)
+		}
+	}
+	build := func(order []int) *ExactQuantiles {
+		var acc ExactQuantiles
+		for _, i := range order {
+			var part ExactQuantiles
+			for _, v := range parts[i] {
+				part.Observe(v)
+			}
+			acc.Merge(&part)
+		}
+		return &acc
+	}
+	orders := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}}
+	qs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+	for _, order := range orders {
+		acc := build(order)
+		if acc.Count() != flat.Count() || acc.Sum() != flat.Sum() {
+			t.Fatalf("order %v: Count/Sum diverge", order)
+		}
+		for _, q := range qs {
+			if got, want := acc.Quantile(q), flat.Quantile(q); got != want {
+				t.Errorf("order %v: Quantile(%v) = %d, want %d", order, q, got, want)
+			}
+		}
+	}
+	// Merging a nil accumulator is a no-op.
+	acc := build(orders[0])
+	n := acc.Count()
+	acc.Merge(nil)
+	if acc.Count() != n {
+		t.Error("Merge(nil) changed the accumulator")
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 )
@@ -69,14 +70,14 @@ func (h *Histogram) Mean() float64 {
 // Quantile returns the upper bound of the bucket containing the q-quantile
 // observation (q in [0,1]). Log2 bucketing means the answer is exact only
 // to a factor of two — the right resolution for "is jitter ~1µs or ~10µs".
+// The quantile observation itself is selected by the nearest-rank rule
+// (see nearestRank); tail-latency percentiles that must be exact use
+// ExactQuantiles instead.
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h.count == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(h.count))
-	if rank >= h.count {
-		rank = h.count - 1
-	}
+	rank := nearestRank(q, h.count)
 	var seen uint64
 	for i, b := range h.buckets {
 		seen += b
@@ -85,6 +86,22 @@ func (h *Histogram) Quantile(q float64) uint64 {
 		}
 	}
 	return bucketUpper(histBuckets - 1)
+}
+
+// nearestRank maps a quantile q in [0,1] over n ≥ 1 ordered observations to
+// the 0-indexed rank of the nearest-rank quantile observation: ceil(q·n)−1,
+// clamped into [0, n-1]. Using floor(q·n) instead — the classic off-by-one —
+// selects one observation too high whenever q·n is integral (the p50 of
+// {1, 1000} would come out 1000, not 1).
+func nearestRank(q float64, n uint64) uint64 {
+	r := uint64(math.Ceil(q * float64(n)))
+	if r > 0 {
+		r--
+	}
+	if r >= n {
+		r = n - 1
+	}
+	return r
 }
 
 // bucketUpper returns the inclusive upper bound of bucket i.

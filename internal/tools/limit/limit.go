@@ -64,7 +64,7 @@ func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, prog kernel.Pr
 	if !m.Kernel().LiMiTPatched() {
 		return fmt.Errorf("limit: kernel is not LiMiT-patched (unsupported OS and kernel version)")
 	}
-	sp, ok := prog.(*workload.ScriptProgram)
+	sp, ok := prog.(workload.Instrumentable)
 	if !ok {
 		return fmt.Errorf("limit: target %q is not instrumentable: LiMiT requires source code access", target.Name())
 	}
@@ -95,8 +95,7 @@ func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, prog kernel.Pr
 	if every == 0 {
 		every = 1
 	}
-	sp.HookEvery = every
-	sp.Hook = t.strategicPoint
+	sp.Instrument(nil, every, t.strategicPoint)
 	return nil
 }
 

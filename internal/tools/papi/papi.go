@@ -55,7 +55,7 @@ func (t *Tool) Name() string { return "papi" }
 
 // Attach implements monitor.Tool by instrumenting the target's program.
 func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, prog kernel.Program, cfg monitor.Config) error {
-	sp, ok := prog.(*workload.ScriptProgram)
+	sp, ok := prog.(workload.Instrumentable)
 	if !ok {
 		return fmt.Errorf("papi: target %q is not instrumentable: PAPI requires source code access", target.Name())
 	}
@@ -99,9 +99,7 @@ func (t *Tool) Attach(m *machine.Machine, target *kernel.Process, prog kernel.Pr
 			},
 		})
 	}
-	sp.Prelude = prelude
-	sp.HookEvery = every
-	sp.Hook = t.strategicPoint
+	sp.Instrument(prelude, every, t.strategicPoint)
 	return nil
 }
 

@@ -335,6 +335,30 @@ func (sp *ScriptProgram) nextQueued() kernel.Op {
 	return op
 }
 
+// Instrumentable is the source-instrumentation seam: a program whose
+// "source" can be modified to run setup code at the top of main and to
+// insert operations at strategic points every so many retired instructions.
+// PAPI- and LiMiT-style tools require it — they cannot observe a program
+// they cannot recompile — and assert this interface rather than a concrete
+// program type, so wrapper programs (the request-serving model) stay
+// instrumentable by delegating to their inner script walk.
+type Instrumentable interface {
+	// Script returns the underlying phase script (for sizing the hook
+	// cadence against the total instruction budget).
+	Script() Script
+	// Instrument installs the tool's prelude and strategic-point hook.
+	Instrument(prelude []kernel.Op, every uint64, hook func(k *kernel.Kernel, p *kernel.Process) []kernel.Op)
+}
+
+// Instrument implements Instrumentable.
+func (sp *ScriptProgram) Instrument(prelude []kernel.Op, every uint64, hook func(k *kernel.Kernel, p *kernel.Process) []kernel.Op) {
+	sp.Prelude = prelude
+	sp.HookEvery = every
+	sp.Hook = hook
+}
+
+var _ Instrumentable = (*ScriptProgram)(nil)
+
 // Region bases keep workloads' footprints disjoint in the shared hierarchy.
 const (
 	regionLinpack  uint64 = 0x1_0000_0000
@@ -344,6 +368,7 @@ const (
 	regionSynth    uint64 = 0x5_0000_0000
 	regionNoise    uint64 = 0x6_0000_0000
 	regionTool     uint64 = 0x7_0000_0000
+	regionServe    uint64 = 0x8_0000_0000
 )
 
 // ToolRegion is the memory region tool-side user work (log formatting)

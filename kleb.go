@@ -276,6 +276,21 @@ func Synthetic(instr, footprint uint64, randomFrac float64) Workload {
 	return scriptWorkload(s, 0)
 }
 
+// Serve builds the request-serving cloud workload (the taillat study's
+// target): a three-tier service with processor-sharing replicas, hedged
+// requests, and an open-loop arrival stream, coupled to the machine through
+// its instruction capacity. seed drives the workload's traffic; the run's
+// Seed drives everything else, so equal option sets replay bit-identically.
+// Per-run serving statistics are on the program, not the Report; use the
+// taillat experiment for the full tail-latency comparison.
+func Serve(seed uint64) Workload {
+	sv := workload.NewServe()
+	return Workload{
+		name:    sv.Name,
+		factory: func() kernel.Program { return sv.Program(seed) },
+	}
+}
+
 // CollectOptions configures one monitored run.
 type CollectOptions struct {
 	// Machine selects the hardware profile (default Nehalem).

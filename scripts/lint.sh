@@ -20,6 +20,10 @@
 #   7. klebd smoke the fleet daemon boots, serves lint-clean expositions,
 #                  and drains cleanly on SIGTERM (scripts/smoke_klebd.sh,
 #                  also CI's klebd-smoke job)
+#   8. taillat smoke one-trial serve-workload run satisfies the tail-latency
+#                  invariants (conservation, monotone percentiles, K-LEB's
+#                  Δp99 strictly under perf stat's and PAPI's; the 3-trial
+#                  golden check runs in CI's chaos job)
 #
 # Exits non-zero on the first failing stage. Run from anywhere inside
 # the repository.
@@ -72,5 +76,8 @@ go run ./cmd/experiments -seeds 1 chaos >/dev/null
 
 echo "==> klebd smoke (boot, scrape, drain)"
 ./scripts/smoke_klebd.sh >/dev/null
+
+echo "==> taillat smoke (1 trial)"
+go run ./cmd/experiments -trials 1 taillat >/dev/null
 
 echo "lint: OK"
